@@ -1,0 +1,106 @@
+"""Shared helpers for the figure benchmarks: synthetic no-op campaigns and
+formatting utilities."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.apps import AppMethod, TopicPolicy, build_workflow
+from repro.core.result import Result
+from repro.net.context import at_site
+from repro.net.defaults import PaperConstants, Testbed, build_paper_testbed
+from repro.serialize import Blob
+
+
+def noop_task(payload=None):
+    """The synthetic no-input-processing task of §V-C."""
+    return None
+
+
+@dataclass
+class NoopRun:
+    config: str
+    payload_bytes: int
+    results: list[Result]
+
+    def median(self, attribute: str) -> float:
+        values = [
+            getattr(r, attribute)
+            for r in self.results
+            if getattr(r, attribute) is not None
+        ]
+        return statistics.median(values) if values else float("nan")
+
+    def mean(self, attribute: str) -> float:
+        values = [
+            getattr(r, attribute)
+            for r in self.results
+            if getattr(r, attribute) is not None
+        ]
+        return statistics.fmean(values) if values else float("nan")
+
+
+def run_noop_campaign(
+    config: str,
+    *,
+    payload_bytes: int = 10_000,
+    n_tasks: int = 30,
+    threshold: int | None = 0,
+    locality: str = "local",
+    resource: str = "cpu",
+    n_workers: int = 2,
+    max_outstanding: int = 4,
+    testbed: Testbed | None = None,
+    constants: PaperConstants | None = None,
+    seed: int = 0,
+) -> NoopRun:
+    """Run ``n_tasks`` no-op tasks with ``payload_bytes`` inputs and collect
+    their Result ledgers.
+
+    ``threshold=0`` proxies everything (the Fig. 3 setting); ``None``
+    disables proxying.  ``max_outstanding`` bounds concurrency so component
+    medians reflect per-task latency rather than queue backlog.
+    """
+    testbed = testbed or build_paper_testbed(seed=seed)
+    topic = "bench"
+    methods = [AppMethod(noop_task, resource=resource, topic=topic)]
+    policies = {topic: TopicPolicy(locality=locality, threshold=threshold)}
+    handle = build_workflow(
+        config,
+        testbed,
+        methods,
+        policies,
+        n_cpu_workers=n_workers if resource == "cpu" else 1,
+        n_gpu_workers=n_workers if resource == "gpu" else 1,
+    )
+    results: list[Result] = []
+    with handle:
+        with at_site(testbed.theta_login):
+            outstanding = 0
+            submitted = 0
+            while len(results) < n_tasks:
+                while outstanding < max_outstanding and submitted < n_tasks:
+                    handle.queues.send_request(
+                        "noop_task", args=(Blob(payload_bytes),), topic=topic
+                    )
+                    submitted += 1
+                    outstanding += 1
+                result = handle.queues.get_result(topic, timeout=240)
+                assert result is not None, "benchmark task timed out"
+                assert result.success, result.error
+                result.access_value()
+                results.append(result)
+                outstanding -= 1
+    return NoopRun(config=config, payload_bytes=payload_bytes, results=results)
+
+
+def fmt_s(value: float) -> str:
+    """Format seconds compactly (µs/ms/s)."""
+    if value != value:  # NaN
+        return "n/a"
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.0f}ms"
+    return f"{value:.2f}s"

@@ -1,0 +1,145 @@
+"""Figure 5 + §V-D — reaction, decision, and dispatch latencies for the
+molecular design application on the cloud-managed (FuncX+Globus) stack.
+
+Paper numbers reproduced as shape/band claims:
+
+* Fig. 5 top: result-notification time — simulation tasks ≈500 ms median,
+  faster than train/inference (those must initiate a Globus transfer,
+  adding an ≈500 ms HTTPS call);
+* Fig. 5 bottom: data-access time — >1 s only when data crosses resources
+  (train/inference), with Globus transfers completing in 1–5 s;
+* §V-D2: simulation re-dispatch decisions are milliseconds; decisions that
+  read AI results take seconds (transfer-bound);
+* §V-D3: simulation dispatch ≈100 ms (FuncX hop), and dispatch overheads
+  are small fractions of task runtimes.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from common import fmt_s
+from repro.apps.moldesign import MolDesignConfig, run_moldesign_campaign
+from repro.bench.reporting import ReportTable
+
+CONFIG = MolDesignConfig(
+    n_molecules=1200,
+    n_initial=24,
+    max_simulations=120,
+    retrain_after=20,
+    n_ensemble=3,
+    inference_chunks=3,
+)
+
+
+def _median(results, metric):
+    values = [getattr(r, metric) for r in results if getattr(r, metric) is not None]
+    return statistics.median(values) if values else float("nan")
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_notification_and_latencies(benchmark, report_sink):
+    state = {}
+
+    def run():
+        state["outcome"] = run_moldesign_campaign(
+            "funcx+globus", CONFIG, seed=17, join_timeout=400
+        )
+        return state["outcome"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    outcome = state["outcome"]
+    sim = [r for r in outcome.results["simulate"] if r.success]
+    train = [r for r in outcome.results["train"] if r.success]
+    infer = [r for r in outcome.results["infer"] if r.success]
+    assert sim and train and infer, "campaign did not exercise all task types"
+
+    table = ReportTable("Fig. 5 / §V-D — molecular design latencies (FuncX+Globus)")
+
+    # --- Fig. 5 top: notification -----------------------------------------
+    notif = {
+        "simulate": _median(sim, "notification_latency"),
+        "train": _median(train, "notification_latency"),
+        "infer": _median(infer, "notification_latency"),
+    }
+    for kind, value in notif.items():
+        paper = "~500ms" if kind == "simulate" else "slower (Globus HTTPS)"
+        table.add(f"notification median: {kind}", paper, fmt_s(value))
+    table.add(
+        "simulation notification in sub-second band",
+        "~500ms",
+        fmt_s(notif["simulate"]),
+        holds=0.05 <= notif["simulate"] <= 2.0,
+    )
+    table.add(
+        "sim notification < train notification",
+        "yes (no transfer to start)",
+        f"{fmt_s(notif['simulate'])} vs {fmt_s(notif['train'])}",
+        holds=notif["simulate"] < notif["train"],
+    )
+
+    # --- Fig. 5 bottom: data access ----------------------------------------
+    access = {
+        "simulate": _median(sim, "dur_resolve_value"),
+        "train": _median(train, "dur_resolve_value"),
+        "infer": _median(infer, "dur_resolve_value"),
+    }
+    for kind, value in access.items():
+        paper = "<1s (local FS)" if kind == "simulate" else "1-5s (Globus)"
+        table.add(f"data access median: {kind}", paper, fmt_s(value))
+    table.add(
+        "only cross-resource access exceeds 1s",
+        "inference >1s, simulate <1s",
+        f"infer {fmt_s(access['infer'])}, sim {fmt_s(access['simulate'])}",
+        holds=access["infer"] > 1.0 > access["simulate"],
+    )
+    table.add(
+        "cross-resource waits within Globus band",
+        "1-5s (can be shorter if pre-staged)",
+        f"train {fmt_s(access['train'])}, infer {fmt_s(access['infer'])}",
+        holds=0.2 <= access["train"] <= 8.0 and 0.2 <= access["infer"] <= 8.0,
+    )
+
+    # --- §V-D3: dispatch -----------------------------------------------------
+    sim_dispatch = _median(sim, "comm_server_to_worker")
+    table.add(
+        "simulation dispatch (server->worker)",
+        "~100ms",
+        fmt_s(sim_dispatch),
+        holds=0.02 <= sim_dispatch <= 1.0,
+    )
+    sim_runtime = _median(sim, "time_running")
+    table.add(
+        "sim dispatch / runtime",
+        "<1%... small",
+        f"{100 * sim_dispatch / sim_runtime:.1f}%",
+        holds=sim_dispatch / sim_runtime < 0.05,
+    )
+    infer_resolve = _median(infer, "dur_resolve_proxies")
+    infer_runtime = _median(infer, "time_running")
+    table.add(
+        "inference input resolve / runtime",
+        "<10%",
+        f"{100 * infer_resolve / infer_runtime:.1f}%",
+        holds=infer_resolve / infer_runtime < 0.25,
+    )
+
+    # --- ahead-of-time caching (§V-D3's 12% sub-100 ms resolutions): the
+    # shared model proxy hits the per-site cache on every chunk after the
+    # first, so the cross store must show cache hits.
+    cross = outcome.store_metrics.get("cross", {})
+    hit_rate = cross.get("cache_hit_rate", 0.0)
+    table.add(
+        "cross-store proxy cache hit rate",
+        ">0 (12% of inference resolutions <100ms)",
+        f"{100 * hit_rate:.0f}%",
+        holds=hit_rate > 0.0,
+    )
+    table.note(
+        f"{len(sim)} simulate, {len(train)} train, {len(infer)} inference results"
+    )
+
+    report_sink("fig5_notification", table)
+    assert table.all_hold, "Fig. 5 qualitative claims diverged; see table"

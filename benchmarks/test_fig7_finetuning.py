@@ -1,0 +1,161 @@
+"""Figure 7 — surrogate fine-tuning across the three workflow systems.
+
+Paper numbers:
+* (a) force RMSD on the held-out DFT test set: 1.30±0.08 eV/Å (FuncX),
+  1.47±0.09 (Parsl+ProxyStore), 1.36±0.07 (Parsl) — indistinguishable
+  across systems, all better than before fine-tuning (dashed line);
+* (b) per-task overheads: remote-GPU tasks dominated by Globus transfer
+  time under FuncX; Parsl-without-proxystore CPU overheads scale with the
+  task's data size (820 ms for 3 MB sampling vs 20 ms for 20 kB
+  simulation), while pass-by-reference keeps them flat (~200 vs ~170 ms).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from common import fmt_s
+from repro.apps.finetuning import FineTuneConfig, run_finetuning_campaign
+from repro.bench.reporting import ReportTable
+from repro.net.clock import reset_clock
+
+CONFIG = FineTuneConfig(
+    n_waters=3,
+    n_pretrain=200,
+    target_new_structures=36,
+    retrain_after=12,
+    n_ensemble=3,
+    uncertainty_batch=60,
+    inference_batch=30,
+    pretrain_epochs=25,
+    train_epochs=20,
+    n_rbf_centers=10,
+)
+CONFIGS = ("funcx+globus", "parsl+redis", "parsl")
+
+
+def _median_overhead(results):
+    values = [r.overhead for r in results if r.success and r.overhead is not None]
+    return statistics.median(values) if values else float("nan")
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_finetuning_comparison(benchmark, report_sink):
+    outcomes = {}
+
+    def run():
+        for config in CONFIGS:
+            reset_clock()
+            outcomes[config] = run_finetuning_campaign(
+                config, CONFIG, seed=9, join_timeout=400
+            )
+        return outcomes
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = ReportTable("Fig. 7 — surrogate fine-tuning system comparison")
+
+    # --- (a) scientific outcome ---------------------------------------------
+    rmsds = {c: outcomes[c].rmsd_after for c in CONFIGS}
+    before = statistics.fmean(outcomes[c].rmsd_before for c in CONFIGS)
+    for config in CONFIGS:
+        table.add(
+            f"{config}: force RMSD after fine-tune",
+            "1.30-1.47 eV/A (all systems alike)",
+            f"{rmsds[config]:.3f} (before {outcomes[config].rmsd_before:.3f})",
+        )
+    improved = all(
+        outcomes[c].rmsd_after < outcomes[c].rmsd_before for c in CONFIGS
+    )
+    table.add(
+        "fine-tuning improves on pre-trained model",
+        "all below the dashed line",
+        "yes" if improved else "no",
+        holds=improved,
+    )
+    spread = max(rmsds.values()) / min(rmsds.values())
+    table.add(
+        "systems scientifically indistinguishable",
+        "run-to-run variation dominates",
+        f"max/min RMSD = {spread:.2f}x",
+        holds=spread < 1.6,
+    )
+    energy_improved = all(
+        outcomes[c].energy_rmse_after < outcomes[c].energy_rmse_before
+        for c in CONFIGS
+    )
+    table.add(
+        "energy RMSE improves everywhere",
+        "(implied)",
+        "yes" if energy_improved else "no",
+        holds=energy_improved,
+    )
+
+    # --- (b) per-task overheads ------------------------------------------------
+    overheads = {
+        (config, topic): _median_overhead(outcomes[config].results[topic])
+        for config in CONFIGS
+        for topic in ("simulate", "sample", "train", "infer")
+    }
+    for config in CONFIGS:
+        table.add(
+            f"{config}: overhead sim|sample|train|infer",
+            "-",
+            " | ".join(
+                fmt_s(overheads[(config, t)])
+                for t in ("simulate", "sample", "train", "infer")
+            ),
+        )
+
+    # FuncX: remote-GPU task overhead dominated by cross-site data movement.
+    fx_gpu = statistics.fmean(
+        [overheads[("funcx+globus", "train")], overheads[("funcx+globus", "infer")]]
+    )
+    fx_cpu = overheads[("funcx+globus", "simulate")]
+    table.add(
+        "funcx: GPU-task overhead > CPU-task overhead",
+        "transfer-dominated",
+        f"{fmt_s(fx_gpu)} vs {fmt_s(fx_cpu)}",
+        holds=fx_gpu > fx_cpu,
+    )
+    fx_infer = [r for r in outcomes["funcx+globus"].results["infer"] if r.success]
+    wait_share = statistics.fmean(
+        (r.dur_resolve_proxies + (r.dur_resolve_value or 0)) / r.overhead
+        for r in fx_infer
+        if r.overhead
+    )
+    table.add(
+        "funcx infer: share of overhead waiting on data",
+        "gray bars dominate",
+        f"{100 * wait_share:.0f}%",
+        holds=wait_share > 0.2,
+    )
+
+    # Parsl (by value): overhead grows with payload; proxied configs flatter.
+    # Informational rows only: at our scaled task mix the 3 MB-vs-20 kB
+    # contrast (~10 ms of transport) sits below the simulator's measurement
+    # floor and is dominated by worker-queue contention, so the ratio is
+    # reported but not asserted (see EXPERIMENTS.md "known divergences").
+    parsl_ratio = overheads[("parsl", "sample")] / overheads[("parsl", "simulate")]
+    proxied_ratio = overheads[("parsl+redis", "sample")] / overheads[
+        ("parsl+redis", "simulate")
+    ]
+    table.add(
+        "parsl overhead vs task data size",
+        "820ms (3MB) vs 20ms (20kB)",
+        f"sample/sim overhead ratio {parsl_ratio:.1f}x",
+    )
+    table.add(
+        "proxied sample/sim overhead ratio",
+        "200ms vs 170ms (flat)",
+        f"{proxied_ratio:.1f}x",
+    )
+    table.note(
+        f"{CONFIG.target_new_structures} new DFT structures per run; "
+        f"test set from ground-truth MD at 100/300/900K"
+    )
+
+    report_sink("fig7_finetuning", table)
+    assert table.all_hold, "Fig. 7 qualitative claims diverged; see table"

@@ -1,0 +1,135 @@
+"""§V-D2/3 — decision and dispatch time decomposition.
+
+The steering system must keep three latencies small (§V-D):
+
+* *decision time* for data-independent choices (start the next simulation
+  after one completes) — the paper measures a 5 ms median because no result
+  data is read;
+* *decision time* for data-dependent choices (react to training/inference
+  results) — ~4 s median, dominated by waiting for the Globus transfer;
+* *dispatch time* — ~100 ms for simulations (one FuncX hop); seconds for
+  the first AI task of a batch (data staging), yet still a small fraction
+  of the task runtime.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from common import fmt_s
+from repro.apps.moldesign import MolDesignConfig, run_moldesign_campaign
+from repro.bench.reporting import ReportTable
+
+CONFIG = MolDesignConfig(
+    n_molecules=1000,
+    n_initial=24,
+    max_simulations=110,
+    retrain_after=20,
+    n_ensemble=3,
+    inference_chunks=3,
+)
+
+
+def _median(values):
+    values = [v for v in values if v is not None]
+    return statistics.median(values) if values else float("nan")
+
+
+@pytest.mark.benchmark(group="secVD")
+def test_decision_and_dispatch_times(benchmark, report_sink):
+    state = {}
+
+    def run():
+        state["outcome"] = run_moldesign_campaign(
+            "funcx+globus", CONFIG, seed=23, join_timeout=400
+        )
+        return state["outcome"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    outcome = state["outcome"]
+    sim = sorted(
+        (r for r in outcome.results["simulate"] if r.success),
+        key=lambda r: r.time_created or 0.0,
+    )
+    train = [r for r in outcome.results["train"] if r.success]
+    infer = [r for r in outcome.results["infer"] if r.success]
+
+    table = ReportTable("§V-D — decision and dispatch latencies (FuncX+Globus)")
+
+    # Decision time (data-independent): a completed simulation's result
+    # arrival to the *next* simulation request's creation.
+    receptions = sorted(
+        r.time_client_result_received for r in sim if r.time_client_result_received
+    )
+    creations = sorted(r.time_created for r in sim if r.time_created)
+    decisions = []
+    for received in receptions:
+        nxt = next((c for c in creations if c > received), None)
+        if nxt is not None:
+            decisions.append(nxt - received)
+    sim_decision = _median(decisions)
+    table.add(
+        "simulation re-dispatch decision",
+        "5ms median (no data read)",
+        fmt_s(sim_decision),
+        holds=sim_decision < 0.25,
+    )
+
+    # Decision time (data-dependent): reading an AI result means resolving
+    # its proxied value — transfer-bound.
+    ai_decision = _median(
+        [r.dur_resolve_value for r in train + infer if r.dur_resolve_value]
+    )
+    table.add(
+        "AI-result decision (value resolve)",
+        "~4s median (transfer-bound)",
+        fmt_s(ai_decision),
+        holds=0.3 <= ai_decision <= 10.0,
+    )
+    table.add(
+        "data-dependent >> data-independent",
+        "three orders apart in the paper",
+        f"{ai_decision / max(sim_decision, 1e-9):.0f}x",
+        holds=ai_decision > 10 * sim_decision,
+    )
+
+    # Dispatch times.
+    sim_dispatch = _median([r.comm_server_to_worker for r in sim])
+    table.add(
+        "simulation dispatch",
+        "~100ms (FuncX hop)",
+        fmt_s(sim_dispatch),
+        holds=sim_dispatch < 1.0,
+    )
+    train_stage = _median([r.dur_resolve_proxies for r in train])
+    infer_stage = _median([r.dur_resolve_proxies for r in infer])
+    table.add("training data staging (worker)", "1.7s of 2.5s dispatch", fmt_s(train_stage))
+    table.add("inference data staging (worker)", "3.6s of 3.8s dispatch", fmt_s(infer_stage))
+
+    sim_runtime = _median([r.time_running for r in sim])
+    train_runtime = _median([r.time_running for r in train])
+    infer_runtime = _median([r.time_running for r in infer])
+    table.add(
+        "sim dispatch / runtime",
+        "<1%",
+        f"{100 * sim_dispatch / sim_runtime:.1f}%",
+        holds=sim_dispatch / sim_runtime < 0.02,
+    )
+    table.add(
+        "train staging / runtime",
+        "<=1% (340s tasks)",
+        f"{100 * train_stage / train_runtime:.1f}%",
+        holds=train_stage / train_runtime < 0.10,
+    )
+    table.add(
+        "infer staging / runtime",
+        "<10%",
+        f"{100 * infer_stage / infer_runtime:.1f}%",
+        holds=infer_stage / infer_runtime < 0.25,
+    )
+    table.note(f"{len(decisions)} decision samples over {len(sim)} simulations")
+
+    report_sink("secVD_decision_dispatch", table)
+    assert table.all_hold, "§V-D qualitative claims diverged; see table"

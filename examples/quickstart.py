@@ -1,0 +1,90 @@
+"""Quickstart: steer tasks across two simulated resources in ~60 lines.
+
+Builds the paper's testbed, wires the cloud-managed workflow stack
+(FuncX-like FaaS + Globus-backed ProxyStore + Colmena-like steering), runs
+a handful of tasks on the CPU and GPU resources, and prints each task's
+timing ledger.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.apps import AppMethod, TopicPolicy, build_workflow
+from repro.net import at_site, build_paper_testbed, reset_clock
+from repro.serialize import Blob
+
+
+def analyze_spectrum(sample: Blob, resolution: int) -> dict:
+    """A stand-in science task: pretend to crunch a detector payload."""
+    from repro.net.clock import get_clock
+
+    get_clock().sleep(5.0)  # 5 seconds of simulated compute
+    return {"resolution": resolution, "peaks": [1.2, 3.4], "raw": Blob(2_000_000)}
+
+
+def train_surrogate(history: list) -> dict:
+    from repro.net.clock import get_clock
+
+    get_clock().sleep(8.0)
+    return {"weights": Blob(10_000_000), "loss": 0.01 * len(history)}
+
+
+def main() -> None:
+    # 1 nominal second = 2 ms of wall time: the demo finishes in seconds.
+    reset_clock(0.002)
+    testbed = build_paper_testbed(seed=0)
+
+    methods = [
+        AppMethod(analyze_spectrum, resource="cpu", topic="analysis"),
+        AppMethod(train_surrogate, resource="gpu", topic="training"),
+    ]
+    policies = {
+        # CPU tasks share a file system with the controller.
+        "analysis": TopicPolicy(locality="local", threshold=10_000),
+        # GPU tasks live on another resource: data rides Globus transfers.
+        "training": TopicPolicy(locality="cross", threshold=10_000),
+    }
+    handle = build_workflow(
+        "funcx+globus", testbed, methods, policies,
+        n_cpu_workers=4, n_gpu_workers=2,
+    )
+
+    with handle, at_site(testbed.theta_login):
+        for index in range(4):
+            handle.queues.send_request(
+                "analyze_spectrum",
+                args=(Blob(500_000, tag=f"sample-{index}"),),
+                kwargs={"resolution": 128 + index},
+                topic="analysis",
+            )
+        handle.queues.send_request(
+            "train_surrogate", args=([1, 2, 3],), topic="training"
+        )
+
+        print("task results (nominal seconds):")
+        for _ in range(4):
+            result = handle.queues.get_result("analysis", timeout=120)
+            value = result.access_value()
+            print(
+                f"  analysis  res={value['resolution']:>3}  "
+                f"compute={result.time_running:6.2f}s  "
+                f"lifetime={result.task_lifetime:6.2f}s  "
+                f"overhead={result.overhead:5.2f}s"
+            )
+        result = handle.queues.get_result("training", timeout=120)
+        value = result.access_value()
+        print(
+            f"  training  loss={value['loss']:.3f}          "
+            f"compute={result.time_running:6.2f}s  "
+            f"lifetime={result.task_lifetime:6.2f}s  "
+            f"overhead={result.overhead:5.2f}s"
+        )
+        print(
+            "\nthe training overhead is larger: its 10 MB result crossed "
+            "resources via a managed transfer (no open ports anywhere)."
+        )
+
+
+if __name__ == "__main__":
+    main()

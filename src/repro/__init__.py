@@ -1,0 +1,31 @@
+"""repro: a from-scratch reproduction of "Cloud Services Enable Efficient
+AI-Guided Simulation Workflows across Heterogeneous Resources" (IPPS 2023).
+
+Subpackages
+-----------
+``repro.net``
+    Simulation substrate: virtual clock, site/link topology, key-value
+    store, shared file systems.
+``repro.transfer``
+    Cloud-managed wide-area transfer service (Globus Transfer substitute).
+``repro.proxystore``
+    Transparent pass-by-reference data fabric (ProxyStore substitute).
+``repro.faas``
+    Federated function-as-a-service platform (FuncX substitute).
+``repro.parsl``
+    Conventional pilot-job workflow executor baseline (Parsl substitute).
+``repro.core``
+    Steering-as-cooperative-agents layer (Colmena substitute) — the paper's
+    contribution surface.
+``repro.ml`` / ``repro.sim``
+    NumPy surrogate models and simulated chemistry/MD substrates.
+``repro.apps``
+    The two motivating applications: molecular design and surrogate
+    fine-tuning.
+"""
+
+__version__ = "1.0.0"
+
+from repro.serialize import Blob, Payload, deserialize, nominal_size, serialize
+
+__all__ = ["Blob", "Payload", "deserialize", "nominal_size", "serialize", "__version__"]

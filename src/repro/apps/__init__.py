@@ -1,0 +1,27 @@
+"""The paper's two motivating applications plus shared campaign wiring."""
+
+from repro.apps.common import (
+    WORKFLOW_CONFIGS,
+    AppMethod,
+    TopicPolicy,
+    WorkflowHandle,
+    build_workflow,
+)
+from repro.apps.environment import (
+    clear_software,
+    get_software,
+    register_software,
+    unregister_software,
+)
+
+__all__ = [
+    "WORKFLOW_CONFIGS",
+    "AppMethod",
+    "TopicPolicy",
+    "WorkflowHandle",
+    "build_workflow",
+    "clear_software",
+    "get_software",
+    "register_software",
+    "unregister_software",
+]

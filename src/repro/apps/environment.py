@@ -1,0 +1,55 @@
+"""Per-"resource" software environment for task functions.
+
+Task functions execute on simulated workers inside this process, but they
+must behave like code running on a remote machine: they cannot close over
+campaign objects (they are pickled by the fabrics) and they need access to
+locally-installed "software" — the simulation oracle, the molecule library,
+the staged datasets.  Real deployments solve this with per-resource conda
+environments; the equivalent here is a named registry that campaign setup
+populates before launching tasks ("installing the software"), and task
+functions query by name at run time.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.exceptions import WorkflowError
+
+__all__ = ["register_software", "get_software", "unregister_software", "clear_software"]
+
+_registry: dict[str, Any] = {}
+_lock = threading.Lock()
+
+
+def register_software(name: str, obj: Any, *, replace: bool = False) -> Any:
+    """Install ``obj`` under ``name`` (set ``replace`` to re-install)."""
+    with _lock:
+        if name in _registry and not replace:
+            raise WorkflowError(f"software {name!r} is already installed")
+        _registry[name] = obj
+    return obj
+
+
+def get_software(name: str) -> Any:
+    """Look up installed software; raises if the environment lacks it."""
+    with _lock:
+        try:
+            return _registry[name]
+        except KeyError:
+            raise WorkflowError(
+                f"software {name!r} is not installed in this environment; "
+                "campaign setup must register it before launching tasks"
+            ) from None
+
+
+def unregister_software(name: str) -> None:
+    with _lock:
+        _registry.pop(name, None)
+
+
+def clear_software() -> None:
+    """Wipe the environment (test isolation)."""
+    with _lock:
+        _registry.clear()

@@ -1,0 +1,30 @@
+"""Surrogate fine-tuning application (§III-B): refine a water-cluster
+energy/force surrogate from TTM pre-training with actively-selected DFT."""
+
+from repro.apps.finetuning.campaign import (
+    FineTuneOutcome,
+    evaluate_force_rmsd,
+    pretrain_ensemble,
+    run_finetuning_campaign,
+)
+from repro.apps.finetuning.config import FineTuneConfig
+from repro.apps.finetuning.tasks import (
+    infer_energies,
+    run_dft,
+    run_sampling,
+    train_schnet,
+)
+from repro.apps.finetuning.thinker import FineTuneThinker
+
+__all__ = [
+    "FineTuneOutcome",
+    "evaluate_force_rmsd",
+    "pretrain_ensemble",
+    "run_finetuning_campaign",
+    "FineTuneConfig",
+    "infer_energies",
+    "run_dft",
+    "run_sampling",
+    "train_schnet",
+    "FineTuneThinker",
+]

@@ -1,0 +1,17 @@
+"""Molecular design application (§III-A): active learning for high-IP
+molecules across CPU (simulation) and GPU (train/infer) resources."""
+
+from repro.apps.moldesign.campaign import MolDesignOutcome, run_moldesign_campaign
+from repro.apps.moldesign.config import MolDesignConfig
+from repro.apps.moldesign.tasks import run_inference, simulate_molecule, train_model
+from repro.apps.moldesign.thinker import MolDesignThinker
+
+__all__ = [
+    "MolDesignOutcome",
+    "run_moldesign_campaign",
+    "MolDesignConfig",
+    "run_inference",
+    "simulate_molecule",
+    "train_model",
+    "MolDesignThinker",
+]

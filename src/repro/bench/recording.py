@@ -1,0 +1,140 @@
+"""Event recording for experiment figures.
+
+Components across the stack (worker pools, the transfer service, stores)
+emit lightweight events into a process-global :class:`EventLog` when one is
+installed.  The figure harnesses install a log, run a campaign, and then
+turn the raw events into the series the paper plots — e.g. Fig. 1's "tasks
+running on each resource" staircase and "cumulative data transferred".
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.net.clock import get_clock
+
+__all__ = [
+    "Event",
+    "EventLog",
+    "set_global_log",
+    "get_global_log",
+    "emit",
+    "running_series",
+    "cumulative_series",
+]
+
+
+@dataclass(frozen=True)
+class Event:
+    t: float
+    kind: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.data.get(key, default)
+
+
+class EventLog:
+    """Append-only, thread-safe event sink."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+        self._lock = threading.Lock()
+
+    def append(self, kind: str, **data: Any) -> None:
+        event = Event(t=get_clock().now(), kind=kind, data=data)
+        with self._lock:
+            self._events.append(event)
+
+    def events(self, kind: str | None = None, **filters: Any) -> list[Event]:
+        with self._lock:
+            snapshot = list(self._events)
+        out = []
+        for event in snapshot:
+            if kind is not None and event.kind != kind:
+                continue
+            if any(event.get(k) != v for k, v in filters.items()):
+                continue
+            out.append(event)
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+_global_log: EventLog | None = None
+_global_lock = threading.Lock()
+
+
+def set_global_log(log: EventLog | None) -> None:
+    global _global_log
+    with _global_lock:
+        _global_log = log
+
+
+def get_global_log() -> EventLog | None:
+    return _global_log
+
+
+def emit(kind: str, **data: Any) -> None:
+    """Record an event into the global log, if one is installed (cheap no-op
+    otherwise, so instrumented hot paths stay fast in production use)."""
+    log = _global_log
+    if log is not None:
+        log.append(kind, **data)
+
+
+def running_series(
+    events: Iterable[Event], start_kind: str, end_kind: str
+) -> list[tuple[float, int]]:
+    """Turn start/end events into a (time, concurrency) staircase."""
+    deltas: list[tuple[float, int]] = []
+    for event in events:
+        if event.kind == start_kind:
+            deltas.append((event.t, +1))
+        elif event.kind == end_kind:
+            deltas.append((event.t, -1))
+    deltas.sort()
+    series: list[tuple[float, int]] = []
+    level = 0
+    for t, d in deltas:
+        level += d
+        series.append((t, level))
+    return series
+
+
+def cumulative_series(
+    events: Iterable[Event], kind: str, value_key: str
+) -> list[tuple[float, float]]:
+    """Cumulative sum of ``value_key`` over events of ``kind`` (e.g. bytes)."""
+    points = sorted(
+        (event.t, float(event.get(value_key, 0.0)))
+        for event in events
+        if event.kind == kind
+    )
+    series: list[tuple[float, float]] = []
+    total = 0.0
+    for t, v in points:
+        total += v
+        series.append((t, total))
+    return series
+
+
+def value_at(series: list[tuple[float, float]], t: float) -> float:
+    """Evaluate a staircase series at time ``t`` (0 before the first point)."""
+    if not series:
+        return 0.0
+    times = [p[0] for p in series]
+    idx = bisect.bisect_right(times, t) - 1
+    return series[idx][1] if idx >= 0 else 0.0

@@ -1,0 +1,106 @@
+"""Paper-vs-measured reporting for the benchmark harness.
+
+Each figure benchmark builds a :class:`ReportTable` with one
+:class:`Comparison` row per quantity the paper reports, then prints it.  The
+printed block is the benchmark's deliverable: the same rows/series the paper
+shows, side by side with what this reproduction measured, plus a note on
+whether the qualitative claim (ordering, ratio, crossover) held.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["Comparison", "ReportTable", "summarize", "percentile"]
+
+
+def summarize(values: Iterable[float]) -> dict[str, float]:
+    """median / mean / p40 / p60 / count for a latency sample (the paper's
+    error bars on Fig. 6b are 40th/60th percentiles)."""
+    data = sorted(float(v) for v in values)
+    if not data:
+        return {"count": 0, "median": float("nan"), "mean": float("nan"),
+                "p40": float("nan"), "p60": float("nan")}
+    return {
+        "count": len(data),
+        "median": statistics.median(data),
+        "mean": statistics.fmean(data),
+        "p40": percentile(data, 0.40),
+        "p60": percentile(data, 0.60),
+    }
+
+
+def percentile(sorted_data: list[float], q: float) -> float:
+    """Linear-interpolated percentile of pre-sorted data."""
+    if not sorted_data:
+        return float("nan")
+    if len(sorted_data) == 1:
+        return sorted_data[0]
+    pos = q * (len(sorted_data) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_data) - 1)
+    frac = pos - lo
+    return sorted_data[lo] * (1 - frac) + sorted_data[hi] * frac
+
+
+@dataclass
+class Comparison:
+    """One reported quantity: what the paper says vs what we measured."""
+
+    label: str
+    paper: str
+    measured: str
+    holds: bool | None = None  # None = informational row (no claim tested)
+
+    def verdict(self) -> str:
+        if self.holds is None:
+            return "-"
+        return "OK" if self.holds else "DIVERGES"
+
+
+@dataclass
+class ReportTable:
+    """A printable paper-vs-measured table for one figure/experiment."""
+
+    title: str
+    rows: list[Comparison] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(
+        self, label: str, paper: str, measured: str, holds: bool | None = None
+    ) -> None:
+        self.rows.append(Comparison(label, paper, measured, holds))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    @property
+    def all_hold(self) -> bool:
+        return all(r.holds for r in self.rows if r.holds is not None)
+
+    def render(self) -> str:
+        widths = [
+            max(len("quantity"), *(len(r.label) for r in self.rows)) if self.rows else 8,
+            max(len("paper"), *(len(r.paper) for r in self.rows)) if self.rows else 5,
+            max(len("measured"), *(len(r.measured) for r in self.rows)) if self.rows else 8,
+        ]
+        lines = [f"== {self.title} =="]
+        header = (
+            f"{'quantity':<{widths[0]}}  {'paper':<{widths[1]}}  "
+            f"{'measured':<{widths[2]}}  verdict"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                f"{row.label:<{widths[0]}}  {row.paper:<{widths[1]}}  "
+                f"{row.measured:<{widths[2]}}  {row.verdict()}"
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def print(self) -> None:  # noqa: A003 - deliberate, it's the API verb
+        print("\n" + self.render() + "\n")

@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``testbed``
+    Print the simulated §V-A testbed: sites, policies, links, volumes.
+``moldesign``
+    Run a molecular design campaign (§III-A) and print its outcome.
+``finetune``
+    Run a surrogate fine-tuning campaign (§III-B) and print its outcome.
+``compare``
+    Run the same synthetic task batch through all three workflow
+    configurations and print the latency decomposition side by side.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+
+from repro.apps import WORKFLOW_CONFIGS
+from repro.net.clock import reset_clock
+from repro.net.defaults import build_paper_testbed
+
+__all__ = ["main"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workflow", choices=WORKFLOW_CONFIGS, default="funcx+globus",
+        help="which §V-B workflow stack to build",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--time-scale", type=float, default=0.004,
+        help="wall seconds per nominal second (smaller = faster run)",
+    )
+
+
+def cmd_testbed(args: argparse.Namespace) -> int:
+    testbed = build_paper_testbed(seed=args.seed)
+    print("sites:")
+    for site in testbed.network.sites:
+        fs = site.fs_group or "-"
+        trust = site.trust_group or "-"
+        inbound = "inbound-ok" if site.allows_inbound else "outbound-only"
+        print(f"  {site.name:<16} fs={fs:<14} trust={trust:<10} {inbound}")
+    print("\nlink latencies (typical one-way) and bandwidths:")
+    names = [s.name for s in testbed.network.sites]
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            try:
+                link = testbed.network.link_between(a, b)
+            except Exception:
+                continue
+            print(
+                f"  {a:<16} <-> {b:<16} "
+                f"{link.latency.typical * 1000:7.2f} ms   "
+                f"{link.bandwidth / 1e9:5.2f} GB/s"
+            )
+    print("\nconnection policy (can X dial Y?):")
+    for a in ("theta-compute", "venti", "uchicago-login"):
+        for b in ("theta-login", "faas-cloud"):
+            ok = testbed.network.can_connect(a, b)
+            print(f"  {a:<16} -> {b:<12} {'yes' if ok else 'NO (needs tunnel)'}")
+    return 0
+
+
+def cmd_moldesign(args: argparse.Namespace) -> int:
+    from repro.apps.moldesign import MolDesignConfig, run_moldesign_campaign
+
+    reset_clock(args.time_scale)
+    config = MolDesignConfig(
+        n_molecules=args.molecules,
+        max_simulations=args.simulations,
+        n_initial=min(48, max(args.simulations // 3, 4)),
+    )
+    outcome = run_moldesign_campaign(
+        args.workflow, config, seed=args.seed, join_timeout=args.timeout
+    )
+    print(
+        f"{args.workflow}: found {outcome.n_found}/{outcome.n_simulated} "
+        f"above IP {outcome.threshold:.2f} "
+        f"({outcome.n_failures} task failures)"
+    )
+    if outcome.ml_makespans:
+        print(
+            f"ML makespan median: "
+            f"{statistics.median(outcome.ml_makespans):.0f}s "
+            f"({len(outcome.ml_makespans)} updates)"
+        )
+    if outcome.cpu_idle_gaps:
+        print(
+            f"CPU idle median: "
+            f"{1000 * statistics.median(outcome.cpu_idle_gaps):.0f} ms, "
+            f"utilization {100 * outcome.cpu_utilization:.1f}%"
+        )
+    return 0
+
+
+def cmd_finetune(args: argparse.Namespace) -> int:
+    from repro.apps.finetuning import FineTuneConfig, run_finetuning_campaign
+
+    reset_clock(args.time_scale)
+    config = FineTuneConfig(
+        n_pretrain=args.pretrain, target_new_structures=args.structures
+    )
+    outcome = run_finetuning_campaign(
+        args.workflow, config, seed=args.seed, join_timeout=args.timeout
+    )
+    print(
+        f"{args.workflow}: +{outcome.n_new_structures} DFT structures; "
+        f"force RMSD {outcome.rmsd_before:.3f} -> {outcome.rmsd_after:.3f}; "
+        f"energy RMSE {outcome.energy_rmse_before:.3f} -> "
+        f"{outcome.energy_rmse_after:.3f}"
+    )
+    return 0
+
+
+def _crunch(data):
+    """10 nominal seconds of compute; result as large as the input.
+
+    Module-level so that every fabric (including FuncX's registry, which
+    pickles function bodies) can ship it.
+    """
+    from repro.net.clock import get_clock
+    from repro.serialize import Blob
+
+    get_clock().sleep(10.0)
+    return Blob(data.nbytes, tag="out")
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.apps import AppMethod, TopicPolicy, build_workflow
+    from repro.net.context import at_site
+    from repro.serialize import Blob
+
+    crunch = _crunch
+    payload = int(args.payload_mb * 1e6)
+    print(
+        f"{args.tasks} tasks x {args.payload_mb:.1f} MB on the GPU resource:\n"
+    )
+    print(f"{'configuration':<14} {'lifetime':>9} {'overhead':>9}")
+    for config in WORKFLOW_CONFIGS:
+        reset_clock(args.time_scale)
+        testbed = build_paper_testbed(seed=args.seed)
+        handle = build_workflow(
+            config,
+            testbed,
+            [AppMethod(crunch, resource="gpu", topic="work")],
+            {"work": TopicPolicy(locality="cross", threshold=10_000)},
+            n_cpu_workers=1,
+            n_gpu_workers=4,
+        )
+        lifetimes, overheads = [], []
+        with handle, at_site(testbed.theta_login):
+            for index in range(args.tasks):
+                handle.queues.send_request(
+                    "_crunch", args=(Blob(payload, tag=str(index)),), topic="work"
+                )
+            for _ in range(args.tasks):
+                result = handle.queues.get_result("work", timeout=600)
+                if result is None or not result.success:
+                    print(f"{config:<14} task failed: {result and result.error}")
+                    break
+                result.access_value()
+                lifetimes.append(result.task_lifetime)
+                overheads.append(result.overhead)
+        if lifetimes:
+            print(
+                f"{config:<14} {statistics.median(lifetimes):>8.2f}s "
+                f"{statistics.median(overheads):>8.2f}s"
+            )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("testbed", help="describe the simulated testbed")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_testbed)
+
+    p = sub.add_parser("moldesign", help="run a molecular design campaign")
+    _add_common(p)
+    p.add_argument("--simulations", type=int, default=120)
+    p.add_argument("--molecules", type=int, default=1200)
+    p.add_argument("--timeout", type=float, default=600.0)
+    p.set_defaults(func=cmd_moldesign)
+
+    p = sub.add_parser("finetune", help="run a surrogate fine-tuning campaign")
+    _add_common(p)
+    p.add_argument("--structures", type=int, default=36)
+    p.add_argument("--pretrain", type=int, default=200)
+    p.add_argument("--timeout", type=float, default=900.0)
+    p.set_defaults(func=cmd_finetune)
+
+    p = sub.add_parser("compare", help="compare the three workflow stacks")
+    _add_common(p)
+    p.add_argument("--payload-mb", type=float, default=1.0)
+    p.add_argument("--tasks", type=int, default=8)
+    p.set_defaults(func=cmd_compare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Steering layer (the Colmena substitute): Results, queues, Thinkers, and
+Task Servers — the paper's contribution surface."""
+
+from repro.core.queues import ColmenaQueues, KillSignal, TopicSpec
+from repro.core.result import Result
+from repro.core.task_server import (
+    ColmenaTask,
+    FuncXTaskServer,
+    LocalTaskServer,
+    MethodSpec,
+    ParslTaskServer,
+    TaskServer,
+)
+from repro.core.thinker import (
+    BaseThinker,
+    ResourceCounter,
+    agent,
+    event_responder,
+    result_processor,
+    task_submitter,
+)
+
+__all__ = [
+    "ColmenaQueues",
+    "KillSignal",
+    "TopicSpec",
+    "Result",
+    "ColmenaTask",
+    "FuncXTaskServer",
+    "LocalTaskServer",
+    "MethodSpec",
+    "ParslTaskServer",
+    "TaskServer",
+    "BaseThinker",
+    "ResourceCounter",
+    "agent",
+    "event_responder",
+    "result_processor",
+    "task_submitter",
+]

@@ -1,0 +1,203 @@
+"""Client/Task-Server queues with automatic pass-by-reference.
+
+The Thinker and Task Server exchange :class:`~repro.core.result.Result`
+envelopes through Redis-backed queues (one request queue, one result queue
+per *topic*).  The integration that makes the paper's numbers work happens
+at serialization time: any task input larger than the topic's
+``proxy_threshold`` is swapped for a ProxyStore proxy before the envelope is
+pickled, so queues, the Task Server, and the FaaS cloud only ever carry
+lightweight references (§IV-D).  Thresholds and stores are configured *per
+topic*, which is how one application mixes a file-system store for local
+simulation tasks with a Globus store for cross-site AI tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.result import Result
+from repro.exceptions import WorkflowError
+from repro.net.clock import Clock, get_clock
+from repro.net.context import current_site
+from repro.net.kvstore import KVClient, KVServer
+from repro.net.topology import Network
+from repro.proxystore.store import Store
+from repro.serialize import (
+    deserialize,
+    deserialize_cost,
+    nominal_size,
+    serialize,
+    serialize_cost,
+)
+
+__all__ = ["TopicSpec", "ColmenaQueues", "KillSignal"]
+
+_REQUEST_QUEUE = "colmena:requests"
+_RESULT_QUEUE = "colmena:results:{topic}"
+_KILL = b"__COLMENA_KILL__"
+
+
+class KillSignal(Exception):
+    """Raised on the Task Server side when the client requests shutdown."""
+
+
+@dataclass
+class TopicSpec:
+    """Data-fabric policy for one topic (class of tasks).
+
+    ``proxy_threshold`` of ``None`` disables proxying (the plain-Parsl,
+    everything-by-value baseline); otherwise inputs/outputs with nominal
+    size strictly greater than the threshold are passed by reference via
+    ``store``.
+    """
+
+    name: str
+    store: Store | None = None
+    proxy_threshold: int | None = None
+
+    def should_proxy(self, size: int) -> bool:
+        return (
+            self.store is not None
+            and self.proxy_threshold is not None
+            and size > self.proxy_threshold
+        )
+
+
+class ColmenaQueues:
+    """Both halves of the Thinker↔Task-Server message fabric.
+
+    One instance is shared (it is in-process glue); *where* a call pays its
+    network cost is decided by the calling thread's site, exactly like the
+    other clients in this package.
+    """
+
+    def __init__(
+        self,
+        server: KVServer,
+        network: Network,
+        topics: list[str] | None = None,
+        *,
+        topic_specs: dict[str, TopicSpec] | None = None,
+        default_store: Store | None = None,
+        default_threshold: int | None = None,
+        via_tunnel: bool = False,
+        clock: Clock | None = None,
+    ) -> None:
+        self._server = server
+        self._network = network
+        self._tunnel = via_tunnel
+        self._clock = clock or get_clock()
+        self.topics = set(topics or []) | {"default"}
+        self._specs: dict[str, TopicSpec] = {}
+        for topic in self.topics:
+            self._specs[topic] = TopicSpec(
+                topic, store=default_store, proxy_threshold=default_threshold
+            )
+        for name, spec in (topic_specs or {}).items():
+            self.topics.add(name)
+            self._specs[name] = spec
+        self._clients: dict[str, KVClient] = {}
+
+    # -- plumbing -----------------------------------------------------------
+    def _client(self) -> KVClient:
+        site = current_site() or self._server.site
+        client = self._clients.get(site.name)
+        if client is None:
+            client = KVClient(
+                self._server, self._network, site=site, via_tunnel=self._tunnel
+            )
+            self._clients[site.name] = client
+        return client
+
+    def spec(self, topic: str) -> TopicSpec:
+        try:
+            return self._specs[topic]
+        except KeyError:
+            raise WorkflowError(f"unknown topic {topic!r}") from None
+
+    # -- client (Thinker) side ---------------------------------------------------
+    def send_request(
+        self,
+        method: str,
+        *,
+        args: tuple = (),
+        kwargs: dict | None = None,
+        topic: str = "default",
+        task_info: dict | None = None,
+    ) -> Result:
+        """Create, proxy, serialize, and enqueue a task request."""
+        spec = self.spec(topic)
+        result = Result(
+            method=method,
+            args=args,
+            kwargs=kwargs or {},
+            topic=topic,
+            task_info=task_info or {},
+        )
+        result.mark_created()
+        start = self._clock.now()
+        result.args = tuple(self._maybe_proxy(a, spec) for a in result.args)
+        result.kwargs = {
+            k: self._maybe_proxy(v, spec) for k, v in result.kwargs.items()
+        }
+        result.dur_proxy_inputs = self._clock.now() - start
+        # Measure the envelope first so the cost can ride inside the pickle.
+        probe = serialize(result)
+        cost = serialize_cost(probe.nominal_size)
+        result.dur_serialize_inputs = cost
+        result.mark_client_sent()
+        payload = serialize(result)
+        self._clock.sleep(cost)
+        self._client().rpush(_REQUEST_QUEUE, payload)
+        return result
+
+    def _maybe_proxy(self, obj: object, spec: TopicSpec) -> object:
+        if spec.should_proxy(nominal_size(obj)):
+            assert spec.store is not None
+            return spec.store.proxy(obj)
+        return obj
+
+    def get_result(self, topic: str = "default", timeout: float | None = None) -> Result | None:
+        """Pop the next completed Result for ``topic`` (None on timeout)."""
+        item = self._client().blpop(_RESULT_QUEUE.format(topic=topic), timeout)
+        if item is None:
+            return None
+        _, payload = item
+        cost = deserialize_cost(payload.nominal_size)
+        self._clock.sleep(cost)
+        result: Result = deserialize(payload)
+        result.dur_deserialize_value = cost
+        result.mark_client_result_received()
+        return result
+
+    def send_kill_signal(self) -> None:
+        self._client().rpush(_REQUEST_QUEUE, _KILL)
+
+    # -- Task Server side -------------------------------------------------------------
+    def get_task(self, timeout: float | None = None) -> Result | None:
+        """Pop the next task request (None on timeout).
+
+        Raises :class:`KillSignal` when the client has asked the server to
+        shut down.
+        """
+        item = self._client().blpop(_REQUEST_QUEUE, timeout)
+        if item is None:
+            return None
+        _, payload = item
+        if payload == _KILL:
+            raise KillSignal
+        cost = deserialize_cost(payload.nominal_size)
+        self._clock.sleep(cost)
+        result: Result = deserialize(payload)
+        result.dur_server_deserialize = cost
+        result.mark_server_received()
+        return result
+
+    def send_result(self, result: Result) -> None:
+        """Route a completed Result back to its topic's queue."""
+        probe = serialize(result)
+        cost = serialize_cost(probe.nominal_size)
+        result.dur_server_serialize = cost
+        payload = serialize(result)
+        self._clock.sleep(cost)
+        self._client().rpush(_RESULT_QUEUE.format(topic=result.topic), payload)

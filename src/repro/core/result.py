@@ -1,0 +1,213 @@
+"""The ``Result`` record: one task's life, fully timestamped.
+
+A ``Result`` is created by the Thinker when it requests a task, travels to
+the Task Server, across the compute fabric to a worker, and back — each hop
+stamping wall-clock (virtual) timestamps and duration counters onto it.
+Every latency the paper reports (Figs. 3–7 and §V-D's reaction/decision/
+dispatch analysis) is a derived property of this ledger:
+
+* *serialization time* — client + worker (de)serialize and proxy work,
+* *thinker↔task-server* and *task-server↔worker* communication times,
+* *time on worker* (deserialize + proxy-resolve + execute + serialize),
+* *task lifetime* (creation → result back at the Thinker),
+* *data-access latency* (how long the Thinker waits to touch a proxied
+  value — Fig. 5 bottom panel).
+"""
+
+from __future__ import annotations
+
+import itertools
+import uuid
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.net.clock import get_clock
+from repro.proxystore.proxy import is_proxy, resolve, resolve_seconds
+
+__all__ = ["Result"]
+
+_task_counter = itertools.count()
+
+
+@dataclass
+class Result:
+    """A task request/response envelope with a timing ledger.
+
+    Timestamps (``time_*``) are absolute nominal seconds from the shared
+    clock; duration counters (``dur_*``) are nominal seconds of work billed
+    to one component.  ``None`` means "this stage has not happened".
+    """
+
+    method: str
+    args: tuple = ()
+    kwargs: dict[str, Any] = field(default_factory=dict)
+    topic: str = "default"
+    task_id: str = field(
+        default_factory=lambda: f"r{next(_task_counter):07d}-{uuid.uuid4().hex[:6]}"
+    )
+    #: Free-form application data that rides along (e.g. batch labels).
+    task_info: dict[str, Any] = field(default_factory=dict)
+
+    # -- outcome -----------------------------------------------------------
+    value: Any = None
+    success: bool | None = None
+    error: str | None = None
+    remote_traceback: str | None = None
+    complete: bool = False
+
+    # -- timestamps (stamped in order) ---------------------------------------
+    time_created: float | None = None
+    time_client_sent: float | None = None
+    time_server_received: float | None = None
+    time_server_dispatched: float | None = None
+    time_worker_started: float | None = None
+    time_compute_started: float | None = None
+    time_compute_ended: float | None = None
+    time_worker_ended: float | None = None
+    time_server_result_received: float | None = None
+    time_client_result_received: float | None = None
+    time_value_accessed: float | None = None
+
+    # -- duration counters ------------------------------------------------------
+    dur_proxy_inputs: float = 0.0  # client: placing large inputs in a store
+    dur_serialize_inputs: float = 0.0  # client: envelope serialization
+    dur_server_deserialize: float = 0.0  # task server: unpack from queue
+    dur_server_serialize: float = 0.0  # task server: repack for the fabric
+    dur_deserialize_inputs: float = 0.0  # worker: envelope deserialization
+    dur_resolve_proxies: float = 0.0  # worker: waiting for input data
+    dur_proxy_value: float = 0.0  # worker: placing large outputs in a store
+    dur_serialize_value: float = 0.0  # worker: envelope serialization
+    dur_deserialize_value: float = 0.0  # client: envelope deserialization
+    dur_resolve_value: float = 0.0  # client: waiting for output data
+
+    # -- stamping helpers ----------------------------------------------------------
+    def _stamp(self, name: str) -> None:
+        setattr(self, name, get_clock().now())
+
+    def mark_created(self) -> None:
+        self._stamp("time_created")
+
+    def mark_client_sent(self) -> None:
+        self._stamp("time_client_sent")
+
+    def mark_server_received(self) -> None:
+        self._stamp("time_server_received")
+
+    def mark_server_dispatched(self) -> None:
+        self._stamp("time_server_dispatched")
+
+    def mark_worker_started(self) -> None:
+        self._stamp("time_worker_started")
+
+    def mark_compute_started(self) -> None:
+        self._stamp("time_compute_started")
+
+    def mark_compute_ended(self) -> None:
+        self._stamp("time_compute_ended")
+
+    def mark_worker_ended(self) -> None:
+        self._stamp("time_worker_ended")
+
+    def mark_server_result_received(self) -> None:
+        self._stamp("time_server_result_received")
+
+    def mark_client_result_received(self) -> None:
+        self._stamp("time_client_result_received")
+
+    # -- outcome helpers --------------------------------------------------------------
+    def set_success(self, value: Any) -> None:
+        self.value = value
+        self.success = True
+        self.complete = True
+
+    def set_failure(self, error: str, remote_traceback: str | None = None) -> None:
+        self.error = error
+        self.remote_traceback = remote_traceback
+        self.success = False
+        self.complete = True
+
+    def access_value(self) -> Any:
+        """Read the task's output, resolving a proxied value if needed.
+
+        The first call times how long the Thinker blocks before the data is
+        locally available — the Fig. 5 "time to access result data" metric —
+        and stamps ``time_value_accessed``.
+        """
+        clock = get_clock()
+        start = clock.now()
+        value = self.value
+        if is_proxy(value):
+            resolve(value)
+            took = resolve_seconds(value)
+            self.dur_resolve_value = took if took is not None else clock.now() - start
+        if self.time_value_accessed is None:
+            self.time_value_accessed = clock.now()
+        return value
+
+    # -- derived metrics -----------------------------------------------------------------
+    @staticmethod
+    def _gap(later: float | None, earlier: float | None) -> float | None:
+        if later is None or earlier is None:
+            return None
+        return later - earlier
+
+    @property
+    def time_running(self) -> float | None:
+        """Pure method execution time."""
+        return self._gap(self.time_compute_ended, self.time_compute_started)
+
+    @property
+    def time_on_worker(self) -> float | None:
+        """Worker wall time: deserialize + resolve + execute + serialize."""
+        return self._gap(self.time_worker_ended, self.time_worker_started)
+
+    @property
+    def comm_client_to_server(self) -> float | None:
+        return self._gap(self.time_server_received, self.time_client_sent)
+
+    @property
+    def comm_server_to_worker(self) -> float | None:
+        return self._gap(self.time_worker_started, self.time_server_dispatched)
+
+    @property
+    def comm_worker_to_server(self) -> float | None:
+        return self._gap(self.time_server_result_received, self.time_worker_ended)
+
+    @property
+    def comm_server_to_client(self) -> float | None:
+        return self._gap(
+            self.time_client_result_received, self.time_server_result_received
+        )
+
+    @property
+    def time_serialization(self) -> float | None:
+        """All (de)serialization + proxy work across client and worker —
+        the "serialization" bar of Fig. 3."""
+        return (
+            self.dur_proxy_inputs
+            + self.dur_serialize_inputs
+            + self.dur_server_deserialize
+            + self.dur_server_serialize
+            + self.dur_deserialize_inputs
+            + self.dur_proxy_value
+            + self.dur_serialize_value
+            + self.dur_deserialize_value
+        )
+
+    @property
+    def task_lifetime(self) -> float | None:
+        """Creation at the Thinker to result received by the Thinker."""
+        return self._gap(self.time_client_result_received, self.time_created)
+
+    @property
+    def notification_latency(self) -> float | None:
+        """Task finished computing → Thinker knows (Fig. 5 top panel)."""
+        return self._gap(self.time_client_result_received, self.time_compute_ended)
+
+    @property
+    def overhead(self) -> float | None:
+        """Lifetime minus useful compute — Fig. 7b's per-task overhead."""
+        lifetime, running = self.task_lifetime, self.time_running
+        if lifetime is None or running is None:
+            return None
+        return lifetime - running

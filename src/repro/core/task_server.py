@@ -1,0 +1,336 @@
+"""Task Servers: dispatch Colmena tasks onto a compute fabric.
+
+A Task Server pulls :class:`~repro.core.result.Result` requests off the
+queues, re-serializes them into whichever fabric it fronts, and routes the
+completed envelopes back to the Thinker's topic queues (Fig. 2).  Three
+fabrics are provided:
+
+* :class:`LocalTaskServer` — an in-process thread pool (tests, examples);
+* :class:`ParslTaskServer` — the conventional pilot-job baseline;
+* :class:`FuncXTaskServer` — the cloud-managed FaaS fabric.
+
+What actually executes on a worker is a :class:`ColmenaTask`: a pickleable
+wrapper that stamps worker-side timestamps, resolves input proxies (timing
+the wait — the Globus-transfer wait of Fig. 4 lands here), runs the method,
+and proxies large outputs back through the topic's store so results also
+travel by reference.
+"""
+
+from __future__ import annotations
+
+import queue
+from abc import ABC, abstractmethod
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.queues import ColmenaQueues, KillSignal
+from repro.core.result import Result
+from repro.exceptions import WorkflowError
+from repro.faas.client import FaasClient
+from repro.net.clock import get_clock
+from repro.net.context import SiteThread, at_site
+from repro.net.topology import Site
+from repro.parsl.dataflow import DataFlowKernel
+from repro.proxystore.proxy import extract
+from repro.proxystore.store import get_store
+from repro.serialize import deserialize_cost, nominal_size, serialize_cost
+
+__all__ = [
+    "ColmenaTask",
+    "MethodSpec",
+    "TaskServer",
+    "LocalTaskServer",
+    "ParslTaskServer",
+    "FuncXTaskServer",
+]
+
+
+class ColmenaTask:
+    """The function body shipped to workers for one registered method."""
+
+    def __init__(
+        self,
+        fn: Callable,
+        *,
+        output_store: str | None = None,
+        output_threshold: int | None = None,
+    ) -> None:
+        self.fn = fn
+        self.output_store = output_store
+        self.output_threshold = output_threshold
+
+    def __call__(self, result: Result) -> Result:
+        clock = get_clock()
+        result.mark_worker_started()
+        size_in = nominal_size(result.args) + nominal_size(result.kwargs)
+        result.dur_deserialize_inputs = deserialize_cost(size_in)
+        # Materialize proxied inputs, timing the wait for remote data.
+        start = clock.now()
+        args = tuple(extract(a) for a in result.args)
+        kwargs = {k: extract(v) for k, v in result.kwargs.items()}
+        result.dur_resolve_proxies = clock.now() - start
+        result.mark_compute_started()
+        try:
+            value = self.fn(*args, **kwargs)
+        except Exception as exc:
+            import traceback
+
+            result.mark_compute_ended()
+            result.set_failure(repr(exc), traceback.format_exc())
+            result.mark_worker_ended()
+            return result
+        result.mark_compute_ended()
+        # Large outputs go back by reference, same policy as inputs.
+        start = clock.now()
+        if (
+            self.output_store is not None
+            and self.output_threshold is not None
+            and nominal_size(value) > self.output_threshold
+        ):
+            value = get_store(self.output_store).proxy(value)
+        result.dur_proxy_value = clock.now() - start
+        result.set_success(value)
+        result.dur_serialize_value = serialize_cost(nominal_size(value) + 512)
+        result.mark_worker_ended()
+        return result
+
+
+@dataclass
+class MethodSpec:
+    """How one method is deployed: callable + routing + output data fabric."""
+
+    fn: Callable
+    #: FuncX endpoint id or Parsl executor label (fabric-specific routing).
+    target: str | None = None
+    output_store: str | None = None
+    output_threshold: int | None = None
+
+    @property
+    def name(self) -> str:
+        return self.fn.__name__
+
+    def task(self) -> ColmenaTask:
+        return ColmenaTask(
+            self.fn,
+            output_store=self.output_store,
+            output_threshold=self.output_threshold,
+        )
+
+
+class TaskServer(ABC):
+    """Queue-draining loop + fabric dispatch, running at one site."""
+
+    def __init__(
+        self,
+        queues: ColmenaQueues,
+        methods: list[MethodSpec],
+        site: Site,
+    ) -> None:
+        if not methods:
+            raise WorkflowError("a task server needs at least one method")
+        self.queues = queues
+        self.site = site
+        self.methods = {spec.name: spec for spec in methods}
+        if len(self.methods) != len(methods):
+            raise WorkflowError("method names must be unique")
+        self._thread: SiteThread | None = None
+        self._forwarder: SiteThread | None = None
+        # Completed fabric futures land here (from whatever thread completed
+        # them) and are forwarded to the client queues by a thread pinned to
+        # the server's site, so the return path is charged where it happens.
+        self._done_queue: "queue.Queue[tuple[Result, Future] | None]" = queue.Queue()
+        self._running = False
+        self.tasks_dispatched = 0
+        self.tasks_returned = 0
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "TaskServer":
+        if self._running:
+            return self
+        self._running = True
+        with at_site(self.site):
+            self._start_fabric()
+        self._thread = SiteThread(self.site, target=self._main_loop, name="task-server")
+        self._thread.start()
+        self._forwarder = SiteThread(
+            self.site, target=self._forward_loop, name="task-server-results"
+        )
+        self._forwarder.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful shutdown; usually triggered by the client's kill signal,
+        but callable directly for error paths."""
+        self._running = False
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self._done_queue.put(None)
+        if self._forwarder is not None:
+            self._forwarder.join(timeout=10)
+            self._forwarder = None
+        with at_site(self.site):
+            self._stop_fabric()
+
+    def join(self, timeout: float | None = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    # -- loop -------------------------------------------------------------------
+    def _main_loop(self) -> None:
+        while self._running:
+            try:
+                result = self.queues.get_task(timeout=0.25)
+            except KillSignal:
+                break
+            if result is None:
+                continue
+            if result.method not in self.methods:
+                result.set_failure(f"unknown method {result.method!r}")
+                result.mark_server_result_received()
+                self.queues.send_result(result)
+                continue
+            result.mark_server_dispatched()
+            self._dispatch(result)
+            self.tasks_dispatched += 1
+        self._running = False
+
+    def _on_fabric_done(self, original: Result, future: Future) -> None:
+        self._done_queue.put((original, future))
+
+    def _forward_loop(self) -> None:
+        while True:
+            item = self._done_queue.get()
+            if item is None:
+                return
+            original, future = item
+            error = future.exception()
+            if error is None:
+                returned: Result = future.result()
+            else:
+                returned = original
+                returned.set_failure(repr(error))
+            returned.mark_server_result_received()
+            self.queues.send_result(returned)
+            self.tasks_returned += 1
+
+    # -- fabric hooks ---------------------------------------------------------------
+    @abstractmethod
+    def _dispatch(self, result: Result) -> None:
+        """Hand a request to the fabric; arrange for ``_on_fabric_done``."""
+
+    def _start_fabric(self) -> None:  # noqa: B027 - optional hook
+        pass
+
+    def _stop_fabric(self) -> None:  # noqa: B027 - optional hook
+        pass
+
+
+class LocalTaskServer(TaskServer):
+    """Runs methods on an in-process thread pool at the server's site."""
+
+    def __init__(
+        self,
+        queues: ColmenaQueues,
+        methods: list[MethodSpec],
+        site: Site,
+        *,
+        n_workers: int = 4,
+    ) -> None:
+        super().__init__(queues, methods, site)
+        self._n_workers = n_workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._tasks = {name: spec.task() for name, spec in self.methods.items()}
+
+    def _start_fabric(self) -> None:
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._n_workers, thread_name_prefix="local-ts"
+        )
+
+    def _stop_fabric(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+
+    def _dispatch(self, result: Result) -> None:
+        assert self._pool is not None
+        task = self._tasks[result.method]
+
+        def run(result: Result = result) -> Result:
+            from repro.net.context import set_current_site
+
+            set_current_site(self.site)
+            return task(result)
+
+        future = self._pool.submit(run)
+        future.add_done_callback(lambda f, r=result: self._on_fabric_done(r, f))
+
+
+class ParslTaskServer(TaskServer):
+    """Dispatches onto a :class:`DataFlowKernel` (the §V-B baselines).
+
+    Each method's ``target`` names the executor label whose pilot job should
+    run it (CPU methods to the HPC executor, AI methods to the GPU one).
+    """
+
+    def __init__(
+        self,
+        queues: ColmenaQueues,
+        methods: list[MethodSpec],
+        site: Site,
+        dfk: DataFlowKernel,
+    ) -> None:
+        super().__init__(queues, methods, site)
+        self.dfk = dfk
+        self._tasks = {name: spec.task() for name, spec in self.methods.items()}
+
+    def _start_fabric(self) -> None:
+        self.dfk.start()
+
+    def _stop_fabric(self) -> None:
+        self.dfk.shutdown()
+
+    def _dispatch(self, result: Result) -> None:
+        spec = self.methods[result.method]
+        task = self._tasks[result.method]
+        future = self.dfk.submit(task, result, executor=spec.target)
+        future.add_done_callback(lambda f, r=result: self._on_fabric_done(r, f))
+
+
+class FuncXTaskServer(TaskServer):
+    """Dispatches through the cloud FaaS fabric (the paper's approach).
+
+    Each method is registered once as a serialized :class:`ColmenaTask`;
+    every request then travels as (function id, Result-with-references),
+    keeping cloud payloads tiny regardless of the real data size.
+    """
+
+    def __init__(
+        self,
+        queues: ColmenaQueues,
+        methods: list[MethodSpec],
+        site: Site,
+        client: FaasClient,
+    ) -> None:
+        super().__init__(queues, methods, site)
+        self.client = client
+        self._func_ids: dict[str, str] = {}
+
+    def _start_fabric(self) -> None:
+        for name, spec in self.methods.items():
+            if spec.target is None:
+                raise WorkflowError(
+                    f"method {name!r} has no endpoint id (MethodSpec.target)"
+                )
+            self._func_ids[name] = self.client.register_function(spec.task())
+
+    def _stop_fabric(self) -> None:
+        self.client.close()
+
+    def _dispatch(self, result: Result) -> None:
+        spec = self.methods[result.method]
+        future = self.client.submit(
+            self._func_ids[result.method], spec.target, result
+        )
+        future.add_done_callback(lambda f, r=result: self._on_fabric_done(r, f))

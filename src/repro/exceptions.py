@@ -1,0 +1,83 @@
+"""Exception hierarchy shared across the :mod:`repro` package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch simulator-level failures without also swallowing
+programming errors (``TypeError`` and friends propagate untouched).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(ReproError):
+    """A site or link referenced in the network topology does not exist."""
+
+
+class PortPolicyError(ReproError):
+    """An operation required an inbound network port a site does not allow.
+
+    This models the deployment constraint at the heart of the paper: HPC
+    centers rarely allow services to listen on externally reachable ports,
+    which is why the Parsl baseline needs "open ports or a tunnel" while the
+    FuncX/Globus stack only makes outbound connections.
+    """
+
+
+class FileSystemError(ReproError):
+    """A path was missing or a site attempted to use a non-mounted volume."""
+
+
+class AuthenticationError(ReproError):
+    """A request carried a missing, expired, or malformed credential."""
+
+
+class AuthorizationError(ReproError):
+    """A valid identity lacked the scope or role required for an operation."""
+
+
+class SerializationError(ReproError):
+    """An object could not be serialized or deserialized for transport."""
+
+
+class PayloadTooLargeError(SerializationError):
+    """A payload exceeded a transport's size cap (e.g. FuncX's 10 MB)."""
+
+
+class TaskError(ReproError):
+    """A task failed on a worker; carries the remote traceback text."""
+
+    def __init__(self, message: str, *, remote_traceback: str | None = None):
+        super().__init__(message)
+        self.remote_traceback = remote_traceback
+
+
+class TimeoutError_(ReproError):
+    """A blocking wait elapsed.  Named with a trailing underscore to avoid
+    shadowing the builtin while staying importable as ``TimeoutError_``."""
+
+
+class EndpointUnavailableError(ReproError):
+    """A FaaS endpoint was offline and the operation could not be queued."""
+
+
+class TransferError(ReproError):
+    """A managed data transfer failed terminally."""
+
+
+class StoreError(ReproError):
+    """A ProxyStore backend operation failed (missing key, evicted, ...)."""
+
+
+class ProxyResolutionError(StoreError):
+    """A proxy's factory could not produce the target object."""
+
+
+class SchedulerError(ReproError):
+    """The batch scheduler rejected a job request."""
+
+
+class WorkflowError(ReproError):
+    """Generic workflow-engine failure (double shutdown, bad method, ...)."""

@@ -1,0 +1,27 @@
+"""Federated function-as-a-service (the FuncX substitute)."""
+
+from repro.faas.auth import (
+    SCOPE_COMPUTE,
+    SCOPE_TRANSFER,
+    AuthServer,
+    Identity,
+    Token,
+)
+from repro.faas.client import FaasClient, FaasExecutor
+from repro.faas.cloud import FaasCloud, TaskDispatch, TaskRecord, TaskStatus
+from repro.faas.endpoint import FaasEndpoint
+
+__all__ = [
+    "SCOPE_COMPUTE",
+    "SCOPE_TRANSFER",
+    "AuthServer",
+    "Identity",
+    "Token",
+    "FaasClient",
+    "FaasExecutor",
+    "FaasCloud",
+    "TaskDispatch",
+    "TaskRecord",
+    "TaskStatus",
+    "FaasEndpoint",
+]

@@ -1,0 +1,154 @@
+"""Globus-Auth-like identity and access management.
+
+§IV-A1: the security model must support different identity providers per
+facility, scoped tokens with short lifetimes, and *delegation* so a workflow
+holding a user's consent can call dependent services (FuncX calling Globus
+Transfer on the user's behalf) without holding the user's credentials.
+
+This module implements the OAuth2-shaped subset those flows need: identity
+registration against named providers, scoped bearer tokens with expiry on
+the virtual clock, validation, and dependent-token issuance.  Every cloud
+API call in :mod:`repro.faas.cloud` and the task servers validates a token,
+so the authN/authZ path is exercised by every experiment.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+from dataclasses import dataclass, field
+
+from repro.exceptions import AuthenticationError, AuthorizationError
+from repro.net.clock import Clock, get_clock
+
+__all__ = ["Identity", "Token", "AuthServer", "SCOPE_COMPUTE", "SCOPE_TRANSFER"]
+
+SCOPE_COMPUTE = "urn:repro:scopes:compute.all"
+SCOPE_TRANSFER = "urn:repro:scopes:transfer.all"
+
+
+@dataclass(frozen=True)
+class Identity:
+    """A user identity at one provider (e.g. ``ward@anl.gov``)."""
+
+    username: str
+    provider: str
+
+    def __str__(self) -> str:
+        return f"{self.username}@{self.provider}"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A bearer token: opaque value, identity, scopes, expiry."""
+
+    value: str
+    identity: Identity
+    scopes: frozenset[str]
+    expires_at: float
+    parent: str | None = None  # value of the token this was delegated from
+
+    def has_scope(self, scope: str) -> bool:
+        return scope in self.scopes
+
+
+@dataclass
+class AuthServer:
+    """The identity provider + token issuer.
+
+    Lives conceptually in the cloud; latency for auth round trips is folded
+    into the API-call costs of the services that validate tokens (validation
+    itself is a local introspection against a cached JWKS in real systems).
+    """
+
+    default_lifetime: float = 48 * 3600.0
+    clock: Clock = field(default_factory=get_clock)
+    _identities: dict[str, Identity] = field(default_factory=dict)
+    _tokens: dict[str, Token] = field(default_factory=dict)
+    _revoked: set[str] = field(default_factory=set)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    # -- identities ---------------------------------------------------------
+    def register_identity(self, username: str, provider: str) -> Identity:
+        identity = Identity(username, provider)
+        with self._lock:
+            self._identities[str(identity)] = identity
+        return identity
+
+    # -- issuance -------------------------------------------------------------
+    def issue_token(
+        self,
+        identity: Identity,
+        scopes: set[str] | frozenset[str],
+        lifetime: float | None = None,
+    ) -> Token:
+        with self._lock:
+            if str(identity) not in self._identities:
+                raise AuthenticationError(f"unknown identity {identity}")
+        token = Token(
+            value=secrets.token_hex(16),
+            identity=identity,
+            scopes=frozenset(scopes),
+            expires_at=self.clock.now() + (lifetime or self.default_lifetime),
+        )
+        with self._lock:
+            self._tokens[token.value] = token
+        return token
+
+    def delegate(
+        self, token: Token, scopes: set[str], lifetime: float | None = None
+    ) -> Token:
+        """Issue a dependent token, restricted to a subset of the parent's
+        scopes — how a service acts on the user's behalf downstream."""
+        self.validate(token)
+        if not set(scopes) <= set(token.scopes):
+            raise AuthorizationError(
+                "dependent token may not broaden scopes: "
+                f"{set(scopes) - set(token.scopes)} not granted"
+            )
+        child = Token(
+            value=secrets.token_hex(16),
+            identity=token.identity,
+            scopes=frozenset(scopes),
+            expires_at=min(
+                self.clock.now() + (lifetime or self.default_lifetime),
+                token.expires_at,
+            ),
+            parent=token.value,
+        )
+        with self._lock:
+            self._tokens[child.value] = child
+        return child
+
+    # -- validation -----------------------------------------------------------
+    def validate(self, token: Token | None, scope: str | None = None) -> Identity:
+        """Check a token; returns the identity or raises."""
+        if token is None:
+            raise AuthenticationError("no credential supplied")
+        with self._lock:
+            known = self._tokens.get(token.value)
+            revoked = token.value in self._revoked
+        if known is None or revoked:
+            raise AuthenticationError("credential is unknown or revoked")
+        if self.clock.now() >= known.expires_at:
+            raise AuthenticationError("credential has expired")
+        if scope is not None and not known.has_scope(scope):
+            raise AuthorizationError(
+                f"token for {known.identity} lacks required scope {scope!r}"
+            )
+        return known.identity
+
+    def revoke(self, token: Token, *, cascade: bool = True) -> None:
+        """Revoke a token and (by default) everything delegated from it."""
+        with self._lock:
+            self._revoked.add(token.value)
+            if cascade:
+                frontier = {token.value}
+                while frontier:
+                    children = {
+                        t.value
+                        for t in self._tokens.values()
+                        if t.parent in frontier and t.value not in self._revoked
+                    }
+                    self._revoked.update(children)
+                    frontier = children

@@ -1,0 +1,169 @@
+"""Client SDK for the FaaS platform: futures, executor, notification.
+
+``FaasClient.submit`` serializes arguments, pays the HTTPS round trip, and
+returns a ``concurrent.futures.Future``.  A per-client notifier thread
+(modeling the SDK's result websocket) blocks on the cloud's completed queue,
+downloads result payloads, and completes futures — including converting
+remote failures into :class:`repro.exceptions.TaskError` with the remote
+traceback attached.
+
+:class:`FaasExecutor` adapts the client to the standard
+``concurrent.futures.Executor`` interface, the integration surface FuncX
+exposes and Colmena's task server builds on.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from concurrent.futures import Executor, Future
+from typing import Callable
+
+from repro.bench.recording import emit
+from repro.exceptions import TaskError
+from repro.faas.auth import Token
+from repro.faas.cloud import FaasCloud, TaskStatus
+from repro.net.clock import Clock, get_clock
+from repro.net.context import SiteThread, current_site
+from repro.net.topology import Site
+from repro.serialize import deserialize, deserialize_cost, serialize, serialize_cost
+
+__all__ = ["FaasClient", "FaasExecutor"]
+
+
+class FaasClient:
+    """A user's connection to the FaaS cloud from one site."""
+
+    def __init__(
+        self,
+        cloud: FaasCloud,
+        token: Token,
+        *,
+        site: Site | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.cloud = cloud
+        self.token = token
+        self.client_id = f"client-{uuid.uuid4().hex[:8]}"
+        self._site = site
+        self._clock = clock or get_clock()
+        self._futures: dict[str, Future] = {}
+        self._futures_lock = threading.Lock()
+        # Registration cache: holds a strong reference to each function so
+        # identity (``is``) stays valid — caching by bare id() would break
+        # when CPython reuses a collected object's address.
+        self._registered: list[tuple[Callable, str]] = []
+        self._running = True
+        self._notifier = SiteThread(
+            self._home_site(), target=self._notify_loop, name="faas-client-notify"
+        )
+        self._notifier.start()
+
+    def _home_site(self) -> Site:
+        return self._site or current_site() or self.cloud.site
+
+    def _pay_api_call(self) -> None:
+        site = self._home_site()
+        cost = self.cloud.network.rtt(site, self.cloud.site)
+        cost += self.cloud.network._sample(self.cloud.constants.faas_api_latency)
+        self._clock.sleep(cost)
+
+    # -- API ------------------------------------------------------------------
+    def register_function(self, fn: Callable) -> str:
+        """Register a function body with the cloud; idempotent per object."""
+        for known, func_id in self._registered:
+            if known is fn:
+                return func_id
+        payload = serialize(fn)
+        self._clock.sleep(serialize_cost(payload.nominal_size))
+        self._pay_api_call()
+        func_id = self.cloud.register_function(self.token, payload)
+        self._registered.append((fn, func_id))
+        return func_id
+
+    def submit(
+        self, func_id: str, endpoint_id: str, /, *args: object, **kwargs: object
+    ) -> Future:
+        """Invoke a registered function on an endpoint; returns a future."""
+        args_payload = serialize((args, kwargs))
+        self._clock.sleep(serialize_cost(args_payload.nominal_size))
+        self._pay_api_call()
+        task_id = self.cloud.submit(
+            self.token, self.client_id, func_id, endpoint_id, args_payload
+        )
+        future: Future = Future()
+        future.task_id = task_id  # type: ignore[attr-defined]
+        with self._futures_lock:
+            self._futures[task_id] = future
+        return future
+
+    def run(
+        self, fn: Callable, endpoint_id: str, /, *args: object, **kwargs: object
+    ) -> Future:
+        """Register-if-needed and submit in one call."""
+        return self.submit(self.register_function(fn), endpoint_id, *args, **kwargs)
+
+    def close(self) -> None:
+        self._running = False
+        self._notifier.join(timeout=10)
+
+    # -- result delivery -----------------------------------------------------------
+    def _notify_loop(self) -> None:
+        while self._running:
+            task_id = self.cloud.next_completed(self.client_id, timeout=0.25)
+            if task_id is None:
+                continue
+            with self._futures_lock:
+                future = self._futures.pop(task_id, None)
+            if future is None:
+                continue  # e.g. a cancelled/unknown task
+            # Notification push + result download, charged to the client.
+            site = self._home_site()
+            self._clock.sleep(self.cloud.network.latency(self.cloud.site, site))
+            status, payload = self.cloud.get_result_payload(self.token, task_id)
+            self._clock.sleep(
+                self.cloud.network.transfer_time(
+                    self.cloud.site, site, payload.nominal_size
+                )
+            )
+            emit(
+                "data_transfer",
+                resource=site.name,
+                bytes=payload.nominal_size,
+                via="faas-cloud",
+            )
+            self._clock.sleep(deserialize_cost(payload.nominal_size))
+            body = deserialize(payload)
+            if status is TaskStatus.SUCCESS and body.get("success"):
+                future.set_result(body["value"])
+            else:
+                future.set_exception(
+                    TaskError(
+                        body.get("error", "remote task failed"),
+                        remote_traceback=body.get("traceback"),
+                    )
+                )
+
+    def __enter__(self) -> "FaasClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class FaasExecutor(Executor):
+    """``concurrent.futures.Executor`` over one (client, endpoint) pair —
+    the interface parity FuncX advertises (§IV-B)."""
+
+    def __init__(self, client: FaasClient, endpoint_id: str) -> None:
+        self._client = client
+        self._endpoint_id = endpoint_id
+        self._shutdown = False
+
+    def submit(self, fn: Callable, /, *args: object, **kwargs: object) -> Future:
+        if self._shutdown:
+            raise RuntimeError("cannot submit to a shut-down executor")
+        return self._client.run(fn, self._endpoint_id, *args, **kwargs)
+
+    def shutdown(self, wait: bool = True, *, cancel_futures: bool = False) -> None:
+        self._shutdown = True

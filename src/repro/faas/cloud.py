@@ -1,0 +1,354 @@
+"""The cloud half of the federated FaaS platform (the FuncX web service).
+
+Responsibilities reproduced from §IV-B and §V-C1:
+
+* **Function registry** — serialized function bodies registered once,
+  referenced by id in every invocation.
+* **Task queues per endpoint** — store-and-forward: tasks submitted while an
+  endpoint is offline wait in its queue; results reported while the client
+  is away wait in the client's completed queue.
+* **Split payload store** — function arguments and results below 20 kB live
+  in an ElastiCache-Redis-like store, larger ones in an S3-like store with
+  higher latency and limited bandwidth.  This is why "Task Server-to-worker
+  communication dominates the overall task lifetime" for by-value payloads
+  (Fig. 3), and the 10 MB payload cap is enforced at submission.
+* **Authentication** — every API call validates a scoped bearer token.
+
+Latency accounting: the cloud's own compute is charged on the *calling*
+thread (client or endpoint), which is where those costs land in reality —
+the caller is blocked on the HTTPS response.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import uuid
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.exceptions import (
+    EndpointUnavailableError,
+    PayloadTooLargeError,
+    WorkflowError,
+)
+from repro.faas.auth import SCOPE_COMPUTE, AuthServer, Token
+from repro.net.clock import Clock, get_clock
+from repro.net.defaults import PaperConstants
+from repro.net.topology import Network, Site
+from repro.serialize import Payload
+
+__all__ = ["TaskStatus", "TaskRecord", "TaskDispatch", "FaasCloud"]
+
+
+class TaskStatus(str, Enum):
+    WAITING = "WAITING"  # queued at the cloud, not yet fetched
+    DISPATCHED = "DISPATCHED"  # fetched by the endpoint
+    SUCCESS = "SUCCESS"
+    FAILED = "FAILED"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (TaskStatus.SUCCESS, TaskStatus.FAILED)
+
+
+@dataclass
+class TaskRecord:
+    task_id: str
+    func_id: str
+    endpoint_id: str
+    client_id: str
+    args_locator: str
+    status: TaskStatus = TaskStatus.WAITING
+    result_locator: str | None = None
+    submitted_at: float = 0.0
+    fetched_at: float | None = None
+    completed_at: float | None = None
+
+
+@dataclass(frozen=True)
+class TaskDispatch:
+    """What an endpoint receives for one task: ids plus the args locator
+    (payloads never ride the control message when they are large)."""
+
+    task_id: str
+    func_id: str
+    args_locator: str
+
+
+@dataclass
+class _StoredObject:
+    payload: Payload
+    tier: str  # "redis" | "s3"
+
+
+class _PayloadStore:
+    """The ElastiCache/S3 split store for args and results."""
+
+    def __init__(
+        self, constants: PaperConstants, network: Network, clock: Clock
+    ) -> None:
+        self._constants = constants
+        self._network = network
+        self._clock = clock
+        self._objects: dict[str, _StoredObject] = {}
+        self._lock = threading.Lock()
+
+    def _charge(self, tier: str, nbytes: int) -> None:
+        c = self._constants
+        if tier == "inline":
+            return  # rides the task message itself
+        if tier == "redis":
+            self._clock.sleep(self._network._sample(c.faas_redis_latency))
+        else:
+            self._clock.sleep(
+                self._network._sample(c.faas_s3_latency) + nbytes / c.faas_s3_bandwidth
+            )
+
+    def _tier(self, nbytes: int) -> str:
+        c = self._constants
+        if nbytes < c.faas_inline_threshold:
+            return "inline"
+        if nbytes < c.faas_small_object_threshold:
+            return "redis"
+        return "s3"
+
+    def write(self, payload: Payload) -> str:
+        tier = self._tier(payload.nominal_size)
+        self._charge(tier, payload.nominal_size)
+        locator = f"{tier}:{uuid.uuid4().hex}"
+        with self._lock:
+            self._objects[locator] = _StoredObject(payload, tier)
+        return locator
+
+    def read(self, locator: str) -> Payload:
+        with self._lock:
+            try:
+                stored = self._objects[locator]
+            except KeyError:
+                raise WorkflowError(f"unknown payload locator {locator!r}") from None
+        self._charge(stored.tier, stored.payload.nominal_size)
+        return stored.payload
+
+    def delete(self, locator: str) -> None:
+        with self._lock:
+            self._objects.pop(locator, None)
+
+
+class FaasCloud:
+    """The hosted service: registry, queues, payload store, delivery."""
+
+    def __init__(
+        self,
+        site: Site,
+        network: Network,
+        auth: AuthServer,
+        constants: PaperConstants | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.site = site
+        self.network = network
+        self.auth = auth
+        self.constants = constants or PaperConstants()
+        self.clock = clock or get_clock()
+        self.store = _PayloadStore(self.constants, network, self.clock)
+        self._functions: dict[str, Payload] = {}
+        self._endpoints: dict[str, Site] = {}
+        self._endpoint_online: dict[str, bool] = {}
+        self._tasks: dict[str, TaskRecord] = {}
+        self._queues: dict[str, deque[str]] = {}
+        self._queue_cond = threading.Condition()
+        self._completed: dict[str, deque[str]] = {}
+        self._completed_cond = threading.Condition()
+        self._lock = threading.Lock()
+        self._ids = itertools.count()
+
+    # -- registry ------------------------------------------------------------
+    def register_function(self, token: Token, payload: Payload) -> str:
+        self.auth.validate(token, SCOPE_COMPUTE)
+        func_id = f"fn-{uuid.uuid4().hex[:12]}"
+        with self._lock:
+            self._functions[func_id] = payload
+        return func_id
+
+    def get_function(self, token: Token, func_id: str) -> Payload:
+        self.auth.validate(token, SCOPE_COMPUTE)
+        with self._lock:
+            try:
+                return self._functions[func_id]
+            except KeyError:
+                raise WorkflowError(f"unknown function {func_id!r}") from None
+
+    def register_endpoint(self, token: Token, name: str, site: Site) -> str:
+        self.auth.validate(token, SCOPE_COMPUTE)
+        endpoint_id = f"ep-{name}-{uuid.uuid4().hex[:8]}"
+        with self._lock:
+            self._endpoints[endpoint_id] = site
+            self._endpoint_online[endpoint_id] = False
+            self._queues[endpoint_id] = deque()
+        return endpoint_id
+
+    def endpoint_site(self, endpoint_id: str) -> Site:
+        with self._lock:
+            try:
+                return self._endpoints[endpoint_id]
+            except KeyError:
+                raise EndpointUnavailableError(
+                    f"unknown endpoint {endpoint_id!r}"
+                ) from None
+
+    def set_endpoint_online(self, endpoint_id: str, online: bool) -> None:
+        with self._queue_cond:
+            self.endpoint_site(endpoint_id)
+            self._endpoint_online[endpoint_id] = online
+            self._queue_cond.notify_all()
+
+    def endpoint_online(self, endpoint_id: str) -> bool:
+        with self._lock:
+            return self._endpoint_online.get(endpoint_id, False)
+
+    # -- client side ------------------------------------------------------------
+    def submit(
+        self,
+        token: Token,
+        client_id: str,
+        func_id: str,
+        endpoint_id: str,
+        args_payload: Payload,
+    ) -> str:
+        self.auth.validate(token, SCOPE_COMPUTE)
+        self.endpoint_site(endpoint_id)
+        with self._lock:
+            if func_id not in self._functions:
+                raise WorkflowError(f"unknown function {func_id!r}")
+        if args_payload.nominal_size > self.constants.faas_payload_cap:
+            raise PayloadTooLargeError(
+                f"arguments are {args_payload.nominal_size} bytes; the service "
+                f"caps payloads at {self.constants.faas_payload_cap} "
+                "(pass large data by reference instead)"
+            )
+        args_locator = self.store.write(args_payload)
+        task_id = f"task-{next(self._ids):08d}"
+        record = TaskRecord(
+            task_id=task_id,
+            func_id=func_id,
+            endpoint_id=endpoint_id,
+            client_id=client_id,
+            args_locator=args_locator,
+            submitted_at=self.clock.now(),
+        )
+        with self._queue_cond:
+            self._tasks[task_id] = record
+            self._queues[endpoint_id].append(task_id)
+            self._queue_cond.notify_all()
+        return record.task_id
+
+    def task(self, task_id: str) -> TaskRecord:
+        with self._lock:
+            try:
+                return self._tasks[task_id]
+            except KeyError:
+                raise WorkflowError(f"unknown task {task_id!r}") from None
+
+    def get_result_payload(self, token: Token, task_id: str) -> tuple[TaskStatus, Payload]:
+        self.auth.validate(token, SCOPE_COMPUTE)
+        record = self.task(task_id)
+        if not record.status.terminal or record.result_locator is None:
+            raise WorkflowError(f"task {task_id} has no result yet")
+        return record.status, self.store.read(record.result_locator)
+
+    def next_completed(self, client_id: str, timeout: float | None) -> str | None:
+        """Block until some task of ``client_id`` completes; returns its id.
+
+        This models the push channel (websocket/polling hybrid) the client
+        SDK uses for result notification.
+        """
+        wall = self.clock.wall_timeout(timeout)
+        with self._completed_cond:
+            queue = self._completed.setdefault(client_id, deque())
+            if not queue:
+                self._completed_cond.wait(wall)
+            if queue:
+                return queue.popleft()
+            return None
+
+    # -- endpoint side -------------------------------------------------------------
+    def fetch_tasks(
+        self,
+        token: Token,
+        endpoint_id: str,
+        max_tasks: int,
+        timeout: float | None,
+    ) -> list[TaskDispatch]:
+        """Long-poll for work (models the AMQP delivery to the endpoint)."""
+        self.auth.validate(token, SCOPE_COMPUTE)
+        wall = self.clock.wall_timeout(timeout)
+        out: list[TaskDispatch] = []
+        with self._queue_cond:
+            queue = self._queues[endpoint_id]
+            self._endpoint_online[endpoint_id] = True
+            if not queue:
+                self._queue_cond.wait(wall)
+            while queue and len(out) < max_tasks:
+                task_id = queue.popleft()
+                record = self._tasks[task_id]
+                record.status = TaskStatus.DISPATCHED
+                record.fetched_at = self.clock.now()
+                out.append(
+                    TaskDispatch(record.task_id, record.func_id, record.args_locator)
+                )
+        return out
+
+    def requeue_dispatched(self, token: Token, endpoint_id: str) -> list[str]:
+        """Re-queue tasks an endpoint fetched but never finished.
+
+        Called when an endpoint restarts after a crash: anything it held in
+        DISPATCHED state goes back to the front of its queue, preserving
+        the store-and-forward guarantee of §IV-A3 even across endpoint
+        process loss (the argument payloads still live in the cloud store).
+        Returns the re-queued task ids, oldest first.
+        """
+        self.auth.validate(token, SCOPE_COMPUTE)
+        self.endpoint_site(endpoint_id)
+        with self._queue_cond:
+            stranded = sorted(
+                (
+                    record
+                    for record in self._tasks.values()
+                    if record.endpoint_id == endpoint_id
+                    and record.status is TaskStatus.DISPATCHED
+                ),
+                key=lambda record: record.submitted_at,
+            )
+            queue = self._queues[endpoint_id]
+            for record in reversed(stranded):
+                record.status = TaskStatus.WAITING
+                record.fetched_at = None
+                queue.appendleft(record.task_id)
+            if stranded:
+                self._queue_cond.notify_all()
+            return [record.task_id for record in stranded]
+
+    def report_result(
+        self,
+        token: Token,
+        endpoint_id: str,
+        task_id: str,
+        success: bool,
+        result_payload: Payload,
+    ) -> None:
+        self.auth.validate(token, SCOPE_COMPUTE)
+        record = self.task(task_id)
+        if record.endpoint_id != endpoint_id:
+            raise WorkflowError(
+                f"endpoint {endpoint_id} reported a result for task {task_id} "
+                f"assigned to {record.endpoint_id}"
+            )
+        locator = self.store.write(result_payload)
+        with self._completed_cond:
+            record.result_locator = locator
+            record.status = TaskStatus.SUCCESS if success else TaskStatus.FAILED
+            record.completed_at = self.clock.now()
+            self._completed.setdefault(record.client_id, deque()).append(task_id)
+            self._completed_cond.notify_all()

@@ -1,0 +1,240 @@
+"""The user-deployed half of the FaaS platform (the FuncX endpoint).
+
+An endpoint is a lightweight agent a user starts on a resource they can log
+into.  It makes only *outbound* connections: a long-poll loop fetches task
+dispatches from the cloud, workers (provisioned through the local batch
+scheduler via a :class:`~repro.resources.worker.WorkerPool`) execute them,
+and an uplink thread reports results back.  Pausing an endpoint models the
+network blips §IV-A3 talks about: the cloud keeps queueing tasks and the
+endpoint drains them on reconnect — no work is lost.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import traceback
+from typing import Callable
+
+from repro.bench.recording import emit
+from repro.faas.auth import Token
+from repro.faas.cloud import FaasCloud, TaskDispatch
+from repro.net.clock import Clock, get_clock
+from repro.net.context import SiteThread
+from repro.net.topology import Site
+from repro.resources.worker import WorkerPool
+from repro.serialize import (
+    Payload,
+    deserialize,
+    deserialize_cost,
+    serialize,
+    serialize_cost,
+)
+
+__all__ = ["FaasEndpoint"]
+
+
+class FaasEndpoint:
+    """Endpoint agent + worker pool for one resource.
+
+    Parameters
+    ----------
+    name:
+        Label used in the registered endpoint id.
+    cloud / token:
+        The cloud service and the credential this endpoint authenticates
+        with (endpoints are paired with the platform at deploy time).
+    site:
+        Where the agent process runs (e.g. a login node).  Workers may run
+        on a different site (compute nodes) — the pool's site decides.
+    pool:
+        Worker lanes executing the function bodies.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        cloud: FaasCloud,
+        token: Token,
+        site: Site,
+        pool: WorkerPool,
+        *,
+        poll_interval: float | None = None,
+        max_tasks_per_poll: int = 32,
+        clock: Clock | None = None,
+    ) -> None:
+        self.name = name
+        self.cloud = cloud
+        self.token = token
+        self.site = site
+        self.pool = pool
+        self._poll_interval = (
+            poll_interval
+            if poll_interval is not None
+            else cloud.constants.endpoint_poll_interval
+        )
+        self._max_tasks = max_tasks_per_poll
+        self._clock = clock or get_clock()
+        self.endpoint_id = cloud.register_endpoint(token, name, pool.site)
+        self._functions: dict[str, Callable] = {}
+        self._outbox: queue.Queue[tuple[str, bool, Payload] | None] = queue.Queue()
+        self._running = False
+        self._paused = threading.Event()
+        self._threads: list[SiteThread] = []
+
+    # -- lifecycle -----------------------------------------------------------
+    def start(self) -> "FaasEndpoint":
+        if self._running:
+            return self
+        self._running = True
+        self.pool.start()
+        self.cloud.set_endpoint_online(self.endpoint_id, True)
+        for target, label in ((self._poll_loop, "poll"), (self._uplink_loop, "uplink")):
+            thread = SiteThread(
+                self.site, target=target, name=f"faas-ep-{self.name}-{label}"
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self._paused.clear()
+        self._outbox.put(None)
+        for thread in self._threads:
+            thread.join(timeout=10)
+        self.pool.stop()
+        self.cloud.set_endpoint_online(self.endpoint_id, False)
+        self._threads.clear()
+
+    def pause(self) -> None:
+        """Drop the cloud connection (network outage / restart)."""
+        self._paused.set()
+        self.cloud.set_endpoint_online(self.endpoint_id, False)
+
+    def resume(self, *, reclaim: bool = False) -> None:
+        """Reconnect to the cloud.
+
+        ``reclaim=True`` models a restart after a *crash* (rather than a
+        network blip): any task this endpoint had fetched but not finished
+        is asked back from the cloud and will be re-dispatched.
+        """
+        if reclaim:
+            self._pay_api_call()
+            self.cloud.requeue_dispatched(self.token, self.endpoint_id)
+        self._paused.clear()
+        self.cloud.set_endpoint_online(self.endpoint_id, True)
+
+    # -- cloud communication helpers ---------------------------------------------
+    def _pay_api_call(self) -> None:
+        cost = self.cloud.network.rtt(self.site, self.cloud.site)
+        cost += self.cloud.network._sample(self.cloud.constants.faas_api_latency)
+        self._clock.sleep(cost)
+
+    def _function(self, func_id: str) -> Callable:
+        fn = self._functions.get(func_id)
+        if fn is None:
+            self._pay_api_call()
+            payload = self.cloud.get_function(self.token, func_id)
+            self._clock.sleep(deserialize_cost(payload.nominal_size))
+            fn = deserialize(payload)
+            self._functions[func_id] = fn
+        return fn
+
+    # -- loops ----------------------------------------------------------------------
+    def _poll_loop(self) -> None:
+        while self._running:
+            if self._paused.is_set():
+                self._clock.sleep(self._poll_interval)
+                continue
+            # One-way request; the fetch long-polls server-side.
+            self._clock.sleep(
+                self.cloud.network.latency(self.site, self.cloud.site)
+            )
+            dispatches = self.cloud.fetch_tasks(
+                self.token, self.endpoint_id, self._max_tasks, self._poll_interval
+            )
+            self._clock.sleep(
+                self.cloud.network.latency(self.cloud.site, self.site)
+            )
+            for dispatch in dispatches:
+                self._dispatch(dispatch)
+
+    def _dispatch(self, dispatch: TaskDispatch) -> None:
+        # Pull the argument payload down from the cloud store (charged to
+        # this thread: the endpoint is the one blocked on the download).
+        args_payload = self.cloud.store.read(dispatch.args_locator)
+        self._clock.sleep(
+            self.cloud.network.transfer_time(
+                self.cloud.site, self.site, args_payload.nominal_size
+            )
+        )
+        emit(
+            "data_transfer",
+            resource=self.site.name,
+            bytes=args_payload.nominal_size,
+            via="faas-cloud",
+        )
+        fn = self._function(dispatch.func_id)
+        self.pool.submit(self._make_work(dispatch.task_id, fn, args_payload))
+
+    def _make_work(
+        self, task_id: str, fn: Callable, args_payload: Payload
+    ) -> Callable[[], None]:
+        endpoint_site = self.site
+        worker_site = self.pool.site
+        network = self.cloud.network
+        clock = self._clock
+
+        def work() -> None:
+            # Manager -> worker forwarding inside the resource.
+            clock.sleep(
+                network.transfer_time(
+                    endpoint_site, worker_site, args_payload.nominal_size
+                )
+            )
+            clock.sleep(deserialize_cost(args_payload.nominal_size))
+            try:
+                args, kwargs = deserialize(args_payload)
+                value = fn(*args, **kwargs)
+                body = {"success": True, "value": value}
+                success = True
+            except Exception as exc:
+                body = {
+                    "success": False,
+                    "error": repr(exc),
+                    "traceback": traceback.format_exc(),
+                }
+                success = False
+            result_payload = serialize(body)
+            clock.sleep(serialize_cost(result_payload.nominal_size))
+            clock.sleep(
+                network.transfer_time(
+                    worker_site, endpoint_site, result_payload.nominal_size
+                )
+            )
+            self._outbox.put((task_id, success, result_payload))
+
+        return work
+
+    def _uplink_loop(self) -> None:
+        while True:
+            item = self._outbox.get()
+            if item is None:
+                return
+            task_id, success, payload = item
+            # Results wait here while paused (store-and-forward on our side).
+            while self._paused.is_set():
+                self._clock.sleep(self._poll_interval)
+            self._pay_api_call()
+            self.cloud.report_result(
+                self.token, self.endpoint_id, task_id, success, payload
+            )
+
+    def __enter__(self) -> "FaasEndpoint":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

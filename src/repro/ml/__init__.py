@@ -1,0 +1,31 @@
+"""NumPy surrogate-model substrate (MPNN and SchNet stand-ins)."""
+
+from repro.ml.ensemble import (
+    Ensemble,
+    bootstrap_indices,
+    rank_by_ucb,
+    ucb_scores,
+)
+from repro.ml.mpnn import MpnnSurrogate
+from repro.ml.nn import MLP, mse, rmse
+from repro.ml.schnet import (
+    RbfBasis,
+    SchnetSurrogate,
+    featurize,
+    featurize_with_jacobian,
+)
+
+__all__ = [
+    "Ensemble",
+    "bootstrap_indices",
+    "rank_by_ucb",
+    "ucb_scores",
+    "MpnnSurrogate",
+    "MLP",
+    "mse",
+    "rmse",
+    "RbfBasis",
+    "SchnetSurrogate",
+    "featurize",
+    "featurize_with_jacobian",
+]

@@ -1,0 +1,91 @@
+"""Bootstrap ensembles and UCB ranking.
+
+Both applications use an ensemble of eight surrogates, "each trained on a
+different, randomly-selected subset of the training data" (§III-A/B), with
+prediction variance driving the active-learning choices:
+
+* molecular design ranks candidates by the Upper Confidence Bound —
+  mean + standard deviation of the member predictions;
+* fine-tuning fills its *uncertainty pool* with the structures whose
+  predicted energies disagree most across the ensemble.
+
+Members are trained independently, so applications can (and do) ship each
+member's training off as its own task.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence
+
+import numpy as np
+
+__all__ = ["Regressor", "Ensemble", "bootstrap_indices", "ucb_scores", "rank_by_ucb"]
+
+
+class Regressor(Protocol):
+    """Anything trainable/predictable the ensemble can hold."""
+
+    def train(self, x: np.ndarray, y: np.ndarray, **kwargs) -> list[float]: ...
+
+    def predict(self, x: np.ndarray) -> np.ndarray: ...
+
+
+def bootstrap_indices(
+    n_samples: int, n_models: int, frac: float = 0.8, seed: int = 0
+) -> list[np.ndarray]:
+    """Deterministic per-member subsets (without replacement)."""
+    if not 0 < frac <= 1:
+        raise ValueError("frac must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    size = max(1, int(round(frac * n_samples)))
+    return [
+        rng.choice(n_samples, size=size, replace=False) for _ in range(n_models)
+    ]
+
+
+class Ensemble:
+    """A container of independently trained members."""
+
+    def __init__(self, members: Sequence[Regressor]) -> None:
+        if not members:
+            raise ValueError("an ensemble needs at least one member")
+        self.members = list(members)
+
+    @classmethod
+    def build(
+        cls, factory: Callable[[int], Regressor], n_models: int = 8
+    ) -> "Ensemble":
+        """Construct ``n_models`` members via ``factory(member_index)``."""
+        return cls([factory(i) for i in range(n_models)])
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def train(
+        self, x: np.ndarray, y: np.ndarray, *, frac: float = 0.8, seed: int = 0, **kwargs
+    ) -> None:
+        """Train every member on its bootstrap subset (serial reference
+        implementation; the applications parallelize this as tasks)."""
+        subsets = bootstrap_indices(len(x), len(self.members), frac, seed)
+        for member, idx in zip(self.members, subsets):
+            member.train(x[idx], np.asarray(y)[idx], **kwargs)
+
+    def predict_all(self, x: np.ndarray) -> np.ndarray:
+        """Member predictions, shape ``(n_members, n_samples)``."""
+        return np.stack([m.predict(x) for m in self.members])
+
+    def predict_mean_std(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        preds = self.predict_all(x)
+        return preds.mean(axis=0), preds.std(axis=0)
+
+
+def ucb_scores(mean: np.ndarray, std: np.ndarray, kappa: float = 1.0) -> np.ndarray:
+    """Upper Confidence Bound: mean + kappa * std (paper uses kappa=1)."""
+    return np.asarray(mean) + kappa * np.asarray(std)
+
+
+def rank_by_ucb(
+    mean: np.ndarray, std: np.ndarray, kappa: float = 1.0
+) -> np.ndarray:
+    """Indices sorted best-first by UCB."""
+    return np.argsort(-ucb_scores(mean, std, kappa), kind="stable")

@@ -1,0 +1,219 @@
+"""A small, fast, dependency-free neural-network core.
+
+The paper's AI tasks train message-passing and SchNet models in TensorFlow/
+PyTorch; here the same roles are filled by fully-connected networks with
+hand-written vectorized backprop and Adam.  Everything is float64 NumPy,
+batch-first, and deterministic given a seed — which is what the science
+experiments need: a *trainable* surrogate whose accuracy improves with data,
+with weights of a controllable byte size.
+
+Following the optimization guidance baked into this repo's coding guides:
+no Python-level loops over samples, preallocated parameter/optimizer state,
+in-place updates where safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["MLP", "AdamState", "mse", "rmse"]
+
+
+def mse(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean squared error over all elements."""
+    diff = np.asarray(pred) - np.asarray(target)
+    return float(np.mean(diff * diff))
+
+
+def rmse(pred: np.ndarray, target: np.ndarray) -> float:
+    """Root mean squared error over all elements."""
+    return float(np.sqrt(mse(pred, target)))
+
+
+@dataclass
+class AdamState:
+    """First/second-moment accumulators for one parameter tensor."""
+
+    m: np.ndarray
+    v: np.ndarray
+    t: int = 0
+
+
+def _act(x: np.ndarray) -> np.ndarray:
+    """softplus-ish smooth activation (tanh): bounded, smooth gradients."""
+    return np.tanh(x)
+
+
+def _act_grad(activated: np.ndarray) -> np.ndarray:
+    return 1.0 - activated * activated
+
+
+class MLP:
+    """A fully-connected regression network with Adam training.
+
+    Parameters
+    ----------
+    layer_sizes:
+        ``[d_in, h1, ..., d_out]``.
+    seed:
+        Initialization seed (Xavier-scaled normal weights).
+    """
+
+    def __init__(self, layer_sizes: list[int], seed: int = 0) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        if any(s <= 0 for s in layer_sizes):
+            raise ValueError("layer sizes must be positive")
+        self.layer_sizes = list(layer_sizes)
+        rng = np.random.default_rng(seed)
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            scale = np.sqrt(2.0 / (fan_in + fan_out))
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+        self._adam: list[AdamState] | None = None
+        # Normalization of targets, fit during training for stable losses.
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    # -- inference -----------------------------------------------------------
+    def forward(self, x: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Return (output, per-layer activations) for backprop reuse."""
+        acts = [np.asarray(x, dtype=float)]
+        h = acts[0]
+        last = len(self.weights) - 1
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = h @ w + b
+            h = z if i == last else _act(z)
+            acts.append(h)
+        return h, acts
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """De-normalized predictions, shape ``(n, d_out)`` (squeezed to
+        ``(n,)`` when the network has one output)."""
+        out, _ = self.forward(np.atleast_2d(x))
+        out = out * self._y_std + self._y_mean
+        return out[:, 0] if out.shape[1] == 1 else out
+
+    def gradient_wrt_input(self, x: np.ndarray) -> np.ndarray:
+        """d(output)/d(input) for a single-output network, shape like ``x``.
+
+        Needed for force prediction: F = -dE/dx chains through this.
+        """
+        if self.layer_sizes[-1] != 1:
+            raise ValueError("input gradients only implemented for scalar output")
+        x2 = np.atleast_2d(np.asarray(x, dtype=float))
+        _, acts = self.forward(x2)
+        # Backpropagate a seed of ones through the network to the input.
+        grad = np.ones((x2.shape[0], 1))
+        last = len(self.weights) - 1
+        for i in range(last, -1, -1):
+            if i != last:
+                grad = grad * _act_grad(acts[i + 1])
+            grad = grad @ self.weights[i].T
+        grad = grad * self._y_std
+        return grad.reshape(np.shape(x))
+
+    # -- training --------------------------------------------------------------
+    def _ensure_adam(self) -> list[AdamState]:
+        if self._adam is None:
+            self._adam = [
+                AdamState(np.zeros_like(p), np.zeros_like(p))
+                for pair in zip(self.weights, self.biases)
+                for p in pair
+            ]
+        return self._adam
+
+    def _backward(
+        self, acts: list[np.ndarray], dloss_dout: np.ndarray
+    ) -> list[np.ndarray]:
+        """Gradients for [W0, b0, W1, b1, ...]."""
+        grads: list[np.ndarray] = []
+        delta = dloss_dout
+        last = len(self.weights) - 1
+        for i in range(last, -1, -1):
+            if i != last:
+                delta = delta * _act_grad(acts[i + 1])
+            grads.append(np.sum(delta, axis=0))  # bias
+            grads.append(acts[i].T @ delta)  # weight
+            if i > 0:
+                delta = delta @ self.weights[i].T
+        grads.reverse()  # now [W0, b0, W1, b1, ...]
+        return grads
+
+    def train(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        epochs: int = 30,
+        batch_size: int = 32,
+        lr: float = 1e-3,
+        seed: int = 0,
+        l2: float = 1e-6,
+    ) -> list[float]:
+        """Adam/MSE training; returns the per-epoch training loss curve."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).reshape(x.shape[0], -1)
+        if x.shape[0] == 0:
+            raise ValueError("cannot train on an empty dataset")
+        self._y_mean = float(np.mean(y))
+        self._y_std = float(np.std(y)) or 1.0
+        yn = (y - self._y_mean) / self._y_std
+        rng = np.random.default_rng(seed)
+        states = self._ensure_adam()
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        losses: list[float] = []
+        n = x.shape[0]
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                xb, yb = x[idx], yn[idx]
+                out, acts = self.forward(xb)
+                diff = out - yb
+                epoch_loss += float(np.sum(diff * diff))
+                dloss = 2.0 * diff / xb.shape[0]
+                grads = self._backward(acts, dloss)
+                params = [
+                    p for pair in zip(self.weights, self.biases) for p in pair
+                ]
+                for param, grad, state in zip(params, grads, states):
+                    if param.ndim == 2 and l2 > 0.0:
+                        grad = grad + l2 * param
+                    state.t += 1
+                    state.m = beta1 * state.m + (1 - beta1) * grad
+                    state.v = beta2 * state.v + (1 - beta2) * grad * grad
+                    m_hat = state.m / (1 - beta1**state.t)
+                    v_hat = state.v / (1 - beta2**state.t)
+                    param -= lr * m_hat / (np.sqrt(v_hat) + eps)
+            losses.append(epoch_loss / n)
+        return losses
+
+    # -- weight transport ----------------------------------------------------------
+    def get_weights(self) -> list[np.ndarray]:
+        """Flat parameter list (copies), for shipping between resources."""
+        out: list[np.ndarray] = []
+        for w, b in zip(self.weights, self.biases):
+            out.append(w.copy())
+            out.append(b.copy())
+        out.append(np.array([self._y_mean, self._y_std]))
+        return out
+
+    def set_weights(self, params: list[np.ndarray]) -> None:
+        expected = 2 * len(self.weights) + 1
+        if len(params) != expected:
+            raise ValueError(f"expected {expected} tensors, got {len(params)}")
+        for i in range(len(self.weights)):
+            self.weights[i] = np.array(params[2 * i], dtype=float)
+            self.biases[i] = np.array(params[2 * i + 1], dtype=float)
+        self._y_mean, self._y_std = (float(params[-1][0]), float(params[-1][1]))
+        self._adam = None
+
+    @property
+    def n_parameters(self) -> int:
+        return sum(w.size + b.size for w, b in zip(self.weights, self.biases))

@@ -1,0 +1,51 @@
+"""Network substrate: virtual clock, placement context, topology, and the
+latency-charging primitives (key-value store, file systems) everything else
+is built on."""
+
+from repro.net.clock import Clock, Timer, get_clock, reset_clock, scaled_time
+from repro.net.context import (
+    SiteThread,
+    at_site,
+    current_site,
+    require_current_site,
+    set_current_site,
+)
+from repro.net.defaults import PaperConstants, Testbed, build_paper_testbed
+from repro.net.fs import FileSystem, MountTable
+from repro.net.kvstore import KVClient, KVServer
+from repro.net.topology import (
+    FixedLatency,
+    LatencyModel,
+    Link,
+    LogNormalLatency,
+    Network,
+    Site,
+    UniformLatency,
+)
+
+__all__ = [
+    "Clock",
+    "Timer",
+    "get_clock",
+    "reset_clock",
+    "scaled_time",
+    "SiteThread",
+    "at_site",
+    "current_site",
+    "require_current_site",
+    "set_current_site",
+    "PaperConstants",
+    "Testbed",
+    "build_paper_testbed",
+    "FileSystem",
+    "MountTable",
+    "KVClient",
+    "KVServer",
+    "FixedLatency",
+    "LatencyModel",
+    "Link",
+    "LogNormalLatency",
+    "Network",
+    "Site",
+    "UniformLatency",
+]

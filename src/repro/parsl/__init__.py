@@ -1,0 +1,7 @@
+"""Conventional pilot-job workflow system (the Parsl baseline)."""
+
+from repro.parsl.channels import Channel, DirectChannel, SSHTunnel
+from repro.parsl.dataflow import DataFlowKernel
+from repro.parsl.executors import HtexExecutor
+
+__all__ = ["Channel", "DirectChannel", "SSHTunnel", "DataFlowKernel", "HtexExecutor"]

@@ -1,0 +1,81 @@
+"""Connectivity channels for the conventional workflow baseline.
+
+A pilot-job executor needs its remote workers to dial back to the
+interchange on the controller host.  Whether that connection is even
+possible is a deployment question this module makes explicit:
+
+* :class:`DirectChannel` — allowed only when the topology says the worker
+  site may connect to the controller site (same facility, or the controller
+  site accepts inbound traffic).  This is the "requires two open ports"
+  condition of §V-B.
+* :class:`SSHTunnel` — always allowed but represents the manual deployment
+  step (and a little per-message overhead) the paper argues cloud-managed
+  services let you skip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import PortPolicyError
+from repro.net.topology import Network, Site
+
+__all__ = ["Channel", "DirectChannel", "SSHTunnel"]
+
+
+@dataclass(frozen=True)
+class Channel:
+    """Base: a path from a worker site back to the controller site."""
+
+    #: Added one-way latency per message riding the channel.
+    extra_latency: float = 0.0
+    #: Effective throughput ceiling (bytes/s); ``None`` = raw link speed.
+    bandwidth_cap: float | None = None
+
+    def validate(self, network: Network, worker_site: Site, controller_site: Site) -> None:
+        raise NotImplementedError
+
+    def transfer_time(self, network: Network, a: Site, b: Site, nbytes: int) -> float:
+        latency, wire = self.split_transfer(network, a, b, nbytes)
+        return latency + wire
+
+    def split_transfer(
+        self, network: Network, a: Site, b: Site, nbytes: int
+    ) -> tuple[float, float]:
+        """(latency, wire time).  Callers that share the channel across
+        threads serialize the wire portion on a lock when the channel has a
+        bandwidth cap (one TCP stream)."""
+        bandwidth = network.bandwidth(a, b)
+        if self.bandwidth_cap is not None and a.name != b.name:
+            bandwidth = min(bandwidth, self.bandwidth_cap)
+        return network.latency(a, b) + self.extra_latency, nbytes / bandwidth
+
+
+@dataclass(frozen=True)
+class DirectChannel(Channel):
+    """Workers connect straight to the interchange's open ports."""
+
+    def validate(
+        self, network: Network, worker_site: Site, controller_site: Site
+    ) -> None:
+        if not network.can_connect(worker_site, controller_site):
+            raise PortPolicyError(
+                f"workers on {worker_site.name!r} cannot reach an interchange "
+                f"on {controller_site.name!r}: no inbound ports there. "
+                "Use an SSHTunnel (manual deployment) or a cloud-managed fabric."
+            )
+
+
+@dataclass(frozen=True)
+class SSHTunnel(Channel):
+    """A user-maintained tunnel; works anywhere, costs deployment effort,
+    a touch of latency, single-stream throughput, and is 'fragile to
+    maintain' (§II-B)."""
+
+    extra_latency: float = 0.5e-3
+    bandwidth_cap: float | None = 0.20e9
+
+    def validate(
+        self, network: Network, worker_site: Site, controller_site: Site
+    ) -> None:
+        return None  # tunnels bypass port policy by construction

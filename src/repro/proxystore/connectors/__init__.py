@@ -1,0 +1,8 @@
+"""ProxyStore backend connectors (redis, shared file system, Globus)."""
+
+from repro.proxystore.connectors.base import Connector
+from repro.proxystore.connectors.file import FileConnector
+from repro.proxystore.connectors.globus import GlobusConnector
+from repro.proxystore.connectors.redis import RedisConnector
+
+__all__ = ["Connector", "FileConnector", "GlobusConnector", "RedisConnector"]

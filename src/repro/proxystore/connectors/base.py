@@ -1,0 +1,55 @@
+"""Connector protocol: the pluggable transport under a ProxyStore store.
+
+A connector moves opaque :class:`repro.serialize.Payload` blobs keyed by
+string.  Latency/bandwidth charging happens *inside* the connector, on the
+calling thread, based on where that thread runs — so a ``get`` from a worker
+on the GPU cluster pays different costs than the same ``get`` from the
+Thinker's login node, with no cooperation from the caller.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.serialize import Payload
+
+__all__ = ["Connector"]
+
+
+class Connector(ABC):
+    """Abstract payload store."""
+
+    #: Human-readable backend kind ("redis", "file", "globus").
+    kind: str = "abstract"
+
+    @abstractmethod
+    def put(self, key: str, payload: Payload) -> None:
+        """Store ``payload`` under ``key`` (charges the caller's time)."""
+
+    @abstractmethod
+    def get(self, key: str, timeout: float | None = None) -> Payload:
+        """Fetch the payload for ``key``; may block while data is in flight
+        (e.g. a pending wide-area transfer).  Raises
+        :class:`repro.exceptions.StoreError` if the key is unknown."""
+
+    @abstractmethod
+    def exists(self, key: str) -> bool:
+        """Whether ``key`` is present (from the caller's vantage point)."""
+
+    @abstractmethod
+    def evict(self, key: str) -> None:
+        """Best-effort removal of ``key`` everywhere."""
+
+    def put_batch(self, items: dict[str, Payload]) -> None:
+        """Store several payloads at once.
+
+        The default is a loop of :meth:`put`; backends with per-operation
+        fixed costs (managed transfers, HTTPS submissions) override this to
+        *fuse* the batch — the paper's §V-D1 remedy for the per-user
+        concurrent-transfer limit.
+        """
+        for key, payload in items.items():
+            self.put(key, payload)
+
+    def close(self) -> None:
+        """Release resources; default no-op."""

@@ -1,0 +1,70 @@
+"""Shared-file-system connector.
+
+"The file system backend supports scenarios where separate systems have
+access to a shared file system" (§IV-C) — on the paper's testbed that means
+the Thinker on a Theta login node exchanging simulation inputs/outputs with
+workers on Theta compute nodes via Lustre.  Its signature in Fig. 4: higher
+small-object latency than Redis (metadata ops), excellent large-object
+throughput (~100 MB), and I/O time that shows up inside "serialization".
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import FileSystemError, StoreError
+from repro.net.clock import get_clock
+from repro.net.context import current_site
+from repro.net.fs import FileSystem
+from repro.proxystore.connectors.base import Connector
+from repro.serialize import Payload
+
+__all__ = ["FileConnector"]
+
+
+class FileConnector(Connector):
+    """Stores payloads as files on one shared volume."""
+
+    kind = "file"
+
+    def __init__(self, volume: FileSystem, directory: str = "proxystore") -> None:
+        self._volume = volume
+        self._dir = directory.rstrip("/")
+
+    def _check_mounted(self) -> None:
+        site = current_site()
+        if site is not None and site.fs_group != self._volume.name:
+            raise FileSystemError(
+                f"site {site.name!r} does not mount volume {self._volume.name!r}; "
+                "the file connector only works within one file-system group"
+            )
+
+    def _path(self, key: str) -> str:
+        return f"{self._dir}/{key}"
+
+    def put(self, key: str, payload: Payload) -> None:
+        self._check_mounted()
+        self._volume.write(self._path(key), payload.data, payload.nominal_size)
+
+    def get(self, key: str, timeout: float | None = None) -> Payload:
+        self._check_mounted()
+        clock = get_clock()
+        deadline = clock.now() + timeout if timeout is not None else None
+        while True:
+            try:
+                data = self._volume.read(self._path(key))
+                nominal = self._volume.size(self._path(key))
+                return Payload(data=data, nominal_size=nominal)
+            except FileSystemError:
+                if deadline is None or clock.now() >= deadline:
+                    raise StoreError(
+                        f"file connector: no object under key {key!r} on "
+                        f"{self._volume.name}"
+                    ) from None
+                clock.sleep(0.005)
+
+    def exists(self, key: str) -> bool:
+        self._check_mounted()
+        return self._volume.exists(self._path(key))
+
+    def evict(self, key: str) -> None:
+        self._check_mounted()
+        self._volume.delete(self._path(key))

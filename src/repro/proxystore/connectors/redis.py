@@ -1,0 +1,81 @@
+"""Redis connector: low-latency object store for port-connected resources.
+
+The paper's guidance (§V-F): "If messages are smaller than 100 MB and direct
+connection between resources is feasible, Redis is ideal."  The cost of that
+feasibility — an extra open port or tunnel per resource pair — is enforced
+by :class:`repro.net.kvstore.KVClient`'s connection policy.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import StoreError
+from repro.net.clock import get_clock
+from repro.net.context import current_site
+from repro.net.kvstore import KVClient, KVServer
+from repro.net.topology import Network
+from repro.proxystore.connectors.base import Connector
+from repro.serialize import Payload
+
+__all__ = ["RedisConnector"]
+
+
+class RedisConnector(Connector):
+    """Stores payloads in a (simulated) Redis server.
+
+    Each calling thread gets its own logical client so that latency is
+    always computed from the *calling* site; clients are cached per site.
+    ``via_tunnel`` mirrors the deployment step the paper's Parsl+Redis
+    baseline needed to reach Redis across facility firewalls.
+    """
+
+    kind = "redis"
+
+    def __init__(
+        self,
+        server: KVServer,
+        network: Network,
+        *,
+        via_tunnel: bool = False,
+        key_prefix: str = "ps",
+    ) -> None:
+        self._server = server
+        self._network = network
+        self._tunnel = via_tunnel
+        self._prefix = key_prefix
+        self._clients: dict[str, KVClient] = {}
+
+    def _client(self) -> KVClient:
+        site = current_site() or self._server.site
+        client = self._clients.get(site.name)
+        if client is None:
+            client = KVClient(
+                self._server, self._network, site=site, via_tunnel=self._tunnel
+            )
+            self._clients[site.name] = client
+        return client
+
+    def _key(self, key: str) -> str:
+        return f"{self._prefix}:{key}"
+
+    def put(self, key: str, payload: Payload) -> None:
+        self._client().set(self._key(key), payload)
+
+    def get(self, key: str, timeout: float | None = None) -> Payload:
+        deadline = None
+        clock = get_clock()
+        if timeout is not None:
+            deadline = clock.now() + timeout
+        while True:
+            value = self._client().get(self._key(key))
+            if value is not None:
+                assert isinstance(value, Payload)
+                return value
+            if deadline is None or clock.now() >= deadline:
+                raise StoreError(f"redis connector: no object under key {key!r}")
+            clock.sleep(0.005)
+
+    def exists(self, key: str) -> bool:
+        return self._client().exists(self._key(key))
+
+    def evict(self, key: str) -> None:
+        self._client().delete(self._key(key))

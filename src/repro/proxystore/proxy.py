@@ -1,0 +1,285 @@
+"""Transparent, lazy object proxies.
+
+A :class:`Proxy` wraps a :class:`Factory`.  The first time the proxy is
+*used* — any attribute access, operator, call, iteration, ... — it invokes
+the factory, caches the returned *target*, and from then on forwards
+everything to it.  Because ``__class__`` reports the target's class, code
+receiving a proxy cannot tell the difference (``isinstance`` passes), which
+is exactly the property the paper relies on: task code needs **zero**
+changes to move from pass-by-value to pass-by-reference.
+
+The proxy pickles to its factory alone, so a multi-megabyte array travels
+between the Thinker, Task Server, FuncX cloud, endpoint, and worker as a
+few-hundred-byte reference, and the data moves exactly once — directly from
+the store to the worker that first touches it.
+
+Implementation notes: special methods are looked up on the *type* by the
+interpreter, so transparency requires explicitly defining every dunder we
+want forwarded; ``__getattr__`` alone only covers ordinary attributes.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable
+
+from repro.exceptions import ProxyResolutionError
+from repro.net.clock import get_clock
+
+__all__ = [
+    "Factory",
+    "SimpleFactory",
+    "Proxy",
+    "is_proxy",
+    "is_resolved",
+    "resolve",
+    "extract",
+    "resolve_seconds",
+]
+
+_SLOTS = (
+    "__proxy_factory__",
+    "__proxy_target__",
+    "__proxy_resolved__",
+    "__proxy_resolve_seconds__",
+)
+
+
+class Factory:
+    """Callable that produces a proxy's target on demand.
+
+    Subclasses must be pickleable: the factory is the only thing that
+    travels with the proxy reference.
+    """
+
+    def resolve(self) -> Any:
+        raise NotImplementedError
+
+    def __call__(self) -> Any:
+        return self.resolve()
+
+
+class SimpleFactory(Factory):
+    """Holds its target directly; useful for tests and local hand-offs."""
+
+    def __init__(self, obj: Any) -> None:
+        self.obj = obj
+
+    def resolve(self) -> Any:
+        return self.obj
+
+
+def _resolve(proxy: "Proxy") -> Any:
+    """Resolve (once) and return the target of ``proxy``."""
+    if object.__getattribute__(proxy, "__proxy_resolved__"):
+        return object.__getattribute__(proxy, "__proxy_target__")
+    factory = object.__getattribute__(proxy, "__proxy_factory__")
+    clock = get_clock()
+    start = clock.now()
+    try:
+        target = factory()
+    except Exception as exc:
+        raise ProxyResolutionError(
+            f"factory {type(factory).__name__} failed to resolve: {exc}"
+        ) from exc
+    object.__setattr__(proxy, "__proxy_target__", target)
+    object.__setattr__(proxy, "__proxy_resolved__", True)
+    object.__setattr__(proxy, "__proxy_resolve_seconds__", clock.now() - start)
+    return target
+
+
+def _unwrap(value: Any) -> Any:
+    """If ``value`` is a proxy, return its resolved target (for operators)."""
+    if type(value) is Proxy:
+        return _resolve(value)
+    return value
+
+
+def _binary(op: Callable[[Any, Any], Any]):
+    def forward(self: "Proxy", other: Any) -> Any:
+        return op(_resolve(self), _unwrap(other))
+
+    return forward
+
+
+def _rbinary(op: Callable[[Any, Any], Any]):
+    def forward(self: "Proxy", other: Any) -> Any:
+        return op(_unwrap(other), _resolve(self))
+
+    return forward
+
+
+def _unary(op: Callable[[Any], Any]):
+    def forward(self: "Proxy") -> Any:
+        return op(_resolve(self))
+
+    return forward
+
+
+class Proxy:
+    """A transparent lazy reference to a factory-resolvable target."""
+
+    __slots__ = _SLOTS
+
+    # Nominal wire size of a pickled proxy reference; used by the
+    # proxy-threshold scan so references never look "large".
+    REFERENCE_SIZE = 256
+
+    def __init__(self, factory: Factory) -> None:
+        if not callable(factory):
+            raise TypeError("Proxy requires a callable factory")
+        object.__setattr__(self, "__proxy_factory__", factory)
+        object.__setattr__(self, "__proxy_target__", None)
+        object.__setattr__(self, "__proxy_resolved__", False)
+        object.__setattr__(self, "__proxy_resolve_seconds__", None)
+
+    # -- pickling: the reference travels, never the target -----------------
+    def __reduce__(self):
+        return (Proxy, (object.__getattribute__(self, "__proxy_factory__"),))
+
+    def __reduce_ex__(self, protocol):
+        return self.__reduce__()
+
+    # -- attribute protocol -------------------------------------------------
+    def __getattr__(self, name: str) -> Any:
+        return getattr(_resolve(self), name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name in _SLOTS:
+            object.__setattr__(self, name, value)
+        else:
+            setattr(_resolve(self), name, value)
+
+    def __delattr__(self, name: str) -> None:
+        delattr(_resolve(self), name)
+
+    def __dir__(self):
+        return dir(_resolve(self))
+
+    # Transparency: report the target's class (type(p) still says Proxy).
+    @property  # type: ignore[misc]
+    def __class__(self):  # noqa: D105
+        return type(_resolve(self))
+
+    @__class__.setter
+    def __class__(self, value):  # pragma: no cover - symmetry only
+        _resolve(self).__class__ = value
+
+    # -- object protocol -----------------------------------------------------
+    def __repr__(self) -> str:
+        if object.__getattribute__(self, "__proxy_resolved__"):
+            return repr(_resolve(self))
+        factory = object.__getattribute__(self, "__proxy_factory__")
+        return f"<Proxy unresolved factory={type(factory).__name__}>"
+
+    __str__ = _unary(str)
+    __bytes__ = _unary(bytes)
+    __bool__ = _unary(bool)
+    __hash__ = _unary(hash)
+    __len__ = _unary(len)
+    __iter__ = _unary(iter)
+    __reversed__ = _unary(reversed)
+    __abs__ = _unary(operator.abs)
+    __neg__ = _unary(operator.neg)
+    __pos__ = _unary(operator.pos)
+    __invert__ = _unary(operator.invert)
+    __int__ = _unary(int)
+    __float__ = _unary(float)
+    __complex__ = _unary(complex)
+    __index__ = _unary(operator.index)
+
+    def __next__(self):
+        return next(_resolve(self))
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return _resolve(self)(*args, **kwargs)
+
+    def __contains__(self, item: Any) -> bool:
+        return _unwrap(item) in _resolve(self)
+
+    def __getitem__(self, key: Any) -> Any:
+        return _resolve(self)[_unwrap(key)]
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        _resolve(self)[_unwrap(key)] = value
+
+    def __delitem__(self, key: Any) -> None:
+        del _resolve(self)[_unwrap(key)]
+
+    def __enter__(self):
+        return _resolve(self).__enter__()
+
+    def __exit__(self, *exc):
+        return _resolve(self).__exit__(*exc)
+
+    # -- comparisons --------------------------------------------------------
+    __eq__ = _binary(operator.eq)
+    __ne__ = _binary(operator.ne)
+    __lt__ = _binary(operator.lt)
+    __le__ = _binary(operator.le)
+    __gt__ = _binary(operator.gt)
+    __ge__ = _binary(operator.ge)
+
+    # -- numeric operators -----------------------------------------------------
+    __add__ = _binary(operator.add)
+    __radd__ = _rbinary(operator.add)
+    __sub__ = _binary(operator.sub)
+    __rsub__ = _rbinary(operator.sub)
+    __mul__ = _binary(operator.mul)
+    __rmul__ = _rbinary(operator.mul)
+    __truediv__ = _binary(operator.truediv)
+    __rtruediv__ = _rbinary(operator.truediv)
+    __floordiv__ = _binary(operator.floordiv)
+    __rfloordiv__ = _rbinary(operator.floordiv)
+    __mod__ = _binary(operator.mod)
+    __rmod__ = _rbinary(operator.mod)
+    __pow__ = _binary(operator.pow)
+    __rpow__ = _rbinary(operator.pow)
+    __matmul__ = _binary(operator.matmul)
+    __rmatmul__ = _rbinary(operator.matmul)
+    __lshift__ = _binary(operator.lshift)
+    __rlshift__ = _rbinary(operator.lshift)
+    __rshift__ = _binary(operator.rshift)
+    __rrshift__ = _rbinary(operator.rshift)
+    __and__ = _binary(operator.and_)
+    __rand__ = _rbinary(operator.and_)
+    __or__ = _binary(operator.or_)
+    __ror__ = _rbinary(operator.or_)
+    __xor__ = _binary(operator.xor)
+    __rxor__ = _rbinary(operator.xor)
+    __divmod__ = _binary(divmod)
+    __rdivmod__ = _rbinary(divmod)
+
+
+def is_proxy(obj: Any) -> bool:
+    """True when ``obj`` is literally a :class:`Proxy` (not fooled by the
+    ``__class__`` masquerade, because it checks ``type``)."""
+    return type(obj) is Proxy
+
+
+def is_resolved(proxy: Proxy) -> bool:
+    """Has the proxy already materialized its target?"""
+    if not is_proxy(proxy):
+        raise TypeError("is_resolved expects a Proxy")
+    return object.__getattribute__(proxy, "__proxy_resolved__")
+
+
+def resolve(proxy: Proxy) -> None:
+    """Eagerly resolve a proxy (no-op on non-proxies)."""
+    if is_proxy(proxy):
+        _resolve(proxy)
+
+
+def extract(obj: Any) -> Any:
+    """Return the target behind ``obj`` if it is a proxy, else ``obj``."""
+    if is_proxy(obj):
+        return _resolve(obj)
+    return obj
+
+
+def resolve_seconds(proxy: Proxy) -> float | None:
+    """Nominal seconds the proxy's resolution took (``None`` if unresolved,
+    ``0.0``-ish if resolution was a cache hit)."""
+    if not is_proxy(proxy):
+        raise TypeError("resolve_seconds expects a Proxy")
+    return object.__getattribute__(proxy, "__proxy_resolve_seconds__")

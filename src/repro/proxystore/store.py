@@ -1,0 +1,308 @@
+"""The ProxyStore ``Store``: serialize, place, proxy, resolve, cache.
+
+``Store.proxy(obj)`` is the one-line pass-by-reference primitive from the
+paper: the object is serialized (charged), placed in the backend connector
+(charged), and a transparent :class:`~repro.proxystore.proxy.Proxy` wrapping
+a :class:`StoreFactory` is returned.  The factory carries only the store
+name and key, so it pickles to a couple hundred bytes; on resolution it
+looks the store up in the process-global registry — the stand-in for how
+real ProxyStore re-instantiates stores from serialized config on remote
+workers.
+
+A per-site LRU cache sits in front of the connector: model weights proxied
+once and used by many inference tasks on the same resource are fetched over
+the wire a single time (the mechanism behind the paper's sub-100 ms proxy
+resolutions for 12 % of inference tasks).
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.bench.recording import emit
+from repro.exceptions import StoreError
+from repro.net.clock import get_clock
+from repro.net.context import current_site
+from repro.proxystore.connectors.base import Connector
+from repro.proxystore.proxy import Factory, Proxy
+from repro.serialize import (
+    Payload,
+    deserialize,
+    deserialize_cost,
+    serialize,
+    serialize_cost,
+)
+
+__all__ = [
+    "Store",
+    "StoreFactory",
+    "StoreMetrics",
+    "register_store",
+    "unregister_store",
+    "get_store",
+    "clear_store_registry",
+]
+
+_registry: dict[str, "Store"] = {}
+_registry_lock = threading.Lock()
+
+
+def register_store(store: "Store", *, exist_ok: bool = False) -> "Store":
+    """Publish a store under its name for factory lookups."""
+    with _registry_lock:
+        if store.name in _registry and not exist_ok:
+            raise StoreError(f"a store named {store.name!r} is already registered")
+        _registry[store.name] = store
+    return store
+
+
+def unregister_store(name: str) -> None:
+    with _registry_lock:
+        _registry.pop(name, None)
+
+
+def get_store(name: str) -> "Store":
+    with _registry_lock:
+        try:
+            return _registry[name]
+        except KeyError:
+            raise StoreError(f"no registered store named {name!r}") from None
+
+
+def clear_store_registry() -> None:
+    """Remove every registered store (test isolation)."""
+    with _registry_lock:
+        _registry.clear()
+
+
+@dataclass
+class StoreMetrics:
+    """Aggregated per-operation timings, in nominal seconds."""
+
+    put_times: list[float] = field(default_factory=list)
+    get_times: list[float] = field(default_factory=list)
+    put_bytes: list[int] = field(default_factory=list)
+    get_bytes: list[int] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record_put(self, seconds: float, nbytes: int) -> None:
+        with self._lock:
+            self.put_times.append(seconds)
+            self.put_bytes.append(nbytes)
+
+    def record_get(self, seconds: float, nbytes: int, cache_hit: bool) -> None:
+        with self._lock:
+            self.get_times.append(seconds)
+            self.get_bytes.append(nbytes)
+            if cache_hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+
+    def summary(self) -> dict[str, float]:
+        import statistics
+
+        with self._lock:
+            return {
+                "puts": len(self.put_times),
+                "gets": len(self.get_times),
+                "put_median_s": statistics.median(self.put_times) if self.put_times else 0.0,
+                "get_median_s": statistics.median(self.get_times) if self.get_times else 0.0,
+                "cache_hit_rate": (
+                    self.cache_hits / (self.cache_hits + self.cache_misses)
+                    if (self.cache_hits + self.cache_misses)
+                    else 0.0
+                ),
+            }
+
+
+class _LRU:
+    """Tiny thread-safe LRU used per site."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._data: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: str) -> tuple[bool, object]:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                return True, self._data[key]
+            return False, None
+
+    def put(self, key: str, value: object) -> None:
+        if self.maxsize <= 0:
+            return
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def evict(self, key: str) -> None:
+        with self._lock:
+            self._data.pop(key, None)
+
+
+class StoreFactory(Factory):
+    """Resolves ``key`` from the registered store named ``store_name``."""
+
+    def __init__(self, store_name: str, key: str, *, evict: bool = False) -> None:
+        self.store_name = store_name
+        self.key = key
+        self.evict = evict
+
+    def resolve(self) -> object:
+        store = get_store(self.store_name)
+        obj = store.get(self.key)
+        if self.evict:
+            store.evict(self.key)
+        return obj
+
+    def __repr__(self) -> str:
+        return f"StoreFactory(store={self.store_name!r}, key={self.key!r})"
+
+
+class Store:
+    """A named object store over a :class:`Connector`.
+
+    Parameters
+    ----------
+    name:
+        Registry name; factories embed it, so it must be stable across the
+        whole campaign.
+    connector:
+        Backend transport.
+    cache_size:
+        Per-site LRU entries (0 disables caching).
+    register:
+        Register into the global registry immediately (required for
+        proxies to be resolvable elsewhere).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        connector: Connector,
+        *,
+        cache_size: int = 16,
+        register: bool = True,
+    ) -> None:
+        self.name = name
+        self.connector = connector
+        self.metrics = StoreMetrics()
+        self._cache_size = cache_size
+        self._caches: dict[str, _LRU] = {}
+        self._caches_lock = threading.Lock()
+        if register:
+            register_store(self)
+
+    # -- caching -------------------------------------------------------------
+    def _cache(self) -> _LRU:
+        site = current_site()
+        key = site.name if site is not None else "__unpinned__"
+        with self._caches_lock:
+            cache = self._caches.get(key)
+            if cache is None:
+                cache = _LRU(self._cache_size)
+                self._caches[key] = cache
+            return cache
+
+    # -- core API --------------------------------------------------------------
+    def put(self, obj: object, key: str | None = None) -> str:
+        """Serialize and store ``obj``; returns the key."""
+        clock = get_clock()
+        start = clock.now()
+        key = key or uuid.uuid4().hex
+        payload = serialize(obj)
+        clock.sleep(serialize_cost(payload.nominal_size))
+        self.connector.put(key, payload)
+        self.metrics.record_put(clock.now() - start, payload.nominal_size)
+        return key
+
+    def put_batch(self, objs: list[object], keys: list[str] | None = None) -> list[str]:
+        """Serialize and store many objects through one fused backend call.
+
+        On backends with per-operation fixed costs (Globus: an HTTPS
+        submission and a concurrency-limit slot per transfer task), fusing
+        a batch is markedly cheaper than N separate puts (§V-D1).
+        """
+        clock = get_clock()
+        start = clock.now()
+        if keys is None:
+            keys = [uuid.uuid4().hex for _ in objs]
+        if len(keys) != len(objs):
+            raise StoreError("put_batch needs one key per object")
+        items: dict[str, Payload] = {}
+        total = 0
+        for key, obj in zip(keys, objs):
+            payload = serialize(obj)
+            total += payload.nominal_size
+            items[key] = payload
+        clock.sleep(serialize_cost(total))
+        self.connector.put_batch(items)
+        self.metrics.record_put(clock.now() - start, total)
+        return keys
+
+    def proxy_batch(self, objs: list[object], *, evict: bool = False) -> list[Proxy]:
+        """Place many objects at once; returns one lazy reference each."""
+        keys = self.put_batch(objs)
+        return [Proxy(StoreFactory(self.name, key, evict=evict)) for key in keys]
+
+    def get(self, key: str, timeout: float | None = None) -> object:
+        """Fetch and deserialize the object under ``key`` (cache-aware)."""
+        clock = get_clock()
+        start = clock.now()
+        cache = self._cache()
+        hit, cached = cache.get(key)
+        if hit:
+            self.metrics.record_get(clock.now() - start, 0, cache_hit=True)
+            return cached
+        payload = self.connector.get(key, timeout=timeout)
+        clock.sleep(deserialize_cost(payload.nominal_size))
+        obj = deserialize(payload)
+        cache.put(key, obj)
+        self.metrics.record_get(
+            clock.now() - start, payload.nominal_size, cache_hit=False
+        )
+        site = current_site()
+        emit(
+            "data_transfer",
+            resource=site.name if site else "unknown",
+            bytes=payload.nominal_size,
+            via=f"store:{self.connector.kind}",
+        )
+        return obj
+
+    def exists(self, key: str) -> bool:
+        return self.connector.exists(key)
+
+    def evict(self, key: str) -> None:
+        self.connector.evict(key)
+        with self._caches_lock:
+            caches = list(self._caches.values())
+        for cache in caches:
+            cache.evict(key)
+
+    # -- proxy API ---------------------------------------------------------------
+    def proxy(self, obj: object, *, evict: bool = False, key: str | None = None) -> Proxy:
+        """Place ``obj`` and return a transparent lazy reference to it."""
+        key = self.put(obj, key=key)
+        return Proxy(StoreFactory(self.name, key, evict=evict))
+
+    def proxy_from_key(self, key: str, *, evict: bool = False) -> Proxy:
+        """Build a proxy for an object that is already stored."""
+        return Proxy(StoreFactory(self.name, key, evict=evict))
+
+    def close(self) -> None:
+        unregister_store(self.name)
+        self.connector.close()
+
+    def __repr__(self) -> str:
+        return f"Store(name={self.name!r}, connector={self.connector.kind})"

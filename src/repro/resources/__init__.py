@@ -1,0 +1,6 @@
+"""Simulated compute resources: batch schedulers and worker pools."""
+
+from repro.resources.scheduler import BatchJob, BatchScheduler, JobState
+from repro.resources.worker import WorkerPool
+
+__all__ = ["BatchJob", "BatchScheduler", "JobState", "WorkerPool"]

@@ -1,0 +1,162 @@
+"""Serialization with *nominal* payload sizes.
+
+Everything that crosses a simulated wire is pickled here.  Two things make
+this more than ``pickle.dumps``:
+
+``Blob``
+    The paper's experiments move payloads from 10 kB to 2.4 GB.  Allocating
+    real gigabytes would make the harness memory-bound and would distort the
+    virtual clock (un-scaled CPU time shows up magnified in nominal time).
+    A :class:`Blob` *claims* a byte size: it pickles to a few dozen real
+    bytes but contributes its full nominal size to the payload accounting,
+    so every latency/bandwidth charge sees the paper-scale object.
+
+``Payload``
+    ``serialize`` returns the pickled bytes together with the accumulated
+    nominal size, and :func:`serialize_cost` models the CPU cost of the
+    (de)serialization itself — the "serialization time" component of
+    Figs. 3 and 4 — as ``base + size / bandwidth``.
+
+Only module-level functions and pickleable objects may cross the wire, the
+same practical constraint FuncX imposes.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+
+__all__ = [
+    "Blob",
+    "Payload",
+    "serialize",
+    "deserialize",
+    "nominal_size",
+    "serialize_cost",
+    "deserialize_cost",
+    "SERIALIZE_BASE_S",
+    "SERIALIZE_BANDWIDTH",
+]
+
+# Pickle throughput model: a base per-call cost plus throughput limit.
+SERIALIZE_BASE_S = 0.2e-3
+SERIALIZE_BANDWIDTH = 0.8e9  # bytes/second
+
+_accumulator = threading.local()
+
+
+class Blob:
+    """A stand-in for ``nbytes`` of data.
+
+    The payload content is never materialized; equality and hashing use the
+    (size, tag) identity so tests can assert round-trips.
+    """
+
+    __slots__ = ("nbytes", "tag")
+
+    def __init__(self, nbytes: int, tag: str = "") -> None:
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self.nbytes = int(nbytes)
+        self.tag = tag
+
+    def __repr__(self) -> str:
+        return f"Blob({self.nbytes}, tag={self.tag!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Blob)
+            and other.nbytes == self.nbytes
+            and other.tag == self.tag
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.nbytes, self.tag))
+
+    def __getstate__(self) -> tuple[int, str]:
+        sizes = getattr(_accumulator, "sizes", None)
+        if sizes is not None:
+            sizes.append(self.nbytes)
+        return (self.nbytes, self.tag)
+
+    def __setstate__(self, state: tuple[int, str]) -> None:
+        self.nbytes, self.tag = state
+
+
+@dataclass(frozen=True)
+class Payload:
+    """Pickled bytes plus the nominal wire size they represent."""
+
+    data: bytes
+    nominal_size: int
+
+    def __len__(self) -> int:
+        return self.nominal_size
+
+
+def serialize(obj: object) -> Payload:
+    """Pickle ``obj``, accounting embedded :class:`Blob` sizes."""
+    had = getattr(_accumulator, "sizes", None)
+    _accumulator.sizes = []
+    try:
+        data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:  # pickle raises many distinct types
+        raise SerializationError(f"cannot serialize {type(obj).__name__}: {exc}") from exc
+    finally:
+        blob_bytes = sum(getattr(_accumulator, "sizes", []) or [])
+        _accumulator.sizes = had
+    return Payload(data=data, nominal_size=len(data) + blob_bytes)
+
+
+def deserialize(payload: Payload | bytes) -> object:
+    data = payload.data if isinstance(payload, Payload) else payload
+    try:
+        return pickle.loads(data)
+    except Exception as exc:
+        raise SerializationError(f"cannot deserialize payload: {exc}") from exc
+
+
+def nominal_size(obj: object) -> int:
+    """Estimate the wire size of ``obj`` *without* resolving lazy proxies.
+
+    Used by Colmena's proxy-threshold scan: inputs above a threshold are
+    replaced by proxies, so the scan itself must be cheap and must treat an
+    already-proxied argument as its (tiny) reference size.
+    """
+    # Import here to avoid a cycle (proxystore depends on this module).
+    from repro.proxystore.proxy import Proxy, is_proxy
+
+    if is_proxy(obj):
+        return Proxy.REFERENCE_SIZE
+    if isinstance(obj, Blob):
+        return obj.nbytes
+    if isinstance(obj, bytes):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode())
+    if isinstance(obj, bool) or obj is None:
+        return 1
+    if isinstance(obj, (int, float, complex)):
+        return 8
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 8 + sum(nominal_size(v) for v in obj)
+    if isinstance(obj, dict):
+        return 8 + sum(nominal_size(k) + nominal_size(v) for k, v in obj.items())
+    return serialize(obj).nominal_size
+
+
+def serialize_cost(size: int) -> float:
+    """Nominal CPU seconds to serialize ``size`` bytes."""
+    return SERIALIZE_BASE_S + size / SERIALIZE_BANDWIDTH
+
+
+def deserialize_cost(size: int) -> float:
+    """Nominal CPU seconds to deserialize ``size`` bytes (same model)."""
+    return SERIALIZE_BASE_S + size / SERIALIZE_BANDWIDTH

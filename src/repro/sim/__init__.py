@@ -1,0 +1,47 @@
+"""Simulated science substrates: chemistry oracle, water clusters, datasets."""
+
+from repro.sim.chemistry import (
+    MoleculeLibrary,
+    SimulationRecord,
+    TightBindingSimulator,
+)
+from repro.sim.datasets import (
+    DftRecord,
+    DftSimulator,
+    hydronet_like_dataset,
+    moses_like_library,
+)
+from repro.sim.water import (
+    ATOM_C,
+    ATOM_H,
+    ATOM_O,
+    PairPotential,
+    Structure,
+    make_test_set,
+    make_water_cluster,
+    maxwell_boltzmann_velocities,
+    reference_potential,
+    run_md,
+    ttm_potential,
+)
+
+__all__ = [
+    "MoleculeLibrary",
+    "SimulationRecord",
+    "TightBindingSimulator",
+    "DftRecord",
+    "DftSimulator",
+    "hydronet_like_dataset",
+    "moses_like_library",
+    "ATOM_C",
+    "ATOM_H",
+    "ATOM_O",
+    "PairPotential",
+    "Structure",
+    "make_test_set",
+    "make_water_cluster",
+    "maxwell_boltzmann_velocities",
+    "reference_potential",
+    "run_md",
+    "ttm_potential",
+]

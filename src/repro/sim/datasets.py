@@ -1,0 +1,137 @@
+"""Dataset builders standing in for the paper's external data.
+
+* MOSES / nCov-Group candidate set → :func:`moses_like_library`;
+* HydroNet (TTM-computed water-cluster energies) → :func:`hydronet_like_dataset`,
+  the 1720-structure pre-training corpus of §III-B;
+* Psi4 DFT oracle → :class:`DftSimulator`, which evaluates the *reference*
+  potential with method noise and a ~360 s simulated duration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.clock import get_clock
+from repro.serialize import Blob
+from repro.sim.chemistry import MoleculeLibrary
+from repro.sim.water import (
+    PairPotential,
+    Structure,
+    make_water_cluster,
+    reference_potential,
+    run_md,
+    ttm_potential,
+)
+
+__all__ = [
+    "moses_like_library",
+    "hydronet_like_dataset",
+    "DftRecord",
+    "DftSimulator",
+]
+
+
+def moses_like_library(
+    n_molecules: int = 4000, seed: int = 0, n_features: int = 32
+) -> MoleculeLibrary:
+    """The synthetic stand-in for the 1.1 M-molecule MOSES candidate set."""
+    return MoleculeLibrary(n_molecules, n_features=n_features, seed=seed)
+
+
+def hydronet_like_dataset(
+    n_structures: int = 1720,
+    *,
+    n_waters: int = 6,
+    seed: int = 7,
+    jitter: float = 0.08,
+    potential: PairPotential | None = None,
+) -> tuple[list[Structure], np.ndarray]:
+    """Pre-training corpus: diverse water/methane clusters with energies
+    from the approximate (TTM-like) method.
+
+    Diversity comes from short ground-truth MD bursts at mixed temperatures
+    from many random starts plus Gaussian position jitter, mimicking how
+    HydroNet's minima+perturbations cover configuration space.
+    """
+    potential = potential or ttm_potential()
+    reference = reference_potential()
+    structures: list[Structure] = []
+    rng = np.random.default_rng(seed)
+    start_index = 0
+    while len(structures) < n_structures:
+        start = make_water_cluster(n_waters, seed=seed + start_index)
+        temperature = float(rng.choice([100.0, 300.0, 600.0]))
+        frames = run_md(
+            start,
+            reference.forces,
+            n_steps=8,
+            temperature=temperature,
+            seed=seed + 31 * start_index,
+            sample_every=2,
+        )
+        for frame in frames:
+            if jitter > 0:
+                frame.positions = frame.positions + rng.normal(
+                    0.0, jitter, size=frame.positions.shape
+                )
+            structures.append(frame)
+        start_index += 1
+    structures = structures[:n_structures]
+    energies = np.array([potential.energy(s) for s in structures])
+    return structures, energies
+
+
+@dataclass(frozen=True)
+class DftRecord:
+    """One DFT evaluation: energy, forces, and the small output artifact
+    (§III-B: each task produces ~20 kB)."""
+
+    energy: float
+    forces: np.ndarray
+    wall_time: float
+    artifacts: Blob
+
+
+class DftSimulator:
+    """The Psi4 stand-in: reference potential + noise + ~360 s duration."""
+
+    def __init__(
+        self,
+        *,
+        duration_mean: float = 360.0,
+        duration_jitter: float = 0.2,
+        energy_noise: float = 0.01,
+        force_noise: float = 0.005,
+        artifact_bytes: int = 20_000,
+        seed: int = 0,
+    ) -> None:
+        self.potential = reference_potential()
+        self.duration_mean = duration_mean
+        self.duration_jitter = duration_jitter
+        self.energy_noise = energy_noise
+        self.force_noise = force_noise
+        self.artifact_bytes = artifact_bytes
+        self._seed = seed
+        self._counter = 0
+
+    def compute(self, structure: Structure, seed: int | None = None) -> DftRecord:
+        """Evaluate one structure (sleeps the simulated DFT duration)."""
+        if seed is None:
+            self._counter += 1
+            seed = self._seed + self._counter
+        rng = np.random.default_rng(seed)
+        duration = self.duration_mean * float(
+            np.exp(rng.normal(0.0, self.duration_jitter))
+        )
+        get_clock().sleep(duration)
+        energy, forces = self.potential.energy_and_forces(structure)
+        energy += float(rng.normal(0.0, self.energy_noise))
+        forces = forces + rng.normal(0.0, self.force_noise, size=forces.shape)
+        return DftRecord(
+            energy=energy,
+            forces=forces,
+            wall_time=duration,
+            artifacts=Blob(self.artifact_bytes, tag="psi4-output"),
+        )

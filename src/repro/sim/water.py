@@ -1,0 +1,331 @@
+"""Water-cluster physics for the surrogate fine-tuning application.
+
+The paper fine-tunes a SchNet model from approximate TTM energies to DFT
+(Psi4, PBE0/aug-cc-pvdz) energies+forces of methane solvated in water.  The
+stand-ins here are two parameterizations of one analytic cluster potential
+(harmonic intramolecular bonds + soft-core Lennard-Jones + screened Coulomb,
+all with closed-form forces):
+
+* :func:`reference_potential` — the "DFT" ground truth;
+* :func:`ttm_potential` — the cheap-but-biased pre-training oracle, with
+  perturbed well depths/charges so models trained on it carry a systematic
+  error that fine-tuning on reference data genuinely removes (the Fig. 7a
+  before/after effect).
+
+Also here: cluster generation, the molecular-dynamics sampler the *sampling*
+tasks run (velocity Verlet with Maxwell-Boltzmann initialization and a weak
+velocity-rescale thermostat), and the ground-truth test-set recipe (§III-B:
+10 trajectories × {100, 300, 900} K × 32 steps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "ATOM_O",
+    "ATOM_H",
+    "ATOM_C",
+    "Structure",
+    "PairPotential",
+    "reference_potential",
+    "ttm_potential",
+    "make_water_cluster",
+    "maxwell_boltzmann_velocities",
+    "run_md",
+    "make_test_set",
+]
+
+ATOM_O, ATOM_H, ATOM_C = 0, 1, 2
+_MASSES = np.array([16.0, 1.0, 12.0])  # per type code, amu-ish
+_SOFT_CORE = 0.15  # Å; keeps r -> 0 finite while staying differentiable
+
+
+@dataclass
+class Structure:
+    """An atomic cluster: positions (N, 3), per-atom type codes, bonds."""
+
+    positions: np.ndarray
+    types: np.ndarray
+    bonds: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=float)
+        self.types = np.asarray(self.types, dtype=int)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 3:
+            raise ValueError("positions must have shape (n_atoms, 3)")
+        if self.types.shape != (self.positions.shape[0],):
+            raise ValueError("types must have shape (n_atoms,)")
+
+    @property
+    def n_atoms(self) -> int:
+        return self.positions.shape[0]
+
+    @property
+    def masses(self) -> np.ndarray:
+        return _MASSES[self.types]
+
+    def copy(self) -> "Structure":
+        return Structure(self.positions.copy(), self.types.copy(), self.bonds)
+
+
+def _soft_r(r2: np.ndarray) -> np.ndarray:
+    return np.sqrt(r2 + _SOFT_CORE * _SOFT_CORE)
+
+
+@dataclass(frozen=True)
+class PairPotential:
+    """Harmonic bonds + soft-core LJ + screened Coulomb, analytic forces.
+
+    Per-species parameters index by type code (O=0, H=1, C=2).  Non-bonded
+    terms apply to every non-bonded pair; LJ parameters combine by
+    Lorentz-Berthelot rules.
+    """
+
+    bond_k: float = 22.0  # eV / Å^2
+    bond_r0: tuple[float, ...] = (0.96, 0.96, 1.09)  # keyed by heavy-atom type
+    lj_epsilon: tuple[float, ...] = (0.012, 0.003, 0.010)  # per type, eV
+    lj_sigma: tuple[float, ...] = (3.15, 1.80, 3.40)  # per type, Å
+    charges: tuple[float, ...] = (-0.82, 0.41, -0.40)  # per type, e
+    coulomb_k: float = 2.2  # screened eV·Å/e^2
+    #: Added to every pair energy channel; lets variants shift the surface.
+    offset_per_atom: float = 0.0
+
+    def _bond_r0(self, ti: int, tj: int) -> float:
+        heavy = ti if ti != ATOM_H else tj
+        return self.bond_r0[heavy]
+
+    def energy_and_forces(self, structure: Structure) -> tuple[float, np.ndarray]:
+        x = structure.positions
+        t = structure.types
+        n = structure.n_atoms
+        forces = np.zeros_like(x)
+        energy = self.offset_per_atom * n
+
+        bonded = np.zeros((n, n), dtype=bool)
+        for i, j in structure.bonds:
+            bonded[i, j] = bonded[j, i] = True
+
+        i_idx, j_idx = np.triu_indices(n, k=1)
+        vec = x[i_idx] - x[j_idx]
+        r2 = np.sum(vec * vec, axis=1)
+        s = _soft_r(r2)
+        r = np.sqrt(np.maximum(r2, 1e-12))
+        # dV/dx_i = (dV/ds)(ds/dr)(dr/dx_i); ds/dr = r/s, dr/dx_i = vec/r,
+        # so the chain collapses to (dV/ds) * vec / s.
+        dv_ds = np.zeros_like(s)
+        pair_bonded = bonded[i_idx, j_idx]
+
+        # Harmonic bonds, on the softened distance for consistency.
+        if pair_bonded.any():
+            r0 = np.array(
+                [
+                    self._bond_r0(int(t[i]), int(t[j]))
+                    for i, j in zip(i_idx[pair_bonded], j_idx[pair_bonded])
+                ]
+            )
+            delta = s[pair_bonded] - r0
+            energy += float(np.sum(self.bond_k * delta * delta))
+            dv_ds[pair_bonded] += 2.0 * self.bond_k * delta
+
+        nb = ~pair_bonded
+        if nb.any():
+            eps_i = np.asarray(self.lj_epsilon)[t[i_idx[nb]]]
+            eps_j = np.asarray(self.lj_epsilon)[t[j_idx[nb]]]
+            sig_i = np.asarray(self.lj_sigma)[t[i_idx[nb]]]
+            sig_j = np.asarray(self.lj_sigma)[t[j_idx[nb]]]
+            eps = np.sqrt(eps_i * eps_j)
+            sig = 0.5 * (sig_i + sig_j)
+            sn = s[nb]
+            # Soft-core LJ: u = sigma^6 / (s^6 + alpha*sigma^6) bounds the
+            # repulsive wall (u <= 1/alpha), keeping energies finite and
+            # learnable even for the occasional overlapping geometry.
+            alpha = 0.5
+            sig6 = sig**6
+            denom = sn**6 + alpha * sig6
+            u = sig6 / denom
+            energy += float(np.sum(4.0 * eps * (u * u - u)))
+            du_ds = -6.0 * sn**5 * u * u / sig6
+            dv_ds[nb] += 4.0 * eps * (2.0 * u - 1.0) * du_ds
+
+            q = np.asarray(self.charges)
+            qq = q[t[i_idx[nb]]] * q[t[j_idx[nb]]]
+            energy += float(np.sum(self.coulomb_k * qq / sn))
+            dv_ds[nb] += -self.coulomb_k * qq / (sn * sn)
+
+        pair_force = -(dv_ds / s)[:, None] * vec  # force on atom i of the pair
+        np.add.at(forces, i_idx, pair_force)
+        np.add.at(forces, j_idx, -pair_force)
+        return energy, forces
+
+    def energy(self, structure: Structure) -> float:
+        return self.energy_and_forces(structure)[0]
+
+    def forces(self, structure: Structure) -> np.ndarray:
+        return self.energy_and_forces(structure)[1]
+
+
+def reference_potential() -> PairPotential:
+    """The 'DFT' ground truth."""
+    return PairPotential()
+
+
+def ttm_potential() -> PairPotential:
+    """The cheap pre-training oracle: systematically biased parameters."""
+    return PairPotential(
+        bond_k=18.0,
+        bond_r0=(1.00, 1.00, 1.13),
+        lj_epsilon=(0.017, 0.0045, 0.014),
+        lj_sigma=(2.95, 1.65, 3.20),
+        charges=(-0.58, 0.29, -0.26),
+        coulomb_k=1.5,
+        offset_per_atom=0.02,
+    )
+
+
+def make_water_cluster(
+    n_waters: int = 6, *, with_methane: bool = True, seed: int = 0
+) -> Structure:
+    """A plausible (not minimized) cluster: waters around an optional
+    methane solute, molecules placed on a jittered shell."""
+    rng = np.random.default_rng(seed)
+    positions: list[np.ndarray] = []
+    types: list[int] = []
+    bonds: list[tuple[int, int]] = []
+
+    def add_molecule(center: np.ndarray, kind: str) -> None:
+        base = len(types)
+        if kind == "water":
+            positions.append(center)
+            types.append(ATOM_O)
+            # Two O-H arms at ~104.5 degrees, randomly oriented.
+            axis = rng.normal(size=3)
+            axis /= np.linalg.norm(axis)
+            perp = np.cross(axis, rng.normal(size=3))
+            perp /= np.linalg.norm(perp)
+            half = np.deg2rad(104.5 / 2)
+            for sign in (+1.0, -1.0):
+                direction = np.cos(half) * axis + sign * np.sin(half) * perp
+                positions.append(center + 0.96 * direction)
+                types.append(ATOM_H)
+                bonds.append((base, len(types) - 1))
+        else:  # methane
+            positions.append(center)
+            types.append(ATOM_C)
+            tet = np.array(
+                [[1, 1, 1], [1, -1, -1], [-1, 1, -1], [-1, -1, 1]], dtype=float
+            )
+            tet /= np.linalg.norm(tet[0])
+            for row in tet:
+                positions.append(center + 1.09 * row)
+                types.append(ATOM_H)
+                bonds.append((base, len(types) - 1))
+
+    centers: list[np.ndarray] = []
+    if with_methane:
+        add_molecule(np.zeros(3), "methane")
+        centers.append(np.zeros(3))
+    for k in range(n_waters):
+        # Rejection-sample a center at least ~3 Å from every placed molecule
+        # so generated clusters start outside the repulsive walls.
+        for _ in range(200):
+            direction = rng.normal(size=3)
+            direction /= np.linalg.norm(direction)
+            radius = 3.4 + 1.2 * rng.random() + 0.8 * k ** (1 / 2)
+            center = radius * direction
+            if all(np.linalg.norm(center - c) >= 3.0 for c in centers):
+                break
+        add_molecule(center, "water")
+        centers.append(center)
+    return Structure(np.array(positions), np.array(types), tuple(bonds))
+
+
+def maxwell_boltzmann_velocities(
+    structure: Structure, temperature: float, seed: int = 0
+) -> np.ndarray:
+    """Velocities at ``temperature`` (K), in the potential's natural units.
+
+    kB is folded into an effective constant chosen so the simulation's
+    energy scale behaves sensibly; absolute temperature calibration is not
+    needed for the reproduction (only relative 100/300/900 K diversity).
+    """
+    rng = np.random.default_rng(seed)
+    kb = 8.617e-5  # eV/K
+    sigma = np.sqrt(kb * max(temperature, 1e-9) / structure.masses)
+    velocities = rng.normal(size=structure.positions.shape) * sigma[:, None]
+    velocities -= velocities.mean(axis=0)  # zero net momentum
+    return velocities
+
+
+def run_md(
+    structure: Structure,
+    force_fn: Callable[[Structure], np.ndarray],
+    n_steps: int,
+    *,
+    dt: float = 0.5e-2,
+    temperature: float = 100.0,
+    seed: int = 0,
+    sample_every: int = 1,
+    rescale_every: int = 20,
+) -> list[Structure]:
+    """Velocity-Verlet MD driven by ``force_fn``; returns sampled frames.
+
+    This is what a *sampling* task runs, with the trained surrogate
+    providing ``force_fn`` — so few steps give little diversity and many
+    steps accumulate model error, the §III-B trade-off.
+    """
+    if n_steps <= 0:
+        raise ValueError("n_steps must be positive")
+    current = structure.copy()
+    velocities = maxwell_boltzmann_velocities(current, temperature, seed)
+    masses = current.masses[:, None]
+    forces = np.clip(force_fn(current), -50.0, 50.0)
+    kb = 8.617e-5
+    frames: list[Structure] = []
+    for step in range(1, n_steps + 1):
+        velocities = velocities + 0.5 * dt * forces / masses
+        current.positions = current.positions + dt * velocities
+        forces = np.clip(force_fn(current), -50.0, 50.0)
+        velocities = velocities + 0.5 * dt * forces / masses
+        if rescale_every and step % rescale_every == 0 and temperature > 0:
+            kinetic = 0.5 * np.sum(masses * velocities * velocities)
+            dof = max(3 * current.n_atoms - 3, 1)
+            current_t = 2.0 * kinetic / (dof * kb)
+            if current_t > 1e-12:
+                velocities *= np.sqrt(temperature / current_t)
+        if step % sample_every == 0:
+            frames.append(current.copy())
+    return frames
+
+
+def make_test_set(
+    potential: PairPotential | None = None,
+    *,
+    n_trajectories: int = 10,
+    temperatures: tuple[float, ...] = (100.0, 300.0, 900.0),
+    n_steps: int = 32,
+    n_waters: int = 6,
+    seed: int = 1234,
+) -> list[tuple[Structure, float, np.ndarray]]:
+    """§III-B's held-out test set: ground-truth MD frames with energies and
+    forces, unseen by any training run."""
+    potential = potential or reference_potential()
+    out: list[tuple[Structure, float, np.ndarray]] = []
+    for traj in range(n_trajectories):
+        start = make_water_cluster(n_waters, seed=seed + traj)
+        for temperature in temperatures:
+            frames = run_md(
+                start,
+                potential.forces,
+                n_steps,
+                temperature=temperature,
+                seed=seed + 17 * traj + int(temperature),
+                sample_every=max(n_steps // 4, 1),
+            )
+            for frame in frames:
+                energy, forces = potential.energy_and_forces(frame)
+                out.append((frame, energy, forces))
+    return out

@@ -1,0 +1,19 @@
+"""Cloud-managed data transfer (the Globus Transfer substitute)."""
+
+from repro.transfer.client import TransferClient
+from repro.transfer.service import (
+    TransferEndpoint,
+    TransferItem,
+    TransferService,
+    TransferStatus,
+    TransferTask,
+)
+
+__all__ = [
+    "TransferClient",
+    "TransferEndpoint",
+    "TransferItem",
+    "TransferService",
+    "TransferStatus",
+    "TransferTask",
+]

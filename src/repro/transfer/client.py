@@ -1,0 +1,96 @@
+"""Client SDK for the simulated transfer service.
+
+Separating client from service matters because the *client* pays the
+costs the paper measures: each API call is an HTTPS request that rides the
+caller-site→cloud link and then waits on the web service's processing
+latency (≈500 ms median for submissions, §V-D1).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TransferError
+from repro.net.clock import Clock, get_clock
+from repro.net.context import current_site
+from repro.net.defaults import PaperConstants
+from repro.net.topology import LogNormalLatency, Network, Site
+from repro.transfer.service import (
+    TransferItem,
+    TransferService,
+    TransferStatus,
+    TransferTask,
+)
+
+__all__ = ["TransferClient"]
+
+# Status polls are lighter-weight GET requests than transfer submissions.
+_STATUS_LATENCY = LogNormalLatency(0.12, 0.30, cap=0.8)
+
+
+class TransferClient:
+    """A per-user handle on the transfer service.
+
+    The client is pickleable state-free glue (service handles are looked up
+    through the object graph), so it can ride inside proxies' factories.
+    """
+
+    def __init__(
+        self,
+        service: TransferService,
+        user: str = "default",
+        *,
+        site: Site | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self._service = service
+        self._network: Network = service._network
+        self._constants: PaperConstants = service._constants
+        self.user = user
+        self._site = site
+        self._clock = clock or get_clock()
+
+    def _caller_site(self) -> Site:
+        return self._site or current_site() or self._service.site
+
+    def _pay_request(self, processing: float) -> None:
+        caller = self._caller_site()
+        cost = self._network.rtt(caller, self._service.site) + processing
+        self._clock.sleep(cost)
+
+    # -- API --------------------------------------------------------------
+    def submit(
+        self,
+        src_endpoint: str,
+        dst_endpoint: str,
+        items: list[TransferItem] | list[tuple[str, str]],
+    ) -> str:
+        """Submit a transfer task; returns its id after the HTTPS round trip."""
+        self._pay_request(
+            self._network._sample(self._constants.globus_request_latency)
+        )
+        return self._service.submit(self.user, src_endpoint, dst_endpoint, items)
+
+    def status(self, task_id: str) -> TransferStatus:
+        self._pay_request(self._network._sample(_STATUS_LATENCY))
+        return self._service.status(task_id).status
+
+    def task(self, task_id: str) -> TransferTask:
+        self._pay_request(self._network._sample(_STATUS_LATENCY))
+        return self._service.status(task_id)
+
+    def wait(self, task_id: str, timeout: float | None = None) -> TransferTask:
+        """Block (on the task's completion event, then confirm with a status
+        call) until the task reaches a terminal state.
+
+        Timeout is in nominal seconds.  Raises :class:`TransferError` if the
+        task failed or the wait timed out.
+        """
+        task = self._service.status(task_id)
+        if not task.done_event.wait(self._clock.wall_timeout(timeout)):
+            raise TransferError(f"timed out waiting for transfer {task_id}")
+        # One confirming status poll, like the SDK's task_wait.
+        self._pay_request(self._network._sample(_STATUS_LATENCY))
+        if task.status is not TransferStatus.SUCCEEDED:
+            raise TransferError(
+                f"transfer {task_id} failed: {task.error or 'unknown error'}"
+            )
+        return task

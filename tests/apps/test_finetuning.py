@@ -1,0 +1,149 @@
+"""Tests for the surrogate fine-tuning application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.environment import register_software
+from repro.apps.finetuning import (
+    FineTuneConfig,
+    evaluate_force_rmsd,
+    infer_energies,
+    pretrain_ensemble,
+    run_dft,
+    run_finetuning_campaign,
+    run_sampling,
+    train_schnet,
+)
+from repro.apps.finetuning.tasks import DFT_KEY
+from repro.ml.schnet import RbfBasis, SchnetSurrogate
+from repro.serialize import Blob
+from repro.sim.datasets import DftSimulator, hydronet_like_dataset
+from repro.sim.water import make_test_set, make_water_cluster
+
+
+TINY = FineTuneConfig(
+    n_waters=2,
+    n_pretrain=60,
+    target_new_structures=10,
+    retrain_after=4,
+    n_ensemble=2,
+    audit_pool_target=3,
+    uncertainty_batch=12,
+    inference_batch=6,
+    uncertainty_pool_size=6,
+    pretrain_epochs=10,
+    train_epochs=8,
+    n_rbf_centers=6,
+    hidden_layers=(12,),
+    sampling_min_steps=4,
+    sampling_max_steps=12,
+    dft_duration=4.0,
+    train_duration=5.0,
+    inference_duration=0.5,
+    sampling_duration=0.5,
+    model_padding=1_000_000,
+)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FineTuneConfig(target_new_structures=0)
+    with pytest.raises(ValueError):
+        FineTuneConfig(sampling_min_steps=100, sampling_max_steps=10)
+    with pytest.raises(ValueError):
+        FineTuneConfig(n_ensemble=0)
+
+
+# -- task functions ----------------------------------------------------------------
+
+
+@pytest.fixture
+def trained_model():
+    structures, energies = hydronet_like_dataset(40, n_waters=2, seed=0)
+    model = SchnetSurrogate(RbfBasis(n_centers=6), hidden=(12,), seed=0)
+    model.train(structures, energies, epochs=8)
+    return model
+
+
+def test_run_sampling_task(trained_model):
+    start = make_water_cluster(2, seed=1)
+    out = run_sampling(
+        trained_model,
+        start,
+        n_steps=8,
+        temperature=100.0,
+        seed=0,
+        duration=0.3,
+        payload_bytes=1000,
+    )
+    assert len(out["frames"]) >= 1
+    assert out["last"] is out["frames"][-1]
+    assert out["n_steps"] == 8
+    assert isinstance(out["artifacts"], Blob)
+
+
+def test_run_dft_task():
+    register_software(DFT_KEY, DftSimulator(duration_mean=0.3, seed=0), replace=True)
+    structure = make_water_cluster(2, seed=2)
+    out = run_dft(structure)
+    assert np.isfinite(out["energy"])
+    assert out["forces"].shape == structure.positions.shape
+    assert out["structure"].n_atoms == structure.n_atoms
+
+
+def test_train_schnet_task(trained_model):
+    structures = [make_water_cluster(2, seed=i) for i in range(8)]
+    from repro.sim.water import reference_potential
+
+    energies = np.array([reference_potential().energy(s) for s in structures])
+    out = train_schnet(
+        trained_model, structures, energies, duration=0.2, epochs=3, seed=0
+    )
+    assert out is trained_model  # same object, updated weights
+
+
+def test_infer_energies_task(trained_model):
+    structures = [make_water_cluster(2, seed=i) for i in range(5)]
+    out = infer_energies(trained_model, structures, duration=0.1, payload_bytes=100)
+    assert out["energies"].shape == (5,)
+
+
+# -- pretraining / evaluation --------------------------------------------------------------
+
+
+def test_pretrain_ensemble_builds_members():
+    structures, energies = hydronet_like_dataset(40, n_waters=2, seed=1)
+    models = pretrain_ensemble(TINY, structures, energies, seed=0)
+    assert len(models) == TINY.n_ensemble
+    predictions = [m.predict(structures[:5]) for m in models]
+    assert not np.allclose(predictions[0], predictions[1])
+
+
+def test_evaluate_force_rmsd_returns_finite():
+    structures, energies = hydronet_like_dataset(30, n_waters=2, seed=2)
+    models = pretrain_ensemble(TINY, structures, energies, seed=0)
+    test_set = make_test_set(n_trajectories=1, n_steps=4, n_waters=2, seed=1)
+    rmsd, energy_rmse = evaluate_force_rmsd(models, test_set)
+    assert np.isfinite(rmsd) and rmsd > 0
+    assert np.isfinite(energy_rmse)
+
+
+# -- campaign ------------------------------------------------------------------------------------
+
+
+def test_tiny_finetuning_campaign():
+    outcome = run_finetuning_campaign(
+        "funcx+globus",
+        TINY,
+        seed=4,
+        n_cpu_workers=3,
+        n_gpu_workers=3,
+        join_timeout=180,
+    )
+    assert outcome.n_new_structures >= TINY.target_new_structures
+    assert outcome.n_failures == 0
+    assert len(outcome.results["simulate"]) >= TINY.target_new_structures
+    assert len(outcome.results["sample"]) >= 1
+    assert len(outcome.results["train"]) >= TINY.n_ensemble
+    # Fine-tuning on reference data must improve energy accuracy.
+    assert outcome.energy_rmse_after < outcome.energy_rmse_before

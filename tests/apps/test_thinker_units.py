@@ -1,0 +1,306 @@
+"""Unit tests for the application Thinkers' steering logic.
+
+These construct the thinkers directly and drive their result processors
+with fabricated Results — no workflow stack — so the policy decisions
+(queue ordering, retrain triggers, pool management, batch bookkeeping) are
+tested in isolation from the simulator's timing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.finetuning.config import FineTuneConfig
+from repro.apps.finetuning.thinker import FineTuneThinker
+from repro.apps.moldesign.config import MolDesignConfig
+from repro.apps.moldesign.thinker import MolDesignThinker
+from repro.core.queues import ColmenaQueues
+from repro.core.result import Result
+from repro.ml.schnet import RbfBasis, SchnetSurrogate
+from repro.net.kvstore import KVServer
+from repro.sim.chemistry import MoleculeLibrary
+from repro.sim.water import make_water_cluster
+
+
+def call(bound_method, *args):
+    """Invoke the undecorated body of an agent-wrapped method."""
+    return bound_method.__wrapped__(bound_method.__self__, *args)
+
+
+def make_queues(testbed):
+    return ColmenaQueues(
+        KVServer(testbed.theta_login),
+        testbed.network,
+        topics=["simulate", "train", "infer", "sample"],
+    )
+
+
+def make_md_thinker(testbed, **overrides):
+    defaults = dict(
+        n_molecules=50,
+        n_initial=4,
+        max_simulations=10,
+        retrain_after=4,
+        n_ensemble=2,
+        inference_chunks=2,
+    )
+    defaults.update(overrides)
+    config = MolDesignConfig(**defaults)
+    library = MoleculeLibrary(config.n_molecules, seed=0)
+    return MolDesignThinker(
+        make_queues(testbed),
+        testbed.theta_login,
+        config,
+        library,
+        n_cpu_slots=2,
+    )
+
+
+def sim_result(thinker, molecule, ip=15.0, wall=60.0, success=True):
+    result = Result(method="simulate_molecule", topic="simulate")
+    if success:
+        result.set_success(
+            {"molecule_index": molecule, "ip": ip, "wall_time": wall, "artifacts": None}
+        )
+    else:
+        result.set_failure("boom")
+    result.mark_created()
+    result.mark_client_result_received()
+    return result
+
+
+# -- molecular design --------------------------------------------------------
+
+
+def test_md_next_molecule_skips_known_and_inflight(testbed):
+    thinker = make_md_thinker(testbed)
+    first = thinker._next_molecule()
+    thinker._in_flight.add(first)
+    second = thinker._next_molecule()
+    assert second != first
+    thinker.database[second] = 12.0
+    # Reset cursor: both should now be skipped.
+    thinker._cursor = 0
+    thinker._ranked = [first, second, 99]
+    assert thinker._next_molecule() == 99
+
+
+def test_md_next_molecule_exhausted(testbed):
+    thinker = make_md_thinker(testbed)
+    thinker._ranked = [1]
+    thinker._cursor = 0
+    thinker.database[1] = 10.0
+    assert thinker._next_molecule() is None
+
+
+def test_md_found_counting_uses_threshold(testbed):
+    thinker = make_md_thinker(testbed)
+    above = thinker.threshold + 1.0
+    below = thinker.threshold - 1.0
+    thinker.resources.acquire("simulation", 2, timeout=1)
+    call(thinker.process_simulation, sim_result(thinker, 1, ip=above))
+    call(thinker.process_simulation, sim_result(thinker, 2, ip=below))
+    assert thinker.n_found == 1
+    assert thinker.found_timeline[-1][1] == 1
+    # CPU time accumulated on the timeline x-axis.
+    assert thinker.found_timeline[-1][0] == pytest.approx(120.0)
+
+
+def test_md_retrain_triggers_after_quota(testbed):
+    thinker = make_md_thinker(testbed, n_initial=2, retrain_after=2)
+    thinker.resources.acquire("simulation", 2, timeout=1)
+    call(thinker.process_simulation, sim_result(thinker, 1))
+    assert not thinker.event("retrain").is_set()
+    thinker.resources.acquire("simulation", 1, timeout=1)
+    call(thinker.process_simulation, sim_result(thinker, 2))
+    assert thinker.event("retrain").is_set()
+    assert thinker._retraining
+    assert thinker._batch_id == 1
+
+
+def test_md_no_retrain_while_one_in_flight(testbed):
+    thinker = make_md_thinker(testbed, n_initial=2, retrain_after=2)
+    thinker._retraining = True
+    for molecule in (1, 2, 3, 4):
+        thinker.resources.acquire("simulation", 1, timeout=1)
+        call(thinker.process_simulation, sim_result(thinker, molecule))
+    assert thinker._batch_id == 0  # suppressed while retraining
+
+
+def test_md_failure_releases_slot_without_counting(testbed):
+    thinker = make_md_thinker(testbed)
+    thinker.resources.acquire("simulation", 1, timeout=1)
+    call(thinker.process_simulation, sim_result(thinker, 1, success=False))
+    assert len(thinker.task_failures) == 1
+    assert thinker._sims_completed == 0
+    assert thinker.resources.available("simulation") == 2  # slot returned
+
+
+def test_md_done_at_budget(testbed):
+    thinker = make_md_thinker(testbed, n_initial=2, max_simulations=3, retrain_after=50)
+    for molecule in (1, 2, 3):
+        thinker.resources.acquire("simulation", 1, timeout=1)
+        call(thinker.process_simulation, sim_result(thinker, molecule))
+    assert thinker.done.is_set()
+
+
+def test_md_inference_reorders_queue(testbed):
+    thinker = make_md_thinker(testbed, n_ensemble=1, inference_chunks=1)
+    thinker._batch_id = 1
+    thinker._retraining = True
+    thinker._batch_scores = np.full((1, len(thinker.library)), np.nan)
+    thinker._batch_chunks_received = 0
+    thinker._ml_start = 0.0
+    scores = np.linspace(0.0, 1.0, len(thinker.library))
+    result = Result(
+        method="run_inference",
+        topic="infer",
+        task_info={"batch": 1, "member": 0, "chunk": 0},
+    )
+    result.set_success(
+        {"chunk_indices": np.arange(len(thinker.library)), "scores": scores,
+         "artifacts": None}
+    )
+    result.mark_created()
+    call(thinker.process_inference, result)
+    # Highest-scoring molecule first after the UCB reorder.
+    assert thinker._ranked[0] == len(thinker.library) - 1
+    assert not thinker._retraining
+    assert len(thinker.ml_makespans) == 1
+
+
+def test_md_stale_batch_results_ignored(testbed):
+    thinker = make_md_thinker(testbed)
+    thinker._batch_id = 2
+    result = Result(
+        method="run_inference", topic="infer",
+        task_info={"batch": 1, "member": 0, "chunk": 0},
+    )
+    result.set_success({"chunk_indices": np.array([0]), "scores": np.array([1.0]),
+                        "artifacts": None})
+    call(thinker.process_inference, result)  # no crash, no state change
+    assert thinker._batch_scores is None
+
+
+# -- fine-tuning -------------------------------------------------------------------
+
+
+def make_ft_thinker(testbed, **overrides):
+    defaults = dict(
+        n_waters=2,
+        n_pretrain=10,
+        target_new_structures=6,
+        retrain_after=2,
+        n_ensemble=2,
+        uncertainty_batch=4,
+        inference_batch=2,
+        uncertainty_pool_size=2,
+        n_rbf_centers=6,
+        hidden_layers=(8,),
+    )
+    defaults.update(overrides)
+    config = FineTuneConfig(**defaults)
+    models = [
+        SchnetSurrogate(RbfBasis(n_centers=6), hidden=(8,), seed=i)
+        for i in range(config.n_ensemble)
+    ]
+    return FineTuneThinker(
+        make_queues(testbed),
+        testbed.theta_login,
+        config,
+        models,
+        n_cpu_slots=4,
+    )
+
+
+def dft_result(structure, energy=1.0):
+    result = Result(method="run_dft", topic="simulate")
+    result.set_success(
+        {"structure": structure, "energy": energy,
+         "forces": np.zeros_like(structure.positions), "wall_time": 360.0,
+         "artifacts": None}
+    )
+    result.mark_created()
+    result.mark_client_result_received()
+    return result
+
+
+def test_ft_requires_matching_ensemble(testbed):
+    config = FineTuneConfig(n_ensemble=3)
+    with pytest.raises(ValueError):
+        FineTuneThinker(
+            make_queues(testbed), testbed.theta_login, config, [], n_cpu_slots=2
+        )
+
+
+def test_ft_retrain_trigger_and_done(testbed):
+    thinker = make_ft_thinker(testbed, target_new_structures=4, retrain_after=2)
+    structures = [make_water_cluster(2, seed=i) for i in range(4)]
+    for index, structure in enumerate(structures):
+        thinker.resources.acquire("simulate", 1, timeout=1)
+        call(thinker.process_simulation, dft_result(structure, energy=float(index)))
+    assert thinker._train_batch >= 1
+    assert thinker.event("retrain").is_set()
+    assert thinker.done.is_set()
+    assert len(thinker.new_structures) == 4
+
+
+def test_ft_sampling_feeds_audit_pool_and_buffer(testbed):
+    thinker = make_ft_thinker(testbed)
+    frames = [make_water_cluster(2, seed=i) for i in range(3)]
+    result = Result(method="run_sampling", topic="sample")
+    result.set_success({"frames": frames, "last": frames[-1], "n_steps": 8,
+                        "artifacts": None})
+    result.mark_created()
+    thinker.resources.acquire("sample", 1, timeout=1)
+    call(thinker.process_sampling, result)
+    assert len(thinker.audit_pool) == 1
+    assert thinker.audit_pool[0] is frames[-1]
+
+
+def test_ft_uncertainty_round_ranks_by_variance(testbed):
+    thinker = make_ft_thinker(testbed, uncertainty_batch=2, inference_batch=2,
+                              uncertainty_pool_size=1)
+    structures = [make_water_cluster(2, seed=i) for i in range(2)]
+    thinker._rank_round = 1
+    thinker._round_structures = structures
+    thinker._round_energies = {}
+    thinker._round_pending = 2
+    for member, energies in enumerate(([1.0, 5.0], [1.0, -5.0])):
+        result = Result(
+            method="infer_energies", topic="infer",
+            task_info={"round": 1, "member": member, "chunk": 0},
+        )
+        result.set_success({"energies": np.array(energies), "artifacts": None})
+        result.mark_created()
+        call(thinker.process_inference, result)
+    # Structure 1 has wildly disagreeing predictions -> highest variance.
+    assert thinker.uncertainty_pool == [structures[1]]
+
+
+def test_ft_simulation_prefers_uncertainty_pool(testbed):
+    thinker = make_ft_thinker(testbed)
+    marked = make_water_cluster(2, seed=99)
+    thinker.uncertainty_pool = [marked]
+    thinker.resources.acquire("simulate", 1, timeout=1)
+    from repro.net.context import at_site
+
+    with at_site(testbed.theta_login):
+        call(thinker.submit_simulation)
+    task = thinker.queues.get_task(timeout=5)
+    assert task.method == "run_dft"
+    assert np.allclose(task.args[0].positions, marked.positions)
+    assert thinker.uncertainty_pool == []
+
+
+def test_ft_training_updates_member_and_resets_ref(testbed):
+    thinker = make_ft_thinker(testbed)
+    thinker._model_refs[0] = object()  # pretend a stale proxy exists
+    new_model = SchnetSurrogate(RbfBasis(n_centers=6), hidden=(8,), seed=42)
+    result = Result(
+        method="train_schnet", topic="train", task_info={"batch": 1, "member": 0}
+    )
+    result.set_success(new_model)
+    result.mark_created()
+    call(thinker.process_training, result)
+    assert thinker.models[0] is not None
+    assert thinker._model_refs[0] is None  # next submission re-proxies

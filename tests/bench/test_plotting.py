@@ -1,0 +1,35 @@
+"""Tests for the ASCII figure renderer."""
+
+from repro.bench.plotting import ascii_bars, ascii_timeseries
+
+
+def test_timeseries_renders_shape():
+    series = [(0.0, 0.0), (1.0, 5.0), (2.0, 10.0), (3.0, 2.0)]
+    text = ascii_timeseries(series, title="demo", width=20, height=5, y_label="found")
+    assert "demo" in text
+    assert "[found]" in text
+    assert "#" in text
+    assert "10" in text  # the max appears on the axis
+
+
+def test_timeseries_handles_flat_and_single_point():
+    flat = ascii_timeseries([(0.0, 3.0), (2.0, 3.0)], width=10, height=3)
+    assert "#" in flat
+    single = ascii_timeseries([(1.0, 1.0)], width=10, height=3)
+    assert "#" in single
+
+
+def test_timeseries_empty():
+    assert "(no data)" in ascii_timeseries([])
+
+
+def test_bars_scale_to_peak():
+    text = ascii_bars([("a", 1.0), ("bb", 4.0)], title="t", unit="s")
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    assert lines[2].count("#") > lines[1].count("#")
+    assert "4s" in lines[2]
+
+
+def test_bars_empty():
+    assert "(no data)" in ascii_bars([])

@@ -1,0 +1,139 @@
+"""Tests for the benchmark support modules (event log, report tables)."""
+
+import pytest
+
+from repro.bench.recording import (
+    Event,
+    EventLog,
+    cumulative_series,
+    emit,
+    get_global_log,
+    running_series,
+    set_global_log,
+)
+from repro.bench.recording import value_at
+from repro.bench.reporting import Comparison, ReportTable, percentile, summarize
+from repro.net.clock import get_clock
+
+
+# -- event log -------------------------------------------------------------
+
+
+def test_append_and_filter():
+    log = EventLog()
+    log.append("start", resource="a")
+    log.append("start", resource="b")
+    log.append("end", resource="a")
+    assert len(log) == 3
+    assert len(log.events("start")) == 2
+    assert len(log.events("start", resource="a")) == 1
+    assert log.events()[0].kind == "start"
+
+
+def test_events_are_timestamped_in_order():
+    log = EventLog()
+    log.append("a")
+    get_clock().sleep(0.5)
+    log.append("b")
+    events = log.events()
+    assert events[1].t - events[0].t >= 0.5
+
+
+def test_event_access_helpers():
+    event = Event(t=1.0, kind="k", data={"x": 2})
+    assert event["x"] == 2
+    assert event.get("x") == 2
+    assert event.get("missing", 7) == 7
+
+
+def test_clear():
+    log = EventLog()
+    log.append("a")
+    log.clear()
+    assert len(log) == 0
+
+
+def test_global_log_emit():
+    log = EventLog()
+    set_global_log(log)
+    try:
+        emit("thing", value=3)
+        assert get_global_log() is log
+        assert log.events("thing")[0]["value"] == 3
+    finally:
+        set_global_log(None)
+    emit("ignored")  # no log installed: must be a no-op
+    assert len(log.events("ignored")) == 0
+
+
+def test_running_series():
+    events = [
+        Event(1.0, "start"),
+        Event(2.0, "start"),
+        Event(3.0, "end"),
+        Event(4.0, "end"),
+    ]
+    series = running_series(events, "start", "end")
+    assert series == [(1.0, 1), (2.0, 2), (3.0, 1), (4.0, 0)]
+
+
+def test_cumulative_series():
+    events = [
+        Event(1.0, "xfer", {"bytes": 10}),
+        Event(3.0, "xfer", {"bytes": 5}),
+        Event(2.0, "other", {"bytes": 100}),
+    ]
+    series = cumulative_series(events, "xfer", "bytes")
+    assert series == [(1.0, 10.0), (3.0, 15.0)]
+
+
+def test_value_at():
+    series = [(1.0, 10.0), (3.0, 15.0)]
+    assert value_at(series, 0.5) == 0.0
+    assert value_at(series, 1.5) == 10.0
+    assert value_at(series, 5.0) == 15.0
+    assert value_at([], 1.0) == 0.0
+
+
+# -- reporting ---------------------------------------------------------------------
+
+
+def test_summarize_and_percentile():
+    stats = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert stats["count"] == 5
+    assert stats["median"] == 3.0
+    assert stats["mean"] == 3.0
+    assert stats["p40"] == pytest.approx(2.6)
+    assert stats["p60"] == pytest.approx(3.4)
+    empty = summarize([])
+    assert empty["count"] == 0
+    assert percentile([], 0.5) != percentile([], 0.5)  # NaN
+    assert percentile([7.0], 0.9) == 7.0
+
+
+def test_comparison_verdicts():
+    assert Comparison("a", "p", "m").verdict() == "-"
+    assert Comparison("a", "p", "m", holds=True).verdict() == "OK"
+    assert Comparison("a", "p", "m", holds=False).verdict() == "DIVERGES"
+
+
+def test_report_table_render_and_all_hold():
+    table = ReportTable("Demo")
+    table.add("metric one", "10x", "12x", holds=True)
+    table.add("informational", "-", "42")
+    table.note("a note")
+    text = table.render()
+    assert "Demo" in text
+    assert "metric one" in text
+    assert "OK" in text
+    assert "note: a note" in text
+    assert table.all_hold
+
+    table.add("bad", "yes", "no", holds=False)
+    assert not table.all_hold
+    assert "DIVERGES" in table.render()
+
+
+def test_report_table_empty_renders():
+    table = ReportTable("Empty")
+    assert "Empty" in table.render()

@@ -1,0 +1,42 @@
+"""Shared fixtures: fast clock, clean registries, canonical testbed."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.apps.environment import clear_software
+from repro.bench.recording import set_global_log
+from repro.net.clock import reset_clock
+from repro.net.defaults import build_paper_testbed
+from repro.proxystore.store import clear_store_registry
+
+# Property tests share the module-scoped clean_state fixture; silence the
+# (irrelevant here) function-scoped-fixture health check.
+settings.register_profile(
+    "repro",
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+    deadline=None,
+    max_examples=50,
+)
+settings.load_profile("repro")
+
+#: One nominal second = 2 ms of wall time in tests.
+TEST_TIME_SCALE = 0.002
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    reset_clock(TEST_TIME_SCALE)
+    clear_store_registry()
+    clear_software()
+    set_global_log(None)
+    yield
+    set_global_log(None)
+    clear_store_registry()
+    clear_software()
+
+
+@pytest.fixture
+def testbed():
+    return build_paper_testbed(seed=42)

@@ -1,0 +1,140 @@
+"""Tests for the Colmena client/server queues and proxy thresholds."""
+
+import pytest
+
+from repro.core.queues import ColmenaQueues, KillSignal, TopicSpec
+from repro.exceptions import WorkflowError
+from repro.net.context import at_site
+from repro.net.kvstore import KVServer
+from repro.proxystore import FileConnector, Store, is_proxy
+from repro.serialize import Blob
+
+
+@pytest.fixture
+def store(testbed):
+    return Store("q-store", FileConnector(testbed.mounts.volume("theta-lustre")))
+
+
+@pytest.fixture
+def queues(testbed, store):
+    return ColmenaQueues(
+        KVServer(testbed.theta_login),
+        testbed.network,
+        topics=["simulate"],
+        topic_specs={
+            "proxied": TopicSpec("proxied", store=store, proxy_threshold=1000)
+        },
+    )
+
+
+def test_round_trip(queues, testbed):
+    with at_site(testbed.theta_login):
+        sent = queues.send_request("method_a", args=(1, 2), topic="simulate")
+        task = queues.get_task(timeout=5)
+        assert task.method == "method_a"
+        assert task.args == (1, 2)
+        assert task.task_id == sent.task_id
+        task.set_success(3)
+        queues.send_result(task)
+        result = queues.get_result("simulate", timeout=5)
+    assert result.value == 3
+    assert result.task_id == sent.task_id
+
+
+def test_timestamps_and_durations_populated(queues, testbed):
+    with at_site(testbed.theta_login):
+        queues.send_request("m", topic="simulate")
+        task = queues.get_task(timeout=5)
+        task.set_success(None)
+        queues.send_result(task)
+        result = queues.get_result("simulate", timeout=5)
+    assert result.time_created is not None
+    assert result.time_client_sent is not None
+    assert result.time_server_received is not None
+    assert result.time_client_result_received is not None
+    assert result.dur_serialize_inputs > 0
+    assert result.dur_server_deserialize > 0
+    assert result.dur_server_serialize > 0
+    assert result.dur_deserialize_value > 0
+
+
+def test_get_result_timeout_returns_none(queues, testbed):
+    with at_site(testbed.theta_login):
+        assert queues.get_result("simulate", timeout=0.2) is None
+        assert queues.get_task(timeout=0.2) is None
+
+
+def test_topics_are_separate(queues, testbed):
+    with at_site(testbed.theta_login):
+        queues.send_request("m", topic="simulate")
+        task = queues.get_task(timeout=5)
+        task.set_success(1)
+        queues.send_result(task)
+        assert queues.get_result("default", timeout=0.2) is None
+        assert queues.get_result("simulate", timeout=5) is not None
+
+
+def test_unknown_topic_rejected(queues, testbed):
+    with at_site(testbed.theta_login):
+        with pytest.raises(WorkflowError):
+            queues.send_request("m", topic="ghost")
+
+
+def test_kill_signal(queues, testbed):
+    with at_site(testbed.theta_login):
+        queues.send_kill_signal()
+        with pytest.raises(KillSignal):
+            queues.get_task(timeout=5)
+
+
+def test_large_inputs_proxied(queues, testbed):
+    with at_site(testbed.theta_login):
+        queues.send_request(
+            "m", args=(Blob(100_000),), kwargs={"big": Blob(50_000)}, topic="proxied"
+        )
+        task = queues.get_task(timeout=5)
+    assert is_proxy(task.args[0])
+    assert is_proxy(task.kwargs["big"])
+
+
+def test_small_inputs_not_proxied(queues, testbed):
+    with at_site(testbed.theta_login):
+        queues.send_request("m", args=(b"small",), topic="proxied")
+        task = queues.get_task(timeout=5)
+    assert task.args[0] == b"small"
+
+
+def test_existing_proxy_not_double_proxied(queues, store, testbed):
+    with at_site(testbed.theta_login):
+        existing = store.proxy(Blob(100_000))
+        queues.send_request("m", args=(existing,), topic="proxied")
+        task = queues.get_task(timeout=5)
+        # The factory key must be unchanged: the arg went through as-is.
+        original_key = object.__getattribute__(existing, "__proxy_factory__").key
+        task_key = object.__getattribute__(task.args[0], "__proxy_factory__").key
+    assert task_key == original_key
+
+
+def test_no_store_means_no_proxying(testbed):
+    queues = ColmenaQueues(
+        KVServer(testbed.theta_login), testbed.network, topics=["plain"]
+    )
+    with at_site(testbed.theta_login):
+        queues.send_request("m", args=(Blob(1_000_000),), topic="plain")
+        task = queues.get_task(timeout=5)
+    assert isinstance(task.args[0], Blob)
+
+
+def test_topic_spec_should_proxy():
+    spec = TopicSpec("t", store=object(), proxy_threshold=100)  # type: ignore[arg-type]
+    assert spec.should_proxy(101)
+    assert not spec.should_proxy(100)
+    assert not TopicSpec("t").should_proxy(10**9)
+    assert not TopicSpec("t", store=object(), proxy_threshold=None).should_proxy(1)  # type: ignore[arg-type]
+
+
+def test_task_info_round_trips(queues, testbed):
+    with at_site(testbed.theta_login):
+        queues.send_request("m", topic="simulate", task_info={"batch": 3})
+        task = queues.get_task(timeout=5)
+    assert task.task_info == {"batch": 3}

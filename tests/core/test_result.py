@@ -1,0 +1,127 @@
+"""Tests for the Result timing ledger."""
+
+import pickle
+
+import pytest
+
+from repro.core.result import Result
+from repro.net.clock import get_clock
+from repro.proxystore.proxy import Proxy, SimpleFactory
+
+
+def test_unique_task_ids():
+    ids = {Result(method="m").task_id for _ in range(50)}
+    assert len(ids) == 50
+
+
+def test_timestamps_stamp_in_order():
+    clock = get_clock()
+    result = Result(method="m")
+    result.mark_created()
+    clock.sleep(0.1)
+    result.mark_client_sent()
+    clock.sleep(0.1)
+    result.mark_server_received()
+    clock.sleep(0.1)
+    result.mark_server_dispatched()
+    clock.sleep(0.1)
+    result.mark_worker_started()
+    clock.sleep(0.1)
+    result.mark_compute_started()
+    clock.sleep(0.2)
+    result.mark_compute_ended()
+    clock.sleep(0.1)
+    result.mark_worker_ended()
+    clock.sleep(0.1)
+    result.mark_server_result_received()
+    clock.sleep(0.1)
+    result.mark_client_result_received()
+
+    assert result.time_running >= 0.2
+    assert result.time_on_worker >= 0.4
+    assert result.comm_client_to_server >= 0.1
+    assert result.comm_server_to_worker >= 0.1
+    assert result.comm_worker_to_server >= 0.1
+    assert result.comm_server_to_client >= 0.1
+    assert result.task_lifetime >= 0.9
+    assert result.notification_latency >= 0.3
+    assert result.overhead == pytest.approx(
+        result.task_lifetime - result.time_running
+    )
+
+
+def test_derived_metrics_none_when_unstamped():
+    result = Result(method="m")
+    assert result.time_running is None
+    assert result.task_lifetime is None
+    assert result.overhead is None
+    assert result.notification_latency is None
+
+
+def test_serialization_total_sums_components():
+    result = Result(method="m")
+    result.dur_proxy_inputs = 0.1
+    result.dur_serialize_inputs = 0.2
+    result.dur_server_deserialize = 0.05
+    result.dur_server_serialize = 0.05
+    result.dur_deserialize_inputs = 0.3
+    result.dur_proxy_value = 0.1
+    result.dur_serialize_value = 0.1
+    result.dur_deserialize_value = 0.1
+    assert result.time_serialization == pytest.approx(1.0)
+
+
+def test_success_and_failure_paths():
+    ok = Result(method="m")
+    ok.set_success(42)
+    assert ok.success and ok.complete and ok.value == 42
+
+    bad = Result(method="m")
+    bad.set_failure("boom", "traceback-text")
+    assert bad.success is False
+    assert bad.complete
+    assert bad.error == "boom"
+    assert bad.remote_traceback == "traceback-text"
+
+
+def test_access_value_plain():
+    result = Result(method="m")
+    result.set_success({"k": 1})
+    assert result.access_value() == {"k": 1}
+    assert result.time_value_accessed is not None
+    assert result.dur_resolve_value == 0.0
+
+
+def test_access_value_resolves_proxy_and_times_it():
+    class SlowFactory(SimpleFactory):
+        def resolve(self):
+            get_clock().sleep(0.5)
+            return super().resolve()
+
+    result = Result(method="m")
+    result.set_success(Proxy(SlowFactory("payload")))
+    value = result.access_value()
+    assert value == "payload"
+    assert result.dur_resolve_value >= 0.5
+
+
+def test_access_value_second_call_keeps_first_timestamp():
+    result = Result(method="m")
+    result.set_success(1)
+    result.access_value()
+    stamp = result.time_value_accessed
+    get_clock().sleep(0.2)
+    result.access_value()
+    assert result.time_value_accessed == stamp
+
+
+def test_result_pickles_with_ledger():
+    result = Result(method="m", args=(1,), kwargs={"k": 2}, topic="t")
+    result.mark_created()
+    result.dur_serialize_inputs = 0.25
+    clone = pickle.loads(pickle.dumps(result))
+    assert clone.method == "m"
+    assert clone.args == (1,)
+    assert clone.topic == "t"
+    assert clone.time_created == result.time_created
+    assert clone.dur_serialize_inputs == 0.25

@@ -1,0 +1,227 @@
+"""Tests for ColmenaTask and the three task servers."""
+
+import pytest
+
+from repro.core.queues import ColmenaQueues, TopicSpec
+from repro.core.result import Result
+from repro.core.task_server import (
+    ColmenaTask,
+    FuncXTaskServer,
+    LocalTaskServer,
+    MethodSpec,
+    ParslTaskServer,
+)
+from repro.exceptions import WorkflowError
+from repro.faas import SCOPE_COMPUTE, AuthServer, FaasClient, FaasCloud, FaasEndpoint
+from repro.net.clock import get_clock
+from repro.net.context import at_site
+from repro.net.kvstore import KVServer
+from repro.parsl import DataFlowKernel, HtexExecutor, SSHTunnel
+from repro.proxystore import FileConnector, Store, is_proxy
+from repro.resources import WorkerPool
+from repro.serialize import Blob
+
+
+def _double(x):
+    return 2 * x
+
+
+def _boom():
+    raise RuntimeError("task failed")
+
+
+def _emit_blob(nbytes):
+    return Blob(nbytes)
+
+
+# -- ColmenaTask -----------------------------------------------------------------
+
+
+def test_colmena_task_success_ledger():
+    task = ColmenaTask(_double)
+    result = Result(method="_double", args=(21,))
+    out = task(result)
+    assert out.success and out.value == 42
+    assert out.time_worker_started is not None
+    assert out.time_compute_started is not None
+    assert out.time_compute_ended is not None
+    assert out.time_worker_ended is not None
+    assert out.time_on_worker >= 0
+
+
+def test_colmena_task_failure_captured():
+    task = ColmenaTask(_boom)
+    result = Result(method="_boom")
+    out = task(result)
+    assert out.success is False
+    assert "task failed" in out.error
+    assert "RuntimeError" in out.remote_traceback
+    assert out.time_worker_ended is not None
+
+
+def test_colmena_task_resolves_input_proxies(testbed):
+    store = Store("ts-in", FileConnector(testbed.mounts.volume("theta-lustre")))
+    with at_site(testbed.theta_login):
+        proxy = store.proxy(5)
+        task = ColmenaTask(_double)
+        result = Result(method="_double", args=(proxy,))
+        out = task(result)
+    assert out.value == 10
+    assert out.dur_resolve_proxies >= 0
+
+
+def test_colmena_task_proxies_large_outputs(testbed):
+    Store("ts-out", FileConnector(testbed.mounts.volume("theta-lustre")))
+    task = ColmenaTask(_emit_blob, output_store="ts-out", output_threshold=1000)
+    with at_site(testbed.theta_login):
+        out = task(Result(method="_emit_blob", args=(100_000,)))
+        assert is_proxy(out.value)
+        assert out.value == Blob(100_000)  # resolves transparently
+
+
+def test_colmena_task_small_outputs_stay_by_value(testbed):
+    Store("ts-out2", FileConnector(testbed.mounts.volume("theta-lustre")))
+    task = ColmenaTask(_emit_blob, output_store="ts-out2", output_threshold=10**9)
+    with at_site(testbed.theta_login):
+        out = task(Result(method="_emit_blob", args=(10,)))
+    assert not is_proxy(out.value)
+
+
+def test_method_spec_naming():
+    spec = MethodSpec(_double)
+    assert spec.name == "_double"
+    assert spec.task().fn is _double
+
+
+# -- task servers -----------------------------------------------------------------------
+
+
+def _run_round_trip(queues, server, testbed, n=4):
+    server.start()
+    try:
+        with at_site(testbed.theta_login):
+            for i in range(n):
+                queues.send_request("_double", args=(i,), topic="default")
+            values = []
+            for _ in range(n):
+                result = queues.get_result("default", timeout=60)
+                assert result is not None and result.success, result and result.error
+                values.append(result.value)
+        return sorted(values)
+    finally:
+        with at_site(testbed.theta_login):
+            queues.send_kill_signal()
+        server.join(timeout=10)
+        server.stop()
+
+
+def _make_queues(testbed):
+    return ColmenaQueues(KVServer(testbed.theta_login), testbed.network)
+
+
+def test_local_task_server_round_trip(testbed):
+    queues = _make_queues(testbed)
+    server = LocalTaskServer(
+        queues, [MethodSpec(_double)], testbed.theta_login, n_workers=2
+    )
+    assert _run_round_trip(queues, server, testbed) == [0, 2, 4, 6]
+
+
+def test_unknown_method_returns_failure(testbed):
+    queues = _make_queues(testbed)
+    server = LocalTaskServer(queues, [MethodSpec(_double)], testbed.theta_login)
+    server.start()
+    try:
+        with at_site(testbed.theta_login):
+            queues.send_request("no_such_method", topic="default")
+            result = queues.get_result("default", timeout=30)
+        assert result.success is False
+        assert "no_such_method" in result.error
+    finally:
+        with at_site(testbed.theta_login):
+            queues.send_kill_signal()
+        server.join(timeout=10)
+        server.stop()
+
+
+def test_task_failure_routed_back(testbed):
+    queues = _make_queues(testbed)
+    server = LocalTaskServer(queues, [MethodSpec(_boom)], testbed.theta_login)
+    server.start()
+    try:
+        with at_site(testbed.theta_login):
+            queues.send_request("_boom", topic="default")
+            result = queues.get_result("default", timeout=30)
+        assert result.success is False
+        assert "task failed" in result.error
+    finally:
+        with at_site(testbed.theta_login):
+            queues.send_kill_signal()
+        server.join(timeout=10)
+        server.stop()
+
+
+def test_server_requires_methods(testbed):
+    queues = _make_queues(testbed)
+    with pytest.raises(WorkflowError):
+        LocalTaskServer(queues, [], testbed.theta_login)
+
+
+def test_server_requires_unique_method_names(testbed):
+    queues = _make_queues(testbed)
+    with pytest.raises(WorkflowError):
+        LocalTaskServer(
+            queues, [MethodSpec(_double), MethodSpec(_double)], testbed.theta_login
+        )
+
+
+def test_parsl_task_server_round_trip(testbed):
+    queues = _make_queues(testbed)
+    cpu = HtexExecutor(
+        "cpu",
+        testbed.theta_login,
+        WorkerPool(testbed.theta_compute, 2, name="pts-cpu"),
+        testbed.network,
+    )
+    server = ParslTaskServer(
+        queues,
+        [MethodSpec(_double, target="cpu")],
+        testbed.theta_login,
+        DataFlowKernel([cpu]),
+    )
+    assert _run_round_trip(queues, server, testbed) == [0, 2, 4, 6]
+
+
+def test_funcx_task_server_round_trip(testbed):
+    queues = _make_queues(testbed)
+    auth = AuthServer()
+    token = auth.issue_token(auth.register_identity("u", "anl"), {SCOPE_COMPUTE})
+    cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, testbed.constants)
+    pool = WorkerPool(testbed.theta_compute, 2, name="fts-pool")
+    endpoint = FaasEndpoint("theta", cloud, token, testbed.theta_login, pool).start()
+    client = FaasClient(cloud, token, site=testbed.theta_login)
+    server = FuncXTaskServer(
+        queues,
+        [MethodSpec(_double, target=endpoint.endpoint_id)],
+        testbed.theta_login,
+        client,
+    )
+    try:
+        assert _run_round_trip(queues, server, testbed) == [0, 2, 4, 6]
+    finally:
+        endpoint.stop()
+
+
+def test_funcx_server_requires_targets(testbed):
+    queues = _make_queues(testbed)
+    auth = AuthServer()
+    token = auth.issue_token(auth.register_identity("u", "anl"), {SCOPE_COMPUTE})
+    cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, testbed.constants)
+    client = FaasClient(cloud, token, site=testbed.theta_login)
+    server = FuncXTaskServer(
+        queues, [MethodSpec(_double)], testbed.theta_login, client
+    )
+    with pytest.raises(WorkflowError):
+        server.start()
+    server._running = False
+    client.close()

@@ -1,0 +1,283 @@
+"""Tests for the agent framework and the resource counter."""
+
+import threading
+
+import pytest
+
+from repro.core.queues import ColmenaQueues
+from repro.core.task_server import LocalTaskServer, MethodSpec
+from repro.core.thinker import (
+    BaseThinker,
+    ResourceCounter,
+    agent,
+    event_responder,
+    result_processor,
+    task_submitter,
+)
+from repro.exceptions import WorkflowError
+from repro.net.clock import get_clock
+from repro.net.context import at_site
+from repro.net.kvstore import KVServer
+
+
+def _identity(x):
+    return x
+
+
+# -- ResourceCounter ---------------------------------------------------------
+
+
+def test_counter_allocate_acquire_release():
+    counter = ResourceCounter(4, ["sim"])
+    counter.allocate("sim", 3)
+    assert counter.unallocated == 1
+    assert counter.allocated("sim") == 3
+    assert counter.available("sim") == 3
+    assert counter.acquire("sim", 2, timeout=1)
+    assert counter.available("sim") == 1
+    counter.release("sim", 2)
+    assert counter.available("sim") == 3
+
+
+def test_counter_acquire_timeout():
+    counter = ResourceCounter(1, ["sim"])
+    counter.allocate("sim", 1)
+    assert counter.acquire("sim", 1, timeout=1)
+    assert not counter.acquire("sim", 1, timeout=0.2)
+
+
+def test_counter_acquire_wakes_on_release():
+    counter = ResourceCounter(1, ["sim"])
+    counter.allocate("sim", 1)
+    assert counter.acquire("sim", 1, timeout=1)
+
+    def release_later():
+        get_clock().sleep(0.5)
+        counter.release("sim", 1)
+
+    thread = threading.Thread(target=release_later, daemon=True)
+    thread.start()
+    assert counter.acquire("sim", 1, timeout=30)
+    thread.join()
+
+
+def test_counter_over_allocation_rejected():
+    counter = ResourceCounter(2, ["sim"])
+    with pytest.raises(WorkflowError):
+        counter.allocate("sim", 3)
+
+
+def test_counter_over_release_rejected():
+    counter = ResourceCounter(2, ["sim"])
+    counter.allocate("sim", 1)
+    with pytest.raises(WorkflowError):
+        counter.release("sim", 1)
+
+
+def test_counter_unknown_pool():
+    counter = ResourceCounter(2, ["sim"])
+    with pytest.raises(WorkflowError):
+        counter.acquire("ghost", 1)
+    with pytest.raises(WorkflowError):
+        counter.allocate("ghost", 1)
+
+
+def test_counter_reallocate():
+    counter = ResourceCounter(4, ["sim", "sample"])
+    counter.allocate("sim", 4)
+    assert counter.reallocate("sim", "sample", 2, timeout=1)
+    assert counter.allocated("sim") == 2
+    assert counter.allocated("sample") == 2
+    assert counter.available("sample") == 2
+
+
+def test_counter_reallocate_timeout_when_busy():
+    counter = ResourceCounter(1, ["sim", "sample"])
+    counter.allocate("sim", 1)
+    assert counter.acquire("sim", 1, timeout=1)  # slot is busy
+    assert not counter.reallocate("sim", "sample", 1, timeout=0.2)
+
+
+def test_counter_negative_total_rejected():
+    with pytest.raises(ValueError):
+        ResourceCounter(-1)
+
+
+# -- Thinker framework --------------------------------------------------------------
+
+
+def _make_queues(testbed):
+    return ColmenaQueues(KVServer(testbed.theta_login), testbed.network)
+
+
+def test_thinker_without_agents_rejected(testbed):
+    class Empty(BaseThinker):
+        pass
+
+    thinker = Empty(_make_queues(testbed), testbed.theta_login)
+    with pytest.raises(WorkflowError):
+        thinker.start()
+
+
+def test_plain_agent_runs_and_critical_sets_done(testbed):
+    ran = threading.Event()
+
+    class One(BaseThinker):
+        @agent
+        def main(self):
+            ran.set()
+
+    thinker = One(_make_queues(testbed), testbed.theta_login)
+    thinker.start()
+    thinker.join(timeout=5)
+    assert ran.is_set()
+    assert thinker.done.is_set()
+    assert not thinker.agent_errors
+
+
+def test_non_critical_agent_does_not_set_done(testbed):
+    class Two(BaseThinker):
+        @agent(critical=False)
+        def helper(self):
+            pass
+
+        @agent
+        def main(self):
+            self.done.wait(5)
+
+    thinker = Two(_make_queues(testbed), testbed.theta_login)
+    thinker.start()
+    get_clock().sleep(5.0)
+    assert not thinker.done.is_set() or thinker.agent_errors == []
+    thinker.done.set()
+    thinker.join(timeout=5)
+
+
+def test_agent_exception_recorded_and_ends_run(testbed):
+    class Bad(BaseThinker):
+        @agent(critical=False)
+        def broken(self):
+            raise RuntimeError("agent crash")
+
+        @agent
+        def main(self):
+            self.done.wait(10)
+
+    thinker = Bad(_make_queues(testbed), testbed.theta_login)
+    thinker.start()
+    thinker.join(timeout=10)
+    assert thinker.done.is_set()
+    assert any("agent crash" in str(e) for e in thinker.agent_errors)
+
+
+def test_double_start_rejected(testbed):
+    class One(BaseThinker):
+        @agent
+        def main(self):
+            pass
+
+    thinker = One(_make_queues(testbed), testbed.theta_login)
+    thinker.start()
+    with pytest.raises(WorkflowError):
+        thinker.start()
+    thinker.join(timeout=5)
+
+
+def test_event_responder_fires_and_clears(testbed):
+    fired = []
+
+    class Evt(BaseThinker):
+        @event_responder(event="go")
+        def responder(self):
+            fired.append(get_clock().now())
+
+        @agent
+        def main(self):
+            self.set_event("go")
+            get_clock().sleep(2.0)
+            self.set_event("go")
+            get_clock().sleep(2.0)
+
+    thinker = Evt(_make_queues(testbed), testbed.theta_login)
+    thinker.run()
+    assert len(fired) >= 2  # cleared after each firing, so it re-fires
+
+
+def test_task_submitter_requires_counter(testbed):
+    class NoCounter(BaseThinker):
+        @task_submitter(task_type="default")
+        def submit(self):
+            pass
+
+    thinker = NoCounter(_make_queues(testbed), testbed.theta_login)
+    thinker.start()
+    thinker.join(timeout=5)
+    assert any(isinstance(e, WorkflowError) for e in thinker.agent_errors)
+
+
+def test_task_submitter_consumes_slots(testbed):
+    submitted = []
+
+    class Submitter(BaseThinker):
+        def __init__(self, queues, site):
+            super().__init__(queues, site, ResourceCounter(2, ["default"]))
+            self.resources.allocate("default", 2)
+
+        @task_submitter(task_type="default")
+        def submit(self):
+            submitted.append(1)
+            if len(submitted) >= 2:
+                self.done.set()
+
+    thinker = Submitter(_make_queues(testbed), testbed.theta_login)
+    thinker.start()
+    thinker.done.wait(5)
+    thinker.join(timeout=5)
+    # Two slots, never released: exactly two submissions.
+    assert len(submitted) == 2
+
+
+def test_full_loop_with_result_processor(testbed):
+    """submit -> task server -> result processor -> release -> resubmit."""
+    queues = _make_queues(testbed)
+    server = LocalTaskServer(
+        queues, [MethodSpec(_identity)], testbed.theta_login, n_workers=2
+    )
+    server.start()
+
+    class Loop(BaseThinker):
+        def __init__(self, queues, site):
+            super().__init__(queues, site, ResourceCounter(2, ["default"]))
+            self.resources.allocate("default", 2)
+            self.sent = 0
+            self.got = []
+            self.lock = threading.Lock()
+
+        @task_submitter(task_type="default")
+        def submit(self):
+            with self.lock:
+                if self.sent >= 6:
+                    return
+                value = self.sent
+                self.sent += 1
+            self.queues.send_request("_identity", args=(value,), topic="default")
+
+        @result_processor(topic="default", critical=True)
+        def collect(self, result):
+            assert result.success
+            self.got.append(result.value)
+            self.resources.release("default", 1)
+            if len(self.got) >= 6:
+                self.done.set()
+
+    thinker = Loop(queues, testbed.theta_login)
+    with at_site(testbed.theta_login):
+        thinker.start()
+    assert thinker.done.wait(20)
+    thinker.join(timeout=10)
+    with at_site(testbed.theta_login):
+        queues.send_kill_signal()
+    server.join(timeout=10)
+    server.stop()
+    assert sorted(thinker.got) == [0, 1, 2, 3, 4, 5]
+    assert not thinker.agent_errors

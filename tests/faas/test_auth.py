@@ -1,0 +1,104 @@
+"""Tests for the identity/token layer."""
+
+import pytest
+
+from repro.exceptions import AuthenticationError, AuthorizationError
+from repro.faas.auth import SCOPE_COMPUTE, SCOPE_TRANSFER, AuthServer
+from repro.net.clock import get_clock
+
+
+@pytest.fixture
+def auth():
+    return AuthServer(clock=get_clock())
+
+
+@pytest.fixture
+def identity(auth):
+    return auth.register_identity("ward", "anl.gov")
+
+
+def test_identity_string(identity):
+    assert str(identity) == "ward@anl.gov"
+
+
+def test_issue_and_validate(auth, identity):
+    token = auth.issue_token(identity, {SCOPE_COMPUTE})
+    assert auth.validate(token) == identity
+    assert auth.validate(token, SCOPE_COMPUTE) == identity
+
+
+def test_unknown_identity_rejected(auth):
+    from repro.faas.auth import Identity
+
+    with pytest.raises(AuthenticationError):
+        auth.issue_token(Identity("ghost", "nowhere"), {SCOPE_COMPUTE})
+
+
+def test_missing_credential(auth):
+    with pytest.raises(AuthenticationError):
+        auth.validate(None)
+
+
+def test_unknown_token_rejected(auth, identity):
+    token = auth.issue_token(identity, {SCOPE_COMPUTE})
+    other = AuthServer(clock=get_clock())
+    with pytest.raises(AuthenticationError):
+        other.validate(token)
+
+
+def test_scope_enforcement(auth, identity):
+    token = auth.issue_token(identity, {SCOPE_COMPUTE})
+    with pytest.raises(AuthorizationError):
+        auth.validate(token, SCOPE_TRANSFER)
+
+
+def test_expiry_on_virtual_clock(auth, identity):
+    token = auth.issue_token(identity, {SCOPE_COMPUTE}, lifetime=1.0)
+    auth.validate(token)
+    get_clock().sleep(2.0)
+    with pytest.raises(AuthenticationError):
+        auth.validate(token)
+
+
+def test_revocation(auth, identity):
+    token = auth.issue_token(identity, {SCOPE_COMPUTE})
+    auth.revoke(token)
+    with pytest.raises(AuthenticationError):
+        auth.validate(token)
+
+
+def test_delegation_narrows_scopes(auth, identity):
+    parent = auth.issue_token(identity, {SCOPE_COMPUTE, SCOPE_TRANSFER})
+    child = auth.delegate(parent, {SCOPE_TRANSFER})
+    assert auth.validate(child, SCOPE_TRANSFER) == identity
+    with pytest.raises(AuthorizationError):
+        auth.validate(child, SCOPE_COMPUTE)
+
+
+def test_delegation_cannot_broaden(auth, identity):
+    parent = auth.issue_token(identity, {SCOPE_COMPUTE})
+    with pytest.raises(AuthorizationError):
+        auth.delegate(parent, {SCOPE_TRANSFER})
+
+
+def test_delegated_expiry_capped_by_parent(auth, identity):
+    parent = auth.issue_token(identity, {SCOPE_COMPUTE}, lifetime=1.0)
+    child = auth.delegate(parent, {SCOPE_COMPUTE}, lifetime=10_000.0)
+    assert child.expires_at <= parent.expires_at
+
+
+def test_revocation_cascades_to_dependents(auth, identity):
+    parent = auth.issue_token(identity, {SCOPE_COMPUTE})
+    child = auth.delegate(parent, {SCOPE_COMPUTE})
+    grandchild = auth.delegate(child, {SCOPE_COMPUTE})
+    auth.revoke(parent)
+    for token in (parent, child, grandchild):
+        with pytest.raises(AuthenticationError):
+            auth.validate(token)
+
+
+def test_revocation_without_cascade(auth, identity):
+    parent = auth.issue_token(identity, {SCOPE_COMPUTE})
+    child = auth.delegate(parent, {SCOPE_COMPUTE})
+    auth.revoke(parent, cascade=False)
+    assert auth.validate(child) == identity

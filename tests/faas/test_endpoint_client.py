@@ -1,0 +1,144 @@
+"""End-to-end tests for FaaS endpoints, client futures, and the executor."""
+
+import pytest
+
+from repro.exceptions import TaskError
+from repro.faas import (
+    SCOPE_COMPUTE,
+    AuthServer,
+    FaasClient,
+    FaasCloud,
+    FaasEndpoint,
+    FaasExecutor,
+)
+from repro.net.clock import get_clock
+from repro.net.context import at_site
+from repro.resources import WorkerPool
+from repro.serialize import Blob
+
+
+def _add(a, b):
+    return a + b
+
+
+def _fail():
+    raise ValueError("remote boom")
+
+
+def _sleepy(duration):
+    get_clock().sleep(duration)
+    return duration
+
+
+@pytest.fixture
+def rig(testbed):
+    auth = AuthServer()
+    identity = auth.register_identity("u", "anl")
+    token = auth.issue_token(identity, {SCOPE_COMPUTE})
+    cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, testbed.constants)
+    pool = WorkerPool(testbed.theta_compute, 3, name="test-pool")
+    endpoint = FaasEndpoint("theta", cloud, token, testbed.theta_login, pool).start()
+    client = FaasClient(cloud, token, site=testbed.theta_login)
+    yield testbed, cloud, endpoint, client
+    client.close()
+    endpoint.stop()
+
+
+def test_submit_and_result(rig):
+    testbed, cloud, endpoint, client = rig
+    with at_site(testbed.theta_login):
+        future = client.run(_add, endpoint.endpoint_id, 2, b=3)
+    assert future.result(timeout=30) == 5
+
+
+def test_many_tasks_in_parallel(rig):
+    testbed, cloud, endpoint, client = rig
+    with at_site(testbed.theta_login):
+        futures = [client.run(_add, endpoint.endpoint_id, i, b=1) for i in range(12)]
+    assert [f.result(timeout=60) for f in futures] == [i + 1 for i in range(12)]
+
+
+def test_remote_exception_becomes_task_error(rig):
+    testbed, cloud, endpoint, client = rig
+    with at_site(testbed.theta_login):
+        future = client.run(_fail, endpoint.endpoint_id)
+    with pytest.raises(TaskError) as excinfo:
+        future.result(timeout=30)
+    assert "remote boom" in str(excinfo.value)
+    assert "ValueError" in excinfo.value.remote_traceback
+
+
+def test_function_registration_is_idempotent(rig):
+    testbed, cloud, endpoint, client = rig
+    with at_site(testbed.theta_login):
+        id1 = client.register_function(_add)
+        id2 = client.register_function(_add)
+    assert id1 == id2
+
+
+def test_distinct_functions_get_distinct_ids(rig):
+    testbed, cloud, endpoint, client = rig
+    with at_site(testbed.theta_login):
+        id1 = client.register_function(_add)
+        id2 = client.register_function(_fail)
+    assert id1 != id2
+
+
+def test_executor_interface(rig):
+    testbed, cloud, endpoint, client = rig
+    executor = FaasExecutor(client, endpoint.endpoint_id)
+    with at_site(testbed.theta_login):
+        future = executor.submit(_add, 10, b=20)
+    assert future.result(timeout=30) == 30
+    executor.shutdown()
+    with pytest.raises(RuntimeError):
+        executor.submit(_add, 1, b=1)
+
+
+def test_pause_resume_store_and_forward(rig):
+    testbed, cloud, endpoint, client = rig
+    endpoint.pause()
+    with at_site(testbed.theta_login):
+        future = client.run(_add, endpoint.endpoint_id, 1, b=1)
+    get_clock().sleep(1.0)
+    assert not future.done()  # endpoint offline: task parked at the cloud
+    endpoint.resume()
+    assert future.result(timeout=60) == 2
+
+
+def test_task_overhead_is_bounded(rig):
+    """A no-op round trip should land in the sub-second regime the paper's
+    Fig. 3 reports for small payloads, not minutes."""
+    testbed, cloud, endpoint, client = rig
+    clock = get_clock()
+    with at_site(testbed.theta_login):
+        start = clock.now()
+        client.run(_add, endpoint.endpoint_id, 1, b=1).result(timeout=30)
+        lifetime = clock.now() - start
+    assert 0.01 < lifetime < 10.0
+
+
+def test_blob_payloads_flow_through(rig):
+    testbed, cloud, endpoint, client = rig
+
+    with at_site(testbed.theta_login):
+        future = client.run(_add, endpoint.endpoint_id, 1, b=2)
+        assert future.result(timeout=30) == 3
+
+
+def test_two_endpoints_route_independently(rig):
+    testbed, cloud, endpoint, client = rig
+    gpu_pool = WorkerPool(testbed.venti, 2, name="gpu-pool")
+    gpu_ep = FaasEndpoint(
+        "venti", cloud, endpoint.token, testbed.venti, gpu_pool
+    ).start()
+    try:
+        with at_site(testbed.theta_login):
+            f1 = client.run(_add, endpoint.endpoint_id, 1, b=1)
+            f2 = client.run(_add, gpu_ep.endpoint_id, 2, b=2)
+        assert f1.result(timeout=30) == 2
+        assert f2.result(timeout=30) == 4
+        assert endpoint.pool.tasks_completed >= 1
+        assert gpu_pool.tasks_completed >= 1
+    finally:
+        gpu_ep.stop()

@@ -1,0 +1,71 @@
+"""Extra FaaS client/executor behaviors: map(), lifecycle, reuse."""
+
+import pytest
+
+from repro.faas import (
+    SCOPE_COMPUTE,
+    AuthServer,
+    FaasClient,
+    FaasCloud,
+    FaasEndpoint,
+    FaasExecutor,
+)
+from repro.net.context import at_site
+from repro.resources import WorkerPool
+
+
+def _square(x):
+    return x * x
+
+
+@pytest.fixture
+def rig(testbed):
+    auth = AuthServer()
+    token = auth.issue_token(auth.register_identity("u", "anl"), {SCOPE_COMPUTE})
+    cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, testbed.constants)
+    pool = WorkerPool(testbed.theta_compute, 3, name="exec-extra")
+    endpoint = FaasEndpoint("t", cloud, token, testbed.theta_login, pool).start()
+    client = FaasClient(cloud, token, site=testbed.theta_login)
+    yield testbed, endpoint, client
+    client.close()
+    endpoint.stop()
+
+
+def test_executor_map(rig):
+    testbed, endpoint, client = rig
+    executor = FaasExecutor(client, endpoint.endpoint_id)
+    with at_site(testbed.theta_login):
+        results = list(executor.map(_square, range(6)))
+    assert results == [0, 1, 4, 9, 16, 25]
+
+
+def test_client_close_is_idempotent(rig):
+    testbed, endpoint, client = rig
+    client.close()
+    client.close()  # second close: no hang, no raise
+
+
+def test_client_context_manager(testbed):
+    auth = AuthServer()
+    token = auth.issue_token(auth.register_identity("v", "anl"), {SCOPE_COMPUTE})
+    cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, testbed.constants)
+    pool = WorkerPool(testbed.theta_compute, 1, name="cm-pool")
+    endpoint = FaasEndpoint("cm", cloud, token, testbed.theta_login, pool).start()
+    try:
+        with FaasClient(cloud, token, site=testbed.theta_login) as client:
+            with at_site(testbed.theta_login):
+                assert client.run(_square, endpoint.endpoint_id, 4).result(30) == 16
+    finally:
+        endpoint.stop()
+
+
+def test_endpoint_context_manager(testbed):
+    auth = AuthServer()
+    token = auth.issue_token(auth.register_identity("w", "anl"), {SCOPE_COMPUTE})
+    cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, testbed.constants)
+    pool = WorkerPool(testbed.theta_compute, 1, name="ep-cm")
+    with FaasEndpoint("epcm", cloud, token, testbed.theta_login, pool) as endpoint:
+        client = FaasClient(cloud, token, site=testbed.theta_login)
+        with at_site(testbed.theta_login):
+            assert client.run(_square, endpoint.endpoint_id, 5).result(30) == 25
+        client.close()

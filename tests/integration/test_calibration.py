@@ -1,0 +1,131 @@
+"""Calibration guardrails: the constants in ``repro.net.defaults`` must keep
+producing component latencies near the paper's reported anchors (documented
+in EXPERIMENTS.md).  These are fast, unit-level checks; the benchmarks
+assert the full figure-level claims."""
+
+import statistics
+
+import pytest
+
+from repro.faas import SCOPE_COMPUTE, AuthServer, FaasClient, FaasCloud, FaasEndpoint
+from repro.net.clock import get_clock
+from repro.net.context import at_site
+from repro.net.kvstore import KVClient, KVServer
+from repro.serialize import Blob, serialize
+from repro.transfer import TransferClient, TransferEndpoint, TransferService
+
+
+def _noop():
+    return None
+
+
+def test_faas_dispatch_is_hundreds_of_ms(testbed):
+    """§V-D3: dispatching a task through the cloud ≈ 100 ms (we accept the
+    100-600 ms band; the simulator floor adds some)."""
+    auth = AuthServer()
+    token = auth.issue_token(auth.register_identity("c", "anl"), {SCOPE_COMPUTE})
+    cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, testbed.constants)
+    from repro.resources import WorkerPool
+
+    pool = WorkerPool(testbed.theta_compute, 1, name="calib")
+    endpoint = FaasEndpoint("t", cloud, token, testbed.theta_login, pool).start()
+    client = FaasClient(cloud, token, site=testbed.theta_login)
+    clock = get_clock()
+    try:
+        lifetimes = []
+        with at_site(testbed.theta_login):
+            for _ in range(8):
+                start = clock.now()
+                client.run(_noop, endpoint.endpoint_id).result(timeout=60)
+                lifetimes.append(clock.now() - start)
+        median = statistics.median(lifetimes)
+        assert 0.1 <= median <= 2.0, f"no-op FaaS round trip drifted: {median:.3f}s"
+    finally:
+        client.close()
+        endpoint.stop()
+
+
+def test_globus_submission_near_half_second(testbed):
+    """§V-D1: a transfer submission's HTTPS request averages ~500 ms."""
+    service = TransferService(
+        testbed.globus_cloud, testbed.network, testbed.constants
+    ).start()
+    ep_a = TransferEndpoint(
+        "ca", testbed.theta_login, testbed.mounts.volume("theta-lustre")
+    )
+    ep_b = TransferEndpoint("cb", testbed.venti, testbed.mounts.volume("venti-local"))
+    service.register_endpoint(ep_a)
+    service.register_endpoint(ep_b)
+    client = TransferClient(service, "calib", site=testbed.theta_login)
+    clock = get_clock()
+    try:
+        ep_a.volume.write("f", b"x", nominal_size=1)
+        costs = []
+        with at_site(testbed.theta_login):
+            for _ in range(6):
+                start = clock.now()
+                client.submit("ca", "cb", [("f", "f")])
+                costs.append(clock.now() - start)
+        median = statistics.median(costs)
+        assert 0.2 <= median <= 1.5, f"submission latency drifted: {median:.3f}s"
+    finally:
+        service.stop()
+
+
+def test_globus_transfer_completes_in_paper_band(testbed):
+    """§V-D1: small transfers complete in 1-5 s."""
+    service = TransferService(
+        testbed.globus_cloud, testbed.network, testbed.constants
+    ).start()
+    ep_a = TransferEndpoint(
+        "da", testbed.theta_login, testbed.mounts.volume("theta-lustre")
+    )
+    ep_b = TransferEndpoint("db", testbed.venti, testbed.mounts.volume("venti-local"))
+    service.register_endpoint(ep_a)
+    service.register_endpoint(ep_b)
+    client = TransferClient(service, "calib2", site=testbed.theta_login)
+    try:
+        ep_a.volume.write("g", b"x", nominal_size=1_000_000)
+        durations = []
+        with at_site(testbed.theta_login):
+            for _ in range(5):
+                task = client.wait(client.submit("da", "db", [("g", "g")]), timeout=120)
+                durations.append(task.completed_at - task.started_at)
+        median = statistics.median(durations)
+        assert 0.8 <= median <= 5.0, f"transfer duration drifted: {median:.2f}s"
+    finally:
+        service.stop()
+
+
+def test_intra_site_redis_is_milliseconds(testbed):
+    server = KVServer(testbed.theta_login)
+    client = KVClient(server, testbed.network, site=testbed.theta_login)
+    clock = get_clock()
+    start = clock.now()
+    for index in range(20):
+        client.set(f"k{index}", b"x" * 100)
+    per_op = (clock.now() - start) / 20
+    assert per_op < 0.05, f"local redis op drifted: {per_op * 1000:.1f}ms"
+
+
+def test_faas_payload_tiers_relative_costs(testbed):
+    """Inline << ElastiCache << S3 — the Fig. 3 mechanism."""
+    auth = AuthServer()
+    cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, testbed.constants)
+    clock = get_clock()
+
+    def cost_of(nbytes):
+        payload = serialize(Blob(nbytes))
+        start = clock.now()
+        for _ in range(5):
+            cloud.store.write(payload)
+        return (clock.now() - start) / 5
+
+    inline = cost_of(100)
+    elasticache = cost_of(10_000)
+    s3 = cost_of(1_000_000)
+    # Inline rides the message: any cost measured is harness noise, which
+    # must stay well below the modeled tiers.
+    assert inline < 0.5 * elasticache
+    assert 0.05 < elasticache < 1.5
+    assert s3 > elasticache

@@ -1,0 +1,200 @@
+"""Cross-module integration tests: full stacks, ledger sanity, failure
+injection, store-and-forward robustness."""
+
+import statistics
+
+import pytest
+
+from repro.apps import AppMethod, TopicPolicy, build_workflow
+from repro.net.clock import get_clock
+from repro.net.context import at_site
+from repro.serialize import Blob
+
+
+def _noop(payload=None):
+    return None
+
+
+def _echo_blob(nbytes):
+    return Blob(nbytes)
+
+
+METHODS = [
+    AppMethod(_noop, resource="cpu", topic="cpu-work"),
+    AppMethod(_echo_blob, resource="gpu", topic="gpu-work"),
+]
+POLICIES = {
+    "cpu-work": TopicPolicy(locality="local", threshold=10_000),
+    "gpu-work": TopicPolicy(locality="cross", threshold=10_000),
+}
+
+
+def _run_tasks(handle, testbed, n=6, payload=0):
+    with at_site(testbed.theta_login):
+        for _ in range(n):
+            args = (Blob(payload),) if payload else ()
+            handle.queues.send_request("_noop", args=args, topic="cpu-work")
+        results = []
+        for _ in range(n):
+            result = handle.queues.get_result("cpu-work", timeout=120)
+            assert result is not None and result.success, result and result.error
+            results.append(result)
+    return results
+
+
+@pytest.mark.parametrize("config", ["parsl", "parsl+redis", "funcx+globus"])
+def test_ledger_complete_on_every_config(testbed, config):
+    handle = build_workflow(
+        config, testbed, METHODS, POLICIES, n_cpu_workers=2, n_gpu_workers=2
+    )
+    with handle:
+        results = _run_tasks(handle, testbed, n=6, payload=100_000)
+    for result in results:
+        # Full timestamp chain present and ordered.
+        chain = [
+            result.time_created,
+            result.time_client_sent,
+            result.time_server_received,
+            result.time_server_dispatched,
+            result.time_worker_started,
+            result.time_compute_started,
+            result.time_compute_ended,
+            result.time_worker_ended,
+            result.time_server_result_received,
+            result.time_client_result_received,
+        ]
+        assert all(t is not None for t in chain)
+        assert chain == sorted(chain)
+        assert result.task_lifetime > 0
+        assert result.time_serialization > 0
+
+
+def test_funcx_overhead_exceeds_parsl_for_small_tasks(testbed):
+    """The cloud hop costs something: FuncX no-op lifetime > Parsl's
+    (Fig. 3's premise)."""
+    lifetimes = {}
+    for config in ("parsl", "funcx+globus"):
+        handle = build_workflow(
+            config, testbed, METHODS, POLICIES, n_cpu_workers=2, n_gpu_workers=2
+        )
+        with handle:
+            results = _run_tasks(handle, testbed, n=8)
+        lifetimes[config] = statistics.median(r.task_lifetime for r in results)
+    assert lifetimes["funcx+globus"] > lifetimes["parsl"]
+
+
+def test_proxying_reduces_large_payload_lifetime_on_funcx(testbed):
+    """Fig. 3's headline: pass-by-reference beats pass-through-the-cloud
+    for 1 MB payloads."""
+    proxied_policy = {
+        "cpu-work": TopicPolicy(locality="local", threshold=10_000),
+        "gpu-work": TopicPolicy(locality="cross", threshold=10_000),
+    }
+    byvalue_policy = {
+        "cpu-work": TopicPolicy(locality="local", threshold=None),
+        "gpu-work": TopicPolicy(locality="cross", threshold=None),
+    }
+    medians = {}
+    for label, policies in (("proxied", proxied_policy), ("by-value", byvalue_policy)):
+        handle = build_workflow(
+            "funcx+globus",
+            testbed,
+            METHODS,
+            policies,
+            n_cpu_workers=2,
+            n_gpu_workers=2,
+        )
+        with handle:
+            results = _run_tasks(handle, testbed, n=6, payload=1_000_000)
+        medians[label] = statistics.median(r.task_lifetime for r in results)
+    assert medians["proxied"] < medians["by-value"]
+
+
+def test_funcx_endpoint_outage_recovers(testbed):
+    """Pause the CPU endpoint mid-stream: the cloud holds tasks, and all
+    results still arrive after resume (§IV-A3 robustness)."""
+    handle = build_workflow(
+        "funcx+globus", testbed, METHODS, POLICIES, n_cpu_workers=2, n_gpu_workers=2
+    )
+    with handle:
+        cpu_endpoint = handle.endpoints[0]
+        with at_site(testbed.theta_login):
+            for _ in range(3):
+                handle.queues.send_request("_noop", topic="cpu-work")
+        cpu_endpoint.pause()
+        with at_site(testbed.theta_login):
+            for _ in range(3):
+                handle.queues.send_request("_noop", topic="cpu-work")
+        get_clock().sleep(2.0)
+        cpu_endpoint.resume()
+        with at_site(testbed.theta_login):
+            received = 0
+            while received < 6:
+                result = handle.queues.get_result("cpu-work", timeout=120)
+                assert result is not None and result.success
+                received += 1
+
+
+def test_globus_transfer_failure_retries_transparently(testbed):
+    """An injected DTN failure is retried by the service; the workflow sees
+    only extra latency, not an error."""
+    handle = build_workflow(
+        "funcx+globus", testbed, METHODS, POLICIES, n_cpu_workers=2, n_gpu_workers=2
+    )
+    with handle:
+        handle.transfer_service.inject_failure("flaky DTN")
+        with at_site(testbed.theta_login):
+            handle.queues.send_request(
+                "_echo_blob", args=(1_000_000,), topic="gpu-work"
+            )
+            result = handle.queues.get_result("gpu-work", timeout=180)
+            assert result is not None and result.success, result and result.error
+            assert result.access_value() == Blob(1_000_000)
+
+
+def test_worker_exception_reported_not_fatal(testbed):
+    def _sometimes_fails(should_fail):
+        if should_fail:
+            raise ValueError("injected task failure")
+        return "ok"
+
+    methods = [AppMethod(_sometimes_fails, resource="cpu", topic="cpu-work")]
+    handle = build_workflow(
+        "parsl+redis",
+        testbed,
+        methods,
+        POLICIES,
+        n_cpu_workers=2,
+        n_gpu_workers=1,
+    )
+    with handle:
+        with at_site(testbed.theta_login):
+            handle.queues.send_request("_sometimes_fails", args=(True,), topic="cpu-work")
+            handle.queues.send_request("_sometimes_fails", args=(False,), topic="cpu-work")
+            outcomes = [
+                handle.queues.get_result("cpu-work", timeout=60) for _ in range(2)
+            ]
+    by_success = {bool(r.success): r for r in outcomes}
+    assert "injected task failure" in by_success[False].error
+    assert by_success[True].value == "ok"
+
+
+def test_cross_site_outputs_return_via_data_fabric(testbed):
+    """A large GPU-task output must come back as a store reference and be
+    resolvable at the thinker (the Fig. 5 'data access' path)."""
+    handle = build_workflow(
+        "funcx+globus", testbed, METHODS, POLICIES, n_cpu_workers=1, n_gpu_workers=1
+    )
+    with handle:
+        with at_site(testbed.theta_login):
+            handle.queues.send_request(
+                "_echo_blob", args=(5_000_000,), topic="gpu-work"
+            )
+            result = handle.queues.get_result("gpu-work", timeout=180)
+            assert result is not None and result.success
+            from repro.proxystore import is_proxy
+
+            assert is_proxy(result.value)
+            value = result.access_value()
+            assert value == Blob(5_000_000)
+            assert result.dur_resolve_value > 0

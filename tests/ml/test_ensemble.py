@@ -1,0 +1,91 @@
+"""Tests for bootstrap ensembles and UCB ranking."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.ensemble import Ensemble, bootstrap_indices, rank_by_ucb, ucb_scores
+from repro.ml.mpnn import MpnnSurrogate
+
+
+def test_bootstrap_indices_shapes_and_determinism():
+    a = bootstrap_indices(100, 4, frac=0.8, seed=3)
+    b = bootstrap_indices(100, 4, frac=0.8, seed=3)
+    assert len(a) == 4
+    for idx_a, idx_b in zip(a, b):
+        assert len(idx_a) == 80
+        np.testing.assert_array_equal(idx_a, idx_b)
+        assert len(np.unique(idx_a)) == 80  # without replacement
+
+
+def test_bootstrap_indices_validation():
+    with pytest.raises(ValueError):
+        bootstrap_indices(10, 2, frac=0.0)
+    with pytest.raises(ValueError):
+        bootstrap_indices(10, 2, frac=1.5)
+
+
+def test_bootstrap_minimum_one_sample():
+    idx = bootstrap_indices(1, 3, frac=0.5)
+    assert all(len(i) == 1 for i in idx)
+
+
+def test_ensemble_requires_members():
+    with pytest.raises(ValueError):
+        Ensemble([])
+
+
+def test_ensemble_build_and_train():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(120, 4))
+    y = x @ np.array([1.0, -1.0, 0.5, 0.0])
+    ensemble = Ensemble.build(
+        lambda i: MpnnSurrogate(4, hidden=(16,), seed=i), n_models=3
+    )
+    assert len(ensemble) == 3
+    ensemble.train(x, y, seed=1, epochs=30)
+    mean, std = ensemble.predict_mean_std(x)
+    assert mean.shape == (120,)
+    assert std.shape == (120,)
+    assert np.all(std >= 0)
+
+
+def test_ensemble_members_differ():
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(80, 3))
+    y = x[:, 0]
+    ensemble = Ensemble.build(
+        lambda i: MpnnSurrogate(3, hidden=(8,), seed=i), n_models=2
+    )
+    ensemble.train(x, y, seed=0, epochs=10)
+    preds = ensemble.predict_all(x)
+    assert preds.shape == (2, 80)
+    assert not np.allclose(preds[0], preds[1])
+
+
+def test_ucb_scores():
+    mean = np.array([1.0, 2.0])
+    std = np.array([0.5, 0.0])
+    np.testing.assert_allclose(ucb_scores(mean, std), [1.5, 2.0])
+    np.testing.assert_allclose(ucb_scores(mean, std, kappa=2.0), [2.0, 2.0])
+
+
+def test_rank_by_ucb_orders_best_first():
+    mean = np.array([0.0, 5.0, 3.0])
+    std = np.array([10.0, 0.0, 0.0])
+    order = rank_by_ucb(mean, std, kappa=1.0)
+    assert order[0] == 0  # huge uncertainty wins with kappa=1
+
+
+@given(
+    st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=30),
+    st.floats(min_value=0.0, max_value=5.0),
+)
+def test_rank_is_permutation_and_sorted(means, kappa):
+    means = np.asarray(means)
+    stds = np.abs(means) * 0.1
+    order = rank_by_ucb(means, stds, kappa)
+    assert sorted(order) == list(range(len(means)))
+    scores = ucb_scores(means, stds, kappa)[order]
+    assert all(scores[i] >= scores[i + 1] for i in range(len(scores) - 1))

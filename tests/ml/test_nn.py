@@ -1,0 +1,125 @@
+"""Tests for the neural-network core."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.nn import MLP, mse, rmse
+
+
+def test_construction_validation():
+    with pytest.raises(ValueError):
+        MLP([4])
+    with pytest.raises(ValueError):
+        MLP([4, 0, 1])
+
+
+def test_predict_shapes():
+    mlp = MLP([3, 8, 1], seed=0)
+    single_output = mlp.predict(np.zeros((5, 3)))
+    assert single_output.shape == (5,)
+    multi = MLP([3, 8, 2], seed=0)
+    assert multi.predict(np.zeros((5, 3))).shape == (5, 2)
+
+
+def test_deterministic_init():
+    a, b = MLP([4, 8, 1], seed=3), MLP([4, 8, 1], seed=3)
+    x = np.random.default_rng(0).normal(size=(10, 4))
+    np.testing.assert_allclose(a.predict(x), b.predict(x))
+
+
+def test_training_reduces_loss():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(200, 4))
+    y = x[:, 0] ** 2 + np.sin(x[:, 1]) - 0.5 * x[:, 2]
+    mlp = MLP([4, 32, 32, 1], seed=1)
+    losses = mlp.train(x, y, epochs=60, lr=3e-3, seed=0)
+    assert losses[-1] < losses[0] * 0.2
+
+
+def test_trained_model_predicts_held_out():
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(400, 3))
+    y = 2.0 * x[:, 0] - x[:, 1]
+    mlp = MLP([3, 24, 1], seed=2)
+    mlp.train(x[:300], y[:300], epochs=80, lr=3e-3)
+    assert rmse(mlp.predict(x[300:]), y[300:]) < 0.5 * np.std(y)
+
+
+def test_training_empty_dataset_rejected():
+    mlp = MLP([2, 4, 1])
+    with pytest.raises(ValueError):
+        mlp.train(np.zeros((0, 2)), np.zeros(0))
+
+
+def test_target_normalization_handles_offsets():
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(200, 2))
+    y = 1000.0 + x[:, 0]
+    mlp = MLP([2, 16, 1], seed=0)
+    mlp.train(x, y, epochs=50, lr=3e-3)
+    pred = mlp.predict(x)
+    assert abs(float(np.mean(pred)) - 1000.0) < 5.0
+
+
+def test_gradient_wrt_input_matches_finite_difference():
+    mlp = MLP([3, 10, 1], seed=4)
+    # Give the raw network a non-trivial normalization.
+    mlp._y_mean, mlp._y_std = 2.0, 3.0
+    x = np.array([0.3, -0.7, 1.1])
+    grad = mlp.gradient_wrt_input(x)
+    eps = 1e-6
+    for i in range(3):
+        xp, xm = x.copy(), x.copy()
+        xp[i] += eps
+        xm[i] -= eps
+        numeric = (mlp.predict(xp[None])[0] - mlp.predict(xm[None])[0]) / (2 * eps)
+        assert grad[i] == pytest.approx(numeric, rel=1e-4, abs=1e-7)
+
+
+def test_gradient_requires_scalar_output():
+    with pytest.raises(ValueError):
+        MLP([3, 4, 2]).gradient_wrt_input(np.zeros(3))
+
+
+def test_weights_roundtrip():
+    a = MLP([3, 8, 1], seed=5)
+    a._y_mean, a._y_std = 1.5, 0.5
+    b = MLP([3, 8, 1], seed=99)
+    b.set_weights(a.get_weights())
+    x = np.random.default_rng(3).normal(size=(7, 3))
+    np.testing.assert_allclose(a.predict(x), b.predict(x))
+
+
+def test_set_weights_validates_count():
+    mlp = MLP([3, 8, 1])
+    with pytest.raises(ValueError):
+        mlp.set_weights(mlp.get_weights()[:-2])
+
+
+def test_get_weights_returns_copies():
+    mlp = MLP([2, 4, 1])
+    weights = mlp.get_weights()
+    weights[0][:] = 0.0
+    assert np.any(mlp.weights[0] != 0.0)
+
+
+def test_n_parameters():
+    mlp = MLP([3, 8, 1])
+    assert mlp.n_parameters == 3 * 8 + 8 + 8 * 1 + 1
+
+
+def test_mse_rmse():
+    a = np.array([1.0, 2.0])
+    b = np.array([1.0, 4.0])
+    assert mse(a, b) == pytest.approx(2.0)
+    assert rmse(a, b) == pytest.approx(np.sqrt(2.0))
+
+
+@given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=16))
+def test_forward_shapes_property(d_in, hidden):
+    mlp = MLP([d_in, hidden, 1], seed=0)
+    out, acts = mlp.forward(np.zeros((3, d_in)))
+    assert out.shape == (3, 1)
+    assert len(acts) == 3

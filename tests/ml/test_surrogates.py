@@ -1,0 +1,190 @@
+"""Tests for the MPNN and SchNet surrogates (featurization, forces,
+transport padding)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.ml.mpnn import MpnnSurrogate
+from repro.ml.schnet import (
+    RbfBasis,
+    SchnetSurrogate,
+    featurize,
+    featurize_with_jacobian,
+)
+from repro.serialize import serialize
+from repro.sim.water import make_water_cluster, reference_potential
+
+
+# -- MPNN ----------------------------------------------------------------------
+
+
+def test_mpnn_train_predict():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(150, 8))
+    y = x[:, 0] * 2 - x[:, 1]
+    model = MpnnSurrogate(8, hidden=(24,), seed=0)
+    model.train(x, y, epochs=50)
+    pred = model.predict(x)
+    assert np.corrcoef(pred, y)[0, 1] > 0.8
+
+
+def test_mpnn_pickle_roundtrip_preserves_predictions():
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(50, 6))
+    model = MpnnSurrogate(6, hidden=(12,), seed=2)
+    model.train(x, x[:, 0], epochs=5)
+    clone = pickle.loads(pickle.dumps(model))
+    np.testing.assert_allclose(clone.predict(x), model.predict(x))
+
+
+def test_mpnn_weight_padding_inflates_nominal_size():
+    small = MpnnSurrogate(6, hidden=(12,), seed=0, weight_padding=0)
+    big = MpnnSurrogate(6, hidden=(12,), seed=0, weight_padding=10_000_000)
+    assert serialize(big).nominal_size - serialize(small).nominal_size >= 10_000_000
+    # Real bytes stay modest either way.
+    assert len(serialize(big).data) < 200_000
+
+
+# -- RBF featurization ----------------------------------------------------------------
+
+
+def test_basis_validation():
+    with pytest.raises(ValueError):
+        RbfBasis(n_centers=1)
+    with pytest.raises(ValueError):
+        RbfBasis(r_min=5.0, cutoff=4.0)
+
+
+def test_basis_shapes():
+    basis = RbfBasis(n_centers=8, n_species=3)
+    assert basis.centers.shape == (8,)
+    assert basis.n_pair_channels == 6
+    assert basis.n_features == 48
+
+
+def test_pair_channel_symmetric():
+    basis = RbfBasis()
+    a = basis.pair_channel(np.array([0, 1, 2]), np.array([2, 0, 2]))
+    b = basis.pair_channel(np.array([2, 0, 2]), np.array([0, 1, 2]))
+    np.testing.assert_array_equal(a, b)
+    # All unordered pairs map to distinct channels.
+    pairs = [(i, j) for i in range(3) for j in range(i, 3)]
+    channels = {
+        int(basis.pair_channel(np.array([i]), np.array([j]))[0]) for i, j in pairs
+    }
+    assert len(channels) == len(pairs)
+
+
+def test_featurize_translation_invariant():
+    basis = RbfBasis(n_centers=6)
+    structure = make_water_cluster(2, seed=0)
+    d1 = featurize(structure.positions, structure.types, basis)
+    d2 = featurize(structure.positions + 5.0, structure.types, basis)
+    np.testing.assert_allclose(d1, d2, atol=1e-12)
+
+
+def test_featurize_rotation_invariant():
+    basis = RbfBasis(n_centers=6)
+    structure = make_water_cluster(2, seed=0)
+    theta = 0.7
+    rot = np.array(
+        [
+            [np.cos(theta), -np.sin(theta), 0],
+            [np.sin(theta), np.cos(theta), 0],
+            [0, 0, 1],
+        ]
+    )
+    d1 = featurize(structure.positions, structure.types, basis)
+    d2 = featurize(structure.positions @ rot.T, structure.types, basis)
+    np.testing.assert_allclose(d1, d2, atol=1e-10)
+
+
+def test_featurize_permutation_invariant_same_species():
+    basis = RbfBasis(n_centers=6)
+    structure = make_water_cluster(2, seed=1)
+    # Swap the two H atoms of the first water (indices 1 and 2).
+    swapped = structure.copy()
+    swapped.positions[[1, 2]] = swapped.positions[[2, 1]]
+    d1 = featurize(structure.positions, structure.types, basis)
+    d2 = featurize(swapped.positions, swapped.types, basis)
+    np.testing.assert_allclose(d1, d2, atol=1e-12)
+
+
+def test_featurize_rejects_unknown_species():
+    basis = RbfBasis(n_species=2)
+    with pytest.raises(ValueError):
+        featurize(np.zeros((2, 3)), np.array([0, 2]), basis)
+
+
+def test_featurize_single_atom_is_zero():
+    basis = RbfBasis()
+    assert np.all(featurize(np.zeros((1, 3)), np.array([0]), basis) == 0)
+
+
+def test_jacobian_matches_finite_difference():
+    basis = RbfBasis(n_centers=5)
+    structure = make_water_cluster(1, seed=2)
+    x = structure.positions
+    features, jac = featurize_with_jacobian(x, structure.types, basis)
+    eps = 1e-6
+    for atom in range(min(structure.n_atoms, 4)):
+        for dim in range(3):
+            xp, xm = x.copy(), x.copy()
+            xp[atom, dim] += eps
+            xm[atom, dim] -= eps
+            numeric = (
+                featurize(xp, structure.types, basis)
+                - featurize(xm, structure.types, basis)
+            ) / (2 * eps)
+            np.testing.assert_allclose(jac[:, atom, dim], numeric, atol=1e-5)
+
+
+# -- SchNet surrogate ------------------------------------------------------------------
+
+
+def test_schnet_train_improves_fit():
+    potential = reference_potential()
+    structures = [make_water_cluster(2, seed=i) for i in range(40)]
+    energies = np.array([potential.energy(s) for s in structures])
+    model = SchnetSurrogate(RbfBasis(n_centers=8), hidden=(16,), seed=0)
+    untrained_rmse = float(
+        np.sqrt(np.mean((model.predict(structures) - energies) ** 2))
+    )
+    model.train(structures, energies, epochs=40)
+    trained_rmse = float(
+        np.sqrt(np.mean((model.predict(structures) - energies) ** 2))
+    )
+    assert trained_rmse < untrained_rmse
+
+
+def test_schnet_forces_are_negative_energy_gradient():
+    structures = [make_water_cluster(2, seed=i) for i in range(20)]
+    potential = reference_potential()
+    energies = np.array([potential.energy(s) for s in structures])
+    model = SchnetSurrogate(RbfBasis(n_centers=6), hidden=(12,), seed=1)
+    model.train(structures, energies, epochs=10)
+    test = structures[0]
+    forces = model.predict_forces(test)
+    eps = 1e-6
+    for atom in range(3):
+        for dim in range(3):
+            sp, sm = test.copy(), test.copy()
+            sp.positions[atom, dim] += eps
+            sm.positions[atom, dim] -= eps
+            numeric = -(model.predict_energy(sp) - model.predict_energy(sm)) / (2 * eps)
+            assert forces[atom, dim] == pytest.approx(numeric, rel=1e-3, abs=1e-5)
+
+
+def test_schnet_pickle_roundtrip():
+    structures = [make_water_cluster(1, seed=i) for i in range(10)]
+    model = SchnetSurrogate(RbfBasis(n_centers=6), hidden=(8,), seed=3)
+    model.train(structures, np.arange(10, dtype=float), epochs=3)
+    clone = pickle.loads(pickle.dumps(model))
+    np.testing.assert_allclose(clone.predict(structures), model.predict(structures))
+
+
+def test_schnet_weight_padding():
+    model = SchnetSurrogate(RbfBasis(n_centers=6), hidden=(8,), weight_padding=21_000_000)
+    assert serialize(model).nominal_size >= 21_000_000

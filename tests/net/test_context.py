@@ -1,0 +1,69 @@
+"""Tests for the execution-placement context."""
+
+import pytest
+
+from repro.net.context import (
+    SiteThread,
+    at_site,
+    current_site,
+    require_current_site,
+    set_current_site,
+)
+from repro.net.topology import Site
+
+
+def test_default_is_unpinned():
+    set_current_site(None)
+    assert current_site() is None
+
+
+def test_at_site_sets_and_restores():
+    a, b = Site("a"), Site("b")
+    set_current_site(None)
+    with at_site(a):
+        assert current_site() is a
+        with at_site(b):
+            assert current_site() is b
+        assert current_site() is a
+    assert current_site() is None
+
+
+def test_at_site_restores_on_exception():
+    a = Site("a")
+    set_current_site(None)
+    with pytest.raises(RuntimeError):
+        with at_site(a):
+            raise RuntimeError("boom")
+    assert current_site() is None
+
+
+def test_require_current_site():
+    set_current_site(None)
+    with pytest.raises(RuntimeError):
+        require_current_site()
+    with at_site(Site("x")):
+        assert require_current_site().name == "x"
+
+
+def test_site_thread_pins_site():
+    site = Site("worker-site")
+    seen = []
+
+    def target():
+        seen.append(current_site())
+
+    thread = SiteThread(site, target=target)
+    thread.start()
+    thread.join()
+    assert seen == [site]
+
+
+def test_threads_do_not_inherit_context():
+    import threading
+
+    seen = []
+    with at_site(Site("parent")):
+        thread = threading.Thread(target=lambda: seen.append(current_site()))
+        thread.start()
+        thread.join()
+    assert seen == [None]

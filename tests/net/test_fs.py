@@ -1,0 +1,147 @@
+"""Tests for the per-site shared file systems."""
+
+import pytest
+
+from repro.exceptions import FileSystemError
+from repro.net.clock import get_clock
+from repro.net.context import at_site
+from repro.net.fs import FileSystem, MountTable
+from repro.net.topology import Site
+
+
+@pytest.fixture
+def fs():
+    return FileSystem("vol")
+
+
+def test_write_read_roundtrip(fs):
+    fs.write("a/b.bin", b"hello")
+    assert fs.read("a/b.bin") == b"hello"
+
+
+def test_read_missing_raises(fs):
+    with pytest.raises(FileSystemError):
+        fs.read("ghost")
+
+
+def test_size_missing_raises(fs):
+    with pytest.raises(FileSystemError):
+        fs.size("ghost")
+
+
+def test_exists_delete(fs):
+    fs.write("x", b"1")
+    assert fs.exists("x")
+    assert fs.delete("x")
+    assert not fs.exists("x")
+    assert not fs.delete("x")
+
+
+def test_write_requires_bytes(fs):
+    with pytest.raises(TypeError):
+        fs.write("x", "not-bytes")  # type: ignore[arg-type]
+
+
+def test_nominal_size_tracked_separately(fs):
+    fs.write("blob", b"tiny", nominal_size=10_000_000)
+    assert fs.size("blob") == 10_000_000
+    assert fs.read("blob") == b"tiny"
+    assert fs.total_bytes() == 10_000_000
+
+
+def test_nominal_size_defaults_to_real(fs):
+    fs.write("x", b"12345")
+    assert fs.size("x") == 5
+
+
+def test_listdir_prefix(fs):
+    fs.write("dir/a", b"1")
+    fs.write("dir/b", b"2")
+    fs.write("other/c", b"3")
+    assert fs.listdir("dir/") == ["dir/a", "dir/b"]
+    assert len(fs.listdir()) == 3
+
+
+def test_raw_and_write_raw_skip_charging(fs):
+    fs.write_raw("x", b"data", 999)
+    assert fs.raw("x") == (b"data", 999)
+    with pytest.raises(FileSystemError):
+        fs.raw("ghost")
+
+
+def test_clear(fs):
+    fs.write("x", b"1")
+    fs.clear()
+    assert not fs.exists("x")
+
+
+def test_io_charges_by_nominal_size():
+    fs = FileSystem("vol", write_bandwidth=1e6, read_bandwidth=1e6, op_latency=0.0)
+    clock = get_clock()
+    start = clock.now()
+    fs.write("big", b"x", nominal_size=1_000_000)  # 1 s at 1 MB/s
+    write_cost = clock.now() - start
+    assert write_cost >= 1.0
+    start = clock.now()
+    fs.read("big")
+    assert clock.now() - start >= 1.0
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        FileSystem("v", write_bandwidth=0)
+    with pytest.raises(ValueError):
+        FileSystem("v", op_latency=-1)
+
+
+# -- mount table ---------------------------------------------------------------
+
+
+def test_mount_table_for_site():
+    table = MountTable()
+    lustre = table.add_volume(FileSystem("lustre"))
+    site = Site("login", fs_group="lustre")
+    assert table.for_site(site) is lustre
+
+
+def test_mount_table_via_context():
+    table = MountTable()
+    lustre = table.add_volume(FileSystem("lustre"))
+    site = Site("login", fs_group="lustre")
+    with at_site(site):
+        assert table.for_site() is lustre
+
+
+def test_mount_table_no_context_raises():
+    table = MountTable()
+    with pytest.raises(FileSystemError):
+        table.for_site()
+
+
+def test_mount_table_site_without_fs_raises():
+    table = MountTable()
+    with pytest.raises(FileSystemError):
+        table.for_site(Site("gpu"))
+
+
+def test_mount_table_unknown_volume():
+    table = MountTable()
+    with pytest.raises(FileSystemError):
+        table.volume("ghost")
+    with pytest.raises(FileSystemError):
+        table.for_site(Site("x", fs_group="ghost"))
+
+
+def test_duplicate_volume_rejected():
+    table = MountTable()
+    table.add_volume(FileSystem("v"))
+    with pytest.raises(FileSystemError):
+        table.add_volume(FileSystem("v"))
+
+
+def test_accessible_from():
+    table = MountTable()
+    table.add_volume(FileSystem("lustre"))
+    assert table.accessible_from(Site("a", fs_group="lustre"), "lustre")
+    assert not table.accessible_from(Site("b", fs_group="other"), "lustre")
+    assert not table.accessible_from(Site("c"), "lustre")

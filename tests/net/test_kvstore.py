@@ -1,0 +1,236 @@
+"""Tests for the Redis-like key-value/queue server and its clients."""
+
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import PortPolicyError
+from repro.net.clock import get_clock
+from repro.net.context import at_site
+from repro.net.kvstore import KVClient, KVServer, _payload_size
+from repro.net.topology import FixedLatency, Network, Site
+
+
+@pytest.fixture
+def rig():
+    net = Network(seed=1)
+    login = net.add_site(Site("login", trust_group="hpc"))
+    compute = net.add_site(Site("compute", trust_group="hpc"))
+    gpu = net.add_site(Site("gpu", trust_group="other"))
+    net.add_link(login, compute, FixedLatency(1e-4), 5e9)
+    net.add_link(login, gpu, FixedLatency(3e-3), 1.25e9)
+    server = KVServer(login)
+    return net, login, compute, gpu, server
+
+
+# -- data operations -----------------------------------------------------------
+
+
+def test_set_get_delete(rig):
+    net, login, *_ , server = rig
+    client = KVClient(server, net, site=login)
+    client.set("k", b"value")
+    assert client.get("k") == b"value"
+    assert client.exists("k")
+    assert client.delete("k")
+    assert not client.exists("k")
+    assert client.get("k") is None
+    assert not client.delete("k")
+
+
+def test_incr(rig):
+    net, login, *_, server = rig
+    client = KVClient(server, net, site=login)
+    assert client.incr("counter") == 1
+    assert client.incr("counter", 5) == 6
+
+
+def test_queue_fifo(rig):
+    net, login, *_, server = rig
+    client = KVClient(server, net, site=login)
+    for i in range(5):
+        client.rpush("q", i)
+    popped = [client.lpop("q") for _ in range(5)]
+    assert popped == [0, 1, 2, 3, 4]
+    assert client.lpop("q") is None
+
+
+def test_lpush_puts_at_head(rig):
+    net, login, *_, server = rig
+    client = KVClient(server, net, site=login)
+    client.rpush("q", "first")
+    client.lpush("q", "urgent")
+    assert client.lpop("q") == "urgent"
+
+
+def test_llen(rig):
+    net, login, *_, server = rig
+    client = KVClient(server, net, site=login)
+    assert client.llen("q") == 0
+    client.rpush("q", 1)
+    client.rpush("q", 2)
+    assert client.llen("q") == 2
+
+
+def test_blpop_returns_queued_item(rig):
+    net, login, *_, server = rig
+    client = KVClient(server, net, site=login)
+    client.rpush("q", "item")
+    assert client.blpop("q", timeout=1.0) == ("q", "item")
+
+
+def test_blpop_times_out(rig):
+    net, login, *_, server = rig
+    client = KVClient(server, net, site=login)
+    assert client.blpop("q", timeout=0.2) is None
+
+
+def test_blpop_across_multiple_queues(rig):
+    net, login, *_, server = rig
+    client = KVClient(server, net, site=login)
+    client.rpush("q2", "x")
+    name, value = client.blpop(["q1", "q2"], timeout=1.0)
+    assert (name, value) == ("q2", "x")
+
+
+def test_blpop_wakes_on_concurrent_push(rig):
+    net, login, *_, server = rig
+    client = KVClient(server, net, site=login)
+
+    def producer():
+        get_clock().sleep(1.0)
+        KVClient(server, net, site=login).rpush("q", "late")
+
+    thread = threading.Thread(target=producer, daemon=True)
+    thread.start()
+    assert client.blpop("q", timeout=30.0) == ("q", "late")
+    thread.join()
+
+
+def test_flush(rig):
+    net, login, *_, server = rig
+    client = KVClient(server, net, site=login)
+    client.set("k", 1)
+    client.rpush("q", 1)
+    server.flush()
+    assert not client.exists("k")
+    assert client.llen("q") == 0
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=30))
+def test_queue_preserves_order_property(items):
+    server = KVServer(Site("solo"))
+    for item in items:
+        server.rpush("q", item)
+    out = [server.lpop("q") for _ in items]
+    assert out == items
+
+
+# -- connection policy -------------------------------------------------------------
+
+
+def test_same_trust_group_allowed(rig):
+    net, login, compute, gpu, server = rig
+    KVClient(server, net, site=compute)  # no raise
+
+
+def test_cross_facility_denied(rig):
+    net, login, compute, gpu, server = rig
+    with pytest.raises(PortPolicyError):
+        KVClient(server, net, site=gpu)
+
+
+def test_tunnel_bypasses_policy(rig):
+    net, login, compute, gpu, server = rig
+    client = KVClient(server, net, site=gpu, via_tunnel=True)
+    client.set("k", b"x")
+    assert client.get("k") == b"x"
+
+
+def test_policy_checked_per_call_with_context(rig):
+    net, login, compute, gpu, server = rig
+    client = KVClient(server, net, site=None)  # site from thread context
+    with at_site(login):
+        client.set("k", 1)
+    with at_site(gpu), pytest.raises(PortPolicyError):
+        client.get("k")
+
+
+def test_inbound_site_accepts_anyone():
+    net = Network(seed=1)
+    cloud = net.add_site(Site("cloud", allows_inbound=True))
+    outside = net.add_site(Site("outside"))
+    net.add_link(cloud, outside, FixedLatency(1e-3), 1e9)
+    server = KVServer(cloud)
+    client = KVClient(server, net, site=outside)
+    client.set("k", 1)
+    assert client.get("k") == 1
+
+
+# -- latency charging -----------------------------------------------------------------
+
+
+def test_remote_ops_cost_more_than_local(rig):
+    net, login, compute, gpu, server = rig
+    from repro.net.clock import reset_clock
+
+    # Coarser scale so the 3 ms link latency is well above the clock's
+    # minimum-sleep threshold and wall-noise floor.
+    clock = reset_clock(0.05)
+    local = KVClient(server, net, site=login)
+    remote = KVClient(server, net, site=gpu, via_tunnel=True)
+
+    start = clock.now()
+    for _ in range(20):
+        local.set("k", b"x" * 100)
+    local_cost = clock.now() - start
+
+    start = clock.now()
+    for _ in range(20):
+        remote.set("k", b"x" * 100)
+    remote_cost = clock.now() - start
+    assert remote_cost > local_cost
+
+
+def test_tunnel_bandwidth_cap_slows_bulk(rig):
+    net, login, compute, gpu, _ = rig
+    # Unbounded server-side processing so the tunnel cap is the only knob.
+    server = KVServer(login, name="fast-server", processing_bandwidth=1e15)
+    clock = get_clock()
+    fast = KVClient(server, net, site=gpu, via_tunnel=True, tunnel_bandwidth=1.25e9)
+    slow = KVClient(server, net, site=gpu, via_tunnel=True, tunnel_bandwidth=0.05e9)
+    from repro.serialize import Blob, serialize
+
+    payload = serialize(Blob(100_000_000))  # nominal 100 MB, tiny real bytes
+
+    start = clock.now()
+    fast.set("k1", payload)
+    fast_cost = clock.now() - start
+    start = clock.now()
+    slow.set("k2", payload)
+    slow_cost = clock.now() - start
+    assert slow_cost > fast_cost * 2
+
+
+# -- payload sizing --------------------------------------------------------------------
+
+
+def test_payload_size_bytes_and_str():
+    assert _payload_size(b"abc") == 3
+    assert _payload_size("abcd") == 4
+
+
+def test_payload_size_respects_nominal_attribute():
+    class Fake:
+        nominal_size = 12345
+
+    assert _payload_size(Fake()) == 12345
+
+
+def test_payload_size_scalars_and_containers():
+    assert _payload_size(None) == 1
+    assert _payload_size(1.5) == 8
+    assert _payload_size([b"ab", b"cd"]) == 4 + 8
+    assert _payload_size(object()) == 64

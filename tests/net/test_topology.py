@@ -1,0 +1,231 @@
+"""Tests for sites, links, latency models, and connection policy."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import TopologyError
+from repro.net.topology import (
+    LOCALHOST_LATENCY_S,
+    FixedLatency,
+    LogNormalLatency,
+    Network,
+    Site,
+    UniformLatency,
+)
+
+
+def make_net():
+    net = Network(seed=7)
+    a = net.add_site(Site("a", fs_group="fs1", trust_group="fac"))
+    b = net.add_site(Site("b", fs_group="fs1", trust_group="fac"))
+    c = net.add_site(Site("c", allows_inbound=True))
+    net.add_link(a, b, FixedLatency(0.001), 1e9)
+    net.add_link(a, c, FixedLatency(0.010), 1e8)
+    return net, a, b, c
+
+
+# -- latency models ---------------------------------------------------------
+
+
+def test_fixed_latency():
+    model = FixedLatency(0.5)
+    assert model.sample(random.Random(0)) == 0.5
+    assert model.typical == 0.5
+    with pytest.raises(ValueError):
+        FixedLatency(-1.0)
+
+
+def test_uniform_latency_bounds():
+    model = UniformLatency(0.1, 0.2)
+    rng = random.Random(3)
+    for _ in range(200):
+        assert 0.1 <= model.sample(rng) <= 0.2
+    assert model.typical == pytest.approx(0.15)
+    with pytest.raises(ValueError):
+        UniformLatency(0.2, 0.1)
+    with pytest.raises(ValueError):
+        UniformLatency(-0.1, 0.2)
+
+
+def test_lognormal_latency_positive_and_capped():
+    model = LogNormalLatency(0.5, sigma=1.0, cap=0.9)
+    rng = random.Random(5)
+    samples = [model.sample(rng) for _ in range(500)]
+    assert all(0 < s <= 0.9 for s in samples)
+    assert model.typical == 0.5
+    with pytest.raises(ValueError):
+        LogNormalLatency(0.0)
+    with pytest.raises(ValueError):
+        LogNormalLatency(0.1, sigma=-1)
+
+
+@given(st.floats(min_value=1e-6, max_value=10.0), st.floats(min_value=0.0, max_value=2.0))
+def test_lognormal_samples_always_positive(median, sigma):
+    model = LogNormalLatency(median, sigma)
+    rng = random.Random(11)
+    assert all(model.sample(rng) > 0 for _ in range(20))
+
+
+# -- network construction -----------------------------------------------------
+
+
+def test_duplicate_site_rejected():
+    net = Network()
+    net.add_site(Site("x"))
+    with pytest.raises(TopologyError):
+        net.add_site(Site("x"))
+
+
+def test_self_link_rejected():
+    net = Network()
+    net.add_site(Site("x"))
+    with pytest.raises(TopologyError):
+        net.add_link("x", "x", FixedLatency(0.1), 1e9)
+
+
+def test_link_to_unknown_site_rejected():
+    net = Network()
+    net.add_site(Site("x"))
+    with pytest.raises(TopologyError):
+        net.add_link("x", "ghost", FixedLatency(0.1), 1e9)
+
+
+def test_unknown_site_lookup():
+    net = Network()
+    with pytest.raises(TopologyError):
+        net.site("ghost")
+
+
+def test_bandwidth_must_be_positive():
+    net = Network()
+    net.add_site(Site("x"))
+    net.add_site(Site("y"))
+    with pytest.raises(ValueError):
+        net.add_link("x", "y", FixedLatency(0.1), 0.0)
+
+
+# -- latency / transfer queries ---------------------------------------------------
+
+
+def test_same_site_latency_is_localhost():
+    net, a, _, _ = make_net()
+    assert net.latency(a, a) == LOCALHOST_LATENCY_S
+
+
+def test_link_latency_sampled():
+    net, a, b, _ = make_net()
+    assert net.latency(a, b) == 0.001
+    assert net.rtt(a, b) == pytest.approx(0.002)
+
+
+def test_missing_link_raises_without_default():
+    net, _, b, c = make_net()
+    with pytest.raises(TopologyError):
+        net.latency(b, c)
+
+
+def test_default_link_used_when_missing():
+    from repro.net.topology import Link
+
+    net = Network(default_link=Link("any", "any", FixedLatency(0.2), 1e6))
+    net.add_site(Site("x"))
+    net.add_site(Site("y"))
+    assert net.latency("x", "y") == 0.2
+
+
+def test_transfer_time_includes_bandwidth():
+    net, a, b, _ = make_net()
+    t = net.transfer_time(a, b, 1_000_000_000)  # 1 GB over 1 GB/s
+    assert t == pytest.approx(0.001 + 1.0)
+
+
+def test_transfer_time_rejects_negative_bytes():
+    net, a, b, _ = make_net()
+    with pytest.raises(ValueError):
+        net.transfer_time(a, b, -1)
+
+
+def test_local_transfer_is_fast():
+    net, a, _, _ = make_net()
+    assert net.transfer_time(a, a, 10_000_000) < 0.01
+
+
+# -- filesystem and trust policies --------------------------------------------------
+
+
+def test_shares_filesystem():
+    net, a, b, c = make_net()
+    assert net.shares_filesystem(a, b)
+    assert not net.shares_filesystem(a, c)
+    assert not net.shares_filesystem(c, c)  # no fs_group at all
+
+
+def test_can_connect_same_site():
+    net, a, _, _ = make_net()
+    assert net.can_connect(a, a)
+
+
+def test_can_connect_same_trust_group():
+    net, a, b, _ = make_net()
+    assert net.can_connect(a, b)
+    assert net.can_connect(b, a)
+
+
+def test_can_connect_inbound_site():
+    net, a, _, c = make_net()
+    assert net.can_connect(a, c)  # c allows inbound
+    assert not net.can_connect(c, a)  # a does not
+
+
+def test_paper_testbed_policies(testbed):
+    net = testbed.network
+    # Intra-facility pilot connections work.
+    assert net.can_connect(testbed.theta_compute, testbed.theta_login)
+    # The GPU box cannot dial the HPC login node (needs a tunnel).
+    assert not net.can_connect(testbed.venti, testbed.theta_login)
+    # Everyone can call the clouds.
+    for site in (testbed.theta_login, testbed.theta_compute, testbed.venti):
+        assert net.can_connect(site, testbed.faas_cloud)
+        assert net.can_connect(site, testbed.globus_cloud)
+    # Login and compute share Lustre; Venti mounts neither.
+    assert net.shares_filesystem(testbed.theta_login, testbed.theta_compute)
+    assert not net.shares_filesystem(testbed.venti, testbed.theta_login)
+
+
+def test_paper_testbed_has_all_links(testbed):
+    names = [s.name for s in testbed.network.sites]
+    assert set(names) >= {
+        "theta-login",
+        "theta-compute",
+        "venti",
+        "uchicago-login",
+        "faas-cloud",
+        "globus-cloud",
+    }
+    # All pairs used by the experiments have finite latency.
+    pairs = [
+        ("theta-login", "theta-compute"),
+        ("theta-login", "venti"),
+        ("uchicago-login", "theta-compute"),
+        ("venti", "globus-cloud"),
+        ("theta-login", "faas-cloud"),
+    ]
+    for a, b in pairs:
+        assert testbed.network.latency(a, b) > 0
+
+
+def test_latency_sampling_is_seed_deterministic():
+    net1, a1, b1, _ = make_net()
+    net2, a2, b2, _ = make_net()
+    # FixedLatency is trivially deterministic; check log-normal too.
+    n1, n2 = Network(seed=9), Network(seed=9)
+    for net in (n1, n2):
+        net.add_site(Site("p"))
+        net.add_site(Site("q"))
+        net.add_link("p", "q", LogNormalLatency(0.01, 0.5), 1e9)
+    samples1 = [n1.latency("p", "q") for _ in range(20)]
+    samples2 = [n2.latency("p", "q") for _ in range(20)]
+    assert samples1 == samples2

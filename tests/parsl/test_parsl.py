@@ -1,0 +1,223 @@
+"""Tests for channels, the HTEX-like executor, and the dataflow kernel."""
+
+import pytest
+
+from repro.exceptions import PortPolicyError, TaskError, WorkflowError
+from repro.net.clock import get_clock
+from repro.net.context import at_site
+from repro.parsl import DataFlowKernel, DirectChannel, HtexExecutor, SSHTunnel
+from repro.resources import WorkerPool
+from repro.serialize import Blob
+
+
+def _mul(a, b):
+    return a * b
+
+
+def _fail():
+    raise RuntimeError("worker exploded")
+
+
+# -- channels -----------------------------------------------------------------
+
+
+def test_direct_channel_allowed_within_facility(testbed):
+    DirectChannel().validate(
+        testbed.network, testbed.theta_compute, testbed.theta_login
+    )
+
+
+def test_direct_channel_denied_across_facilities(testbed):
+    with pytest.raises(PortPolicyError):
+        DirectChannel().validate(testbed.network, testbed.venti, testbed.theta_login)
+
+
+def test_tunnel_always_validates(testbed):
+    SSHTunnel().validate(testbed.network, testbed.venti, testbed.theta_login)
+
+
+def test_tunnel_caps_bandwidth(testbed):
+    direct = DirectChannel()
+    tunnel = SSHTunnel(bandwidth_cap=0.1e9)
+    nbytes = 1_000_000_000
+    t_direct = direct.transfer_time(
+        testbed.network, testbed.theta_login, testbed.venti, nbytes
+    )
+    t_tunnel = tunnel.transfer_time(
+        testbed.network, testbed.theta_login, testbed.venti, nbytes
+    )
+    assert t_tunnel > t_direct * 2
+
+
+def test_channel_cap_ignored_same_site(testbed):
+    tunnel = SSHTunnel(bandwidth_cap=1.0)  # absurdly slow cap
+    t = tunnel.transfer_time(
+        testbed.network, testbed.theta_login, testbed.theta_login, 10_000_000
+    )
+    assert t < 1.0
+
+
+# -- executor ---------------------------------------------------------------------
+
+
+@pytest.fixture
+def cpu_executor(testbed):
+    pool = WorkerPool(testbed.theta_compute, 3, name="parsl-cpu")
+    executor = HtexExecutor(
+        "cpu", testbed.theta_login, pool, testbed.network, channel=DirectChannel()
+    ).start()
+    yield executor
+    executor.shutdown()
+
+
+def test_executor_runs_tasks(cpu_executor, testbed):
+    with at_site(testbed.theta_login):
+        futures = [cpu_executor.submit(_mul, i, b=2) for i in range(8)]
+    assert [f.result(timeout=30) for f in futures] == [i * 2 for i in range(8)]
+
+
+def test_executor_propagates_errors(cpu_executor, testbed):
+    with at_site(testbed.theta_login):
+        future = cpu_executor.submit(_fail)
+    with pytest.raises(TaskError) as excinfo:
+        future.result(timeout=30)
+    assert "worker exploded" in str(excinfo.value)
+    assert excinfo.value.remote_traceback is not None
+
+
+def test_executor_rejects_submit_before_start(testbed):
+    pool = WorkerPool(testbed.theta_compute, 1, name="never-started")
+    executor = HtexExecutor("x", testbed.theta_login, pool, testbed.network)
+    with pytest.raises(RuntimeError):
+        executor.submit(_mul, 1, b=1)
+
+
+def test_executor_validates_channel_at_construction(testbed):
+    pool = WorkerPool(testbed.venti, 1, name="gpu")
+    with pytest.raises(PortPolicyError):
+        HtexExecutor(
+            "gpu", testbed.theta_login, pool, testbed.network, channel=DirectChannel()
+        )
+
+
+def test_executor_with_tunnel_reaches_gpu_site(testbed):
+    pool = WorkerPool(testbed.venti, 2, name="gpu-tunnel")
+    executor = HtexExecutor(
+        "gpu", testbed.theta_login, pool, testbed.network, channel=SSHTunnel()
+    ).start()
+    try:
+        with at_site(testbed.theta_login):
+            future = executor.submit(_mul, 6, b=7)
+        assert future.result(timeout=30) == 42
+    finally:
+        executor.shutdown()
+
+
+def test_large_payload_costs_more_over_tunnel(testbed):
+    pool = WorkerPool(testbed.venti, 1, name="gpu-big")
+    executor = HtexExecutor(
+        "gpu", testbed.theta_login, pool, testbed.network, channel=SSHTunnel()
+    ).start()
+    clock = get_clock()
+
+    def _identity(x):
+        return None
+
+    try:
+        with at_site(testbed.theta_login):
+            start = clock.now()
+            executor.submit(_identity, Blob(1_000)).result(timeout=60)
+            small = clock.now() - start
+            start = clock.now()
+            executor.submit(_identity, Blob(2_000_000_000)).result(timeout=60)
+            large = clock.now() - start
+        assert large > small * 3
+    finally:
+        executor.shutdown()
+
+
+# -- dataflow kernel ------------------------------------------------------------------
+
+
+@pytest.fixture
+def dfk(testbed):
+    cpu = HtexExecutor(
+        "cpu",
+        testbed.theta_login,
+        WorkerPool(testbed.theta_compute, 2, name="dfk-cpu"),
+        testbed.network,
+    )
+    gpu = HtexExecutor(
+        "gpu",
+        testbed.theta_login,
+        WorkerPool(testbed.venti, 2, name="dfk-gpu"),
+        testbed.network,
+        channel=SSHTunnel(),
+    )
+    kernel = DataFlowKernel([cpu, gpu]).start()
+    yield kernel
+    kernel.shutdown()
+
+
+def test_dfk_routes_by_label(dfk, testbed):
+    with at_site(testbed.theta_login):
+        f_cpu = dfk.submit(_mul, 2, b=3, executor="cpu")
+        f_gpu = dfk.submit(_mul, 4, b=5, executor="gpu")
+    assert f_cpu.result(timeout=30) == 6
+    assert f_gpu.result(timeout=30) == 20
+
+
+def test_dfk_default_executor(dfk, testbed):
+    with at_site(testbed.theta_login):
+        future = dfk.submit(_mul, 3, b=3)
+    assert future.result(timeout=30) == 9
+
+
+def test_dfk_unknown_label(dfk, testbed):
+    with at_site(testbed.theta_login):
+        with pytest.raises(WorkflowError):
+            dfk.submit(_mul, 1, b=1, executor="tpu")
+
+
+def test_dfk_dependency_chaining(dfk, testbed):
+    with at_site(testbed.theta_login):
+        first = dfk.submit(_mul, 2, b=5, executor="cpu")
+        second = dfk.submit(_mul, first, b=10, executor="gpu")
+    assert second.result(timeout=30) == 100
+
+
+def test_dfk_dependency_failure_propagates(dfk, testbed):
+    with at_site(testbed.theta_login):
+        first = dfk.submit(_fail, executor="cpu")
+        second = dfk.submit(_mul, first, b=2, executor="cpu")
+    with pytest.raises(TaskError):
+        second.result(timeout=30)
+
+
+def test_dfk_needs_executors():
+    with pytest.raises(WorkflowError):
+        DataFlowKernel([])
+
+
+def test_dfk_unique_labels(testbed):
+    make = lambda name: HtexExecutor(
+        name,
+        testbed.theta_login,
+        WorkerPool(testbed.theta_compute, 1, name=f"p-{id(object())}"),
+        testbed.network,
+    )
+    a, b = make("same"), make("same")
+    with pytest.raises(WorkflowError):
+        DataFlowKernel([a, b])
+
+
+def test_dfk_submit_before_start(testbed):
+    cpu = HtexExecutor(
+        "cpu",
+        testbed.theta_login,
+        WorkerPool(testbed.theta_compute, 1, name="unstarted"),
+        testbed.network,
+    )
+    kernel = DataFlowKernel([cpu])
+    with pytest.raises(WorkflowError):
+        kernel.submit(_mul, 1, b=1)

@@ -1,0 +1,256 @@
+"""Tests for the transparent lazy proxy."""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ProxyResolutionError
+from repro.proxystore.proxy import (
+    Factory,
+    Proxy,
+    SimpleFactory,
+    extract,
+    is_proxy,
+    is_resolved,
+    resolve,
+    resolve_seconds,
+)
+
+
+class CountingFactory(Factory):
+    """Resolves to a payload, counting how many times it is called."""
+
+    def __init__(self, obj):
+        self.obj = obj
+        self.calls = 0
+
+    def resolve(self):
+        self.calls += 1
+        return self.obj
+
+
+def test_proxy_is_lazy_until_used():
+    factory = CountingFactory([1, 2, 3])
+    proxy = Proxy(factory)
+    assert factory.calls == 0
+    assert not is_resolved(proxy)
+    assert len(proxy) == 3
+    assert factory.calls == 1
+    assert is_resolved(proxy)
+
+
+def test_factory_called_exactly_once():
+    factory = CountingFactory({"a": 1})
+    proxy = Proxy(factory)
+    _ = proxy["a"]
+    _ = proxy.keys()
+    _ = str(proxy)
+    assert factory.calls == 1
+
+
+def test_requires_callable_factory():
+    with pytest.raises(TypeError):
+        Proxy("not-callable")  # type: ignore[arg-type]
+
+
+def test_attribute_access_forwards():
+    proxy = Proxy(SimpleFactory(np.arange(5)))
+    assert proxy.shape == (5,)
+    assert proxy.sum() == 10
+
+
+def test_attribute_set_and_delete_forward():
+    class Holder:
+        pass
+
+    target = Holder()
+    proxy = Proxy(SimpleFactory(target))
+    proxy.value = 42
+    assert target.value == 42
+    del proxy.value
+    assert not hasattr(target, "value")
+
+
+def test_isinstance_masquerade():
+    proxy = Proxy(SimpleFactory(np.zeros(3)))
+    assert isinstance(proxy, np.ndarray)
+    proxy2 = Proxy(SimpleFactory({"a": 1}))
+    assert isinstance(proxy2, dict)
+
+
+def test_type_is_not_fooled():
+    proxy = Proxy(SimpleFactory([1]))
+    assert type(proxy) is Proxy
+    assert is_proxy(proxy)
+    assert not is_proxy([1])
+
+
+def test_container_protocol():
+    proxy = Proxy(SimpleFactory([3, 1, 2]))
+    assert len(proxy) == 3
+    assert proxy[0] == 3
+    assert 2 in proxy
+    assert sorted(proxy) == [1, 2, 3]
+    assert list(reversed(proxy)) == [2, 1, 3]
+    proxy[0] = 9
+    assert proxy[0] == 9
+    del proxy[0]
+    assert len(proxy) == 2
+
+
+def test_callable_forwarding():
+    proxy = Proxy(SimpleFactory(lambda x: x * 2))
+    assert proxy(21) == 42
+
+
+def test_arithmetic_operators():
+    proxy = Proxy(SimpleFactory(10))
+    assert proxy + 5 == 15
+    assert 5 + proxy == 15
+    assert proxy - 3 == 7
+    assert 3 - proxy == -7
+    assert proxy * 2 == 20
+    assert proxy / 4 == 2.5
+    assert proxy // 3 == 3
+    assert proxy % 3 == 1
+    assert proxy**2 == 100
+    assert -proxy == -10
+    assert abs(Proxy(SimpleFactory(-4))) == 4
+    assert divmod(proxy, 3) == (3, 1)
+
+
+def test_bitwise_and_shifts():
+    proxy = Proxy(SimpleFactory(0b1010))
+    assert proxy & 0b0110 == 0b0010
+    assert proxy | 0b0101 == 0b1111
+    assert proxy ^ 0b1111 == 0b0101
+    assert proxy << 1 == 0b10100
+    assert proxy >> 1 == 0b101
+    assert ~proxy == ~0b1010
+
+
+def test_comparisons():
+    proxy = Proxy(SimpleFactory(5))
+    assert proxy == 5
+    assert proxy != 6
+    assert proxy < 6
+    assert proxy <= 5
+    assert proxy > 4
+    assert proxy >= 5
+
+
+def test_numeric_conversions():
+    proxy = Proxy(SimpleFactory(7))
+    assert int(proxy) == 7
+    assert float(proxy) == 7.0
+    assert complex(proxy) == 7 + 0j
+    assert list(range(10))[proxy] == 7  # __index__
+    assert bool(proxy)
+    assert hash(proxy) == hash(7)
+
+
+def test_matmul():
+    a = Proxy(SimpleFactory(np.eye(2)))
+    b = np.array([[1.0], [2.0]])
+    np.testing.assert_array_equal(a @ b, b)
+
+
+def test_proxy_on_both_sides_of_operator():
+    a = Proxy(SimpleFactory(3))
+    b = Proxy(SimpleFactory(4))
+    assert a + b == 7
+    assert a < b
+
+
+def test_str_bytes_repr():
+    proxy = Proxy(SimpleFactory(12))
+    assert str(proxy) == "12"
+    unresolved = Proxy(SimpleFactory(12))
+    assert "unresolved" in repr(unresolved)
+    str(unresolved)
+    assert repr(unresolved) == "12"
+
+
+def test_context_manager_forwarding(tmp_path):
+    path = tmp_path / "f.txt"
+    path.write_text("content")
+    proxy = Proxy(SimpleFactory(open(path)))
+    with proxy as handle:
+        assert handle.read() == "content"
+
+
+def test_pickle_travels_as_factory_only():
+    factory = CountingFactory("payload")
+    proxy = Proxy(SimpleFactory("payload"))
+    data = pickle.dumps(proxy)
+    clone = pickle.loads(data)
+    assert is_proxy(clone)
+    assert not is_resolved(clone)
+    assert clone == "payload"
+
+
+def test_pickle_does_not_resolve_original():
+    proxy = Proxy(SimpleFactory([1, 2]))
+    pickle.dumps(proxy)
+    assert not is_resolved(proxy)
+
+
+def test_resolve_and_extract_helpers():
+    proxy = Proxy(SimpleFactory("x"))
+    resolve(proxy)
+    assert is_resolved(proxy)
+    assert extract(proxy) == "x"
+    assert extract("plain") == "plain"
+    resolve("plain")  # no-op, no raise
+
+
+def test_resolve_seconds_recorded():
+    proxy = Proxy(SimpleFactory(1))
+    assert resolve_seconds(proxy) is None
+    resolve(proxy)
+    assert resolve_seconds(proxy) >= 0.0
+
+
+def test_helpers_reject_non_proxies():
+    with pytest.raises(TypeError):
+        is_resolved(42)  # type: ignore[arg-type]
+    with pytest.raises(TypeError):
+        resolve_seconds(42)  # type: ignore[arg-type]
+
+
+class FailingFactory(Factory):
+    def resolve(self):
+        raise OSError("backend gone")
+
+
+def test_failing_factory_raises_resolution_error():
+    proxy = Proxy(FailingFactory())
+    with pytest.raises(ProxyResolutionError):
+        len(proxy)
+
+
+def test_dir_forwards():
+    proxy = Proxy(SimpleFactory([1]))
+    assert "append" in dir(proxy)
+
+
+@given(st.integers(min_value=-10_000, max_value=10_000), st.integers(min_value=-100, max_value=100))
+def test_proxy_int_behaves_like_int(value, other):
+    proxy = Proxy(SimpleFactory(value))
+    assert proxy + other == value + other
+    assert proxy * other == value * other
+    assert (proxy == other) == (value == other)
+    assert (proxy < other) == (value < other)
+    assert str(proxy) == str(value)
+    assert hash(proxy) == hash(value)
+
+
+@given(st.lists(st.integers(), max_size=20))
+def test_proxy_list_behaves_like_list(items):
+    proxy = Proxy(SimpleFactory(list(items)))
+    assert len(proxy) == len(items)
+    assert list(proxy) == items
+    assert (3 in proxy) == (3 in items)

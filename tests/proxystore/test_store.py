@@ -1,0 +1,178 @@
+"""Tests for the Store façade, registry, caching, and metrics."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StoreError
+from repro.net.context import at_site
+from repro.net.kvstore import KVServer
+from repro.proxystore import (
+    RedisConnector,
+    Store,
+    clear_store_registry,
+    get_store,
+    is_proxy,
+    is_resolved,
+    register_store,
+    unregister_store,
+)
+from repro.proxystore.store import StoreFactory
+
+
+@pytest.fixture
+def store(testbed):
+    server = KVServer(testbed.theta_login)
+    return Store("test-store", RedisConnector(server, testbed.network))
+
+
+def test_put_get_roundtrip(store, testbed):
+    with at_site(testbed.theta_login):
+        key = store.put({"a": 1})
+        assert store.get(key) == {"a": 1}
+
+
+def test_get_unknown_key_raises(store, testbed):
+    with at_site(testbed.theta_login):
+        with pytest.raises(StoreError):
+            store.get("ghost")
+
+
+def test_exists_and_evict(store, testbed):
+    with at_site(testbed.theta_login):
+        key = store.put("x")
+        assert store.exists(key)
+        store.evict(key)
+        assert not store.exists(key)
+
+
+def test_proxy_roundtrip_cross_site(store, testbed):
+    arr = np.arange(20)
+    with at_site(testbed.theta_login):
+        proxy = store.proxy(arr)
+    assert is_proxy(proxy)
+    assert not is_resolved(proxy)
+    with at_site(testbed.theta_compute):
+        np.testing.assert_array_equal(proxy + 0, arr)
+
+
+def test_proxy_from_key(store, testbed):
+    with at_site(testbed.theta_login):
+        key = store.put([1, 2])
+        proxy = store.proxy_from_key(key)
+        assert proxy == [1, 2]
+
+
+def test_proxy_with_evict_removes_after_resolve(store, testbed):
+    with at_site(testbed.theta_login):
+        proxy = store.proxy("payload", evict=True)
+        key = object.__getattribute__(proxy, "__proxy_factory__").key
+        assert proxy == "payload"
+        assert not store.exists(key)
+
+
+def test_pickled_proxy_resolves_through_registry(store, testbed):
+    with at_site(testbed.theta_login):
+        proxy = store.proxy({"k": 9})
+    clone = pickle.loads(pickle.dumps(proxy))
+    with at_site(testbed.theta_compute):
+        assert clone["k"] == 9
+
+
+def test_cache_hits_within_one_site(store, testbed):
+    with at_site(testbed.theta_login):
+        key = store.put(list(range(100)))
+        store.get(key)
+        store.get(key)
+    assert store.metrics.cache_hits >= 1
+    assert store.metrics.cache_misses >= 1
+
+
+def test_cache_is_per_site(store, testbed):
+    with at_site(testbed.theta_login):
+        key = store.put("v")
+        store.get(key)
+    with at_site(testbed.theta_compute):
+        store.get(key)
+    # Two distinct sites -> two misses even with a warm login-node cache.
+    assert store.metrics.cache_misses == 2
+
+
+def test_evict_clears_site_caches(store, testbed):
+    with at_site(testbed.theta_login):
+        key = store.put("v")
+        store.get(key)
+        store.evict(key)
+        with pytest.raises(StoreError):
+            store.get(key)
+
+
+def test_zero_cache_size_disables_caching(testbed):
+    server = KVServer(testbed.theta_login)
+    store = Store("nocache", RedisConnector(server, testbed.network), cache_size=0)
+    with at_site(testbed.theta_login):
+        key = store.put("v")
+        store.get(key)
+        store.get(key)
+    assert store.metrics.cache_hits == 0
+
+
+def test_metrics_summary(store, testbed):
+    with at_site(testbed.theta_login):
+        key = store.put(b"x" * 1000)
+        store.get(key)
+    summary = store.metrics.summary()
+    assert summary["puts"] == 1
+    assert summary["gets"] == 1
+    assert summary["put_median_s"] > 0
+
+
+# -- registry -------------------------------------------------------------------
+
+
+def test_registry_lookup(store):
+    assert get_store("test-store") is store
+
+
+def test_duplicate_registration_rejected(store, testbed):
+    server = KVServer(testbed.theta_login)
+    with pytest.raises(StoreError):
+        Store("test-store", RedisConnector(server, testbed.network))
+
+
+def test_register_exist_ok(store):
+    register_store(store, exist_ok=True)
+    assert get_store("test-store") is store
+
+
+def test_unregister(store):
+    unregister_store("test-store")
+    with pytest.raises(StoreError):
+        get_store("test-store")
+
+
+def test_clear_registry(store):
+    clear_store_registry()
+    with pytest.raises(StoreError):
+        get_store("test-store")
+
+
+def test_close_unregisters(store):
+    store.close()
+    with pytest.raises(StoreError):
+        get_store("test-store")
+
+
+def test_store_factory_repr():
+    factory = StoreFactory("s", "k")
+    assert "s" in repr(factory) and "k" in repr(factory)
+
+
+def test_store_factory_unknown_store_errors():
+    from repro.exceptions import ProxyResolutionError
+    from repro.proxystore.proxy import Proxy
+
+    proxy = Proxy(StoreFactory("no-such-store", "key"))
+    with pytest.raises(ProxyResolutionError):
+        len(proxy)

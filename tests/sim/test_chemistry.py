@@ -1,0 +1,135 @@
+"""Tests for the molecule library, oracles, and dataset builders."""
+
+import numpy as np
+import pytest
+
+from repro.net.clock import get_clock
+from repro.serialize import Blob
+from repro.sim.chemistry import MoleculeLibrary, TightBindingSimulator
+from repro.sim.datasets import (
+    DftSimulator,
+    hydronet_like_dataset,
+    moses_like_library,
+)
+from repro.sim.water import make_water_cluster, reference_potential
+
+
+# -- molecule library ------------------------------------------------------------
+
+
+def test_library_shapes_and_determinism():
+    a = MoleculeLibrary(100, n_features=16, seed=5)
+    b = MoleculeLibrary(100, n_features=16, seed=5)
+    np.testing.assert_array_equal(a.fingerprints(), b.fingerprints())
+    np.testing.assert_array_equal(a.true_ips(), b.true_ips())
+    assert a.fingerprints().shape == (100, 16)
+    assert len(a) == 100
+
+
+def test_library_validation():
+    with pytest.raises(ValueError):
+        MoleculeLibrary(0)
+
+
+def test_library_indexed_access():
+    lib = MoleculeLibrary(50, seed=1)
+    subset = lib.fingerprints([3, 7])
+    np.testing.assert_array_equal(subset[0], lib.fingerprints()[3])
+    assert lib.true_ip(3) == pytest.approx(lib.true_ips([3])[0])
+
+
+def test_library_ip_distribution():
+    lib = MoleculeLibrary(2000, seed=2, ip_mean=11.0, ip_std=1.6)
+    ips = lib.true_ips()
+    assert abs(float(np.mean(ips)) - 11.0) < 0.2
+    assert abs(float(np.std(ips)) - 1.6) < 0.2
+
+
+def test_threshold_and_count_consistent():
+    lib = MoleculeLibrary(1000, seed=3)
+    threshold = lib.top_quantile_threshold(0.05)
+    count = lib.count_above(threshold)
+    assert 30 <= count <= 70  # ~5% of 1000
+    with pytest.raises(ValueError):
+        lib.top_quantile_threshold(0.0)
+
+
+def test_ip_surface_is_learnable():
+    """A model trained on fingerprints must beat random guessing — the
+    property active learning depends on."""
+    from repro.ml.mpnn import MpnnSurrogate
+
+    lib = MoleculeLibrary(600, n_features=16, seed=4)
+    x, y = lib.fingerprints(), lib.true_ips()
+    model = MpnnSurrogate(16, hidden=(32,), seed=0)
+    model.train(x[:400], y[:400], epochs=60)
+    pred = model.predict(x[400:])
+    assert np.corrcoef(pred, y[400:])[0, 1] > 0.5
+
+
+# -- tight-binding oracle ------------------------------------------------------------
+
+
+def test_simulator_returns_noisy_truth_and_sleeps():
+    lib = MoleculeLibrary(50, seed=0)
+    sim = TightBindingSimulator(lib, duration_mean=2.0, method_noise=0.01, seed=1)
+    clock = get_clock()
+    start = clock.now()
+    record = sim.compute_ip(7)
+    took = clock.now() - start
+    assert took >= 1.0  # slept roughly the simulated duration
+    assert record.molecule_index == 7
+    assert abs(record.ip - lib.true_ip(7)) < 0.1
+    assert isinstance(record.artifacts, Blob)
+    assert record.artifacts.nbytes == 1_000_000
+
+
+def test_simulator_deterministic_per_molecule():
+    lib = MoleculeLibrary(50, seed=0)
+    sim1 = TightBindingSimulator(lib, duration_mean=0.1, seed=1)
+    sim2 = TightBindingSimulator(lib, duration_mean=0.1, seed=1)
+    assert sim1.compute_ip(3).ip == sim2.compute_ip(3).ip
+
+
+def test_moses_like_library_factory():
+    lib = moses_like_library(200, seed=9)
+    assert len(lib) == 200
+
+
+# -- water datasets ---------------------------------------------------------------------
+
+
+def test_hydronet_dataset_size_and_diversity():
+    structures, energies = hydronet_like_dataset(60, n_waters=2, seed=1)
+    assert len(structures) == 60
+    assert energies.shape == (60,)
+    assert float(np.std(energies)) > 0.05  # diverse enough to learn from
+
+
+def test_hydronet_uses_ttm_labels_by_default():
+    structures, energies = hydronet_like_dataset(20, n_waters=2, seed=2)
+    reference = reference_potential()
+    ref_energies = np.array([reference.energy(s) for s in structures])
+    assert abs(float(np.mean(energies - ref_energies))) > 0.1
+
+
+def test_dft_simulator_matches_reference_with_noise():
+    sim = DftSimulator(duration_mean=0.5, energy_noise=0.001, force_noise=0.0005, seed=3)
+    structure = make_water_cluster(2, seed=0)
+    clock = get_clock()
+    start = clock.now()
+    record = sim.compute(structure)
+    assert clock.now() - start >= 0.2
+    reference = reference_potential()
+    true_e, true_f = reference.energy_and_forces(structure)
+    assert record.energy == pytest.approx(true_e, abs=0.02)
+    np.testing.assert_allclose(record.forces, true_f, atol=0.02)
+    assert record.artifacts.nbytes == 20_000
+
+
+def test_dft_simulator_distinct_calls_differ_in_duration():
+    sim = DftSimulator(duration_mean=0.2, duration_jitter=0.5, seed=1)
+    structure = make_water_cluster(1, seed=0)
+    a = sim.compute(structure).wall_time
+    b = sim.compute(structure).wall_time
+    assert a != b

@@ -1,0 +1,123 @@
+"""Property-based invariants for the physics and data substrates."""
+
+import threading
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.thinker import ResourceCounter
+from repro.ml.schnet import RbfBasis, featurize
+from repro.net.kvstore import KVServer
+from repro.net.topology import Site
+from repro.sim.water import (
+    make_water_cluster,
+    reference_potential,
+    ttm_potential,
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+@given(seeds)
+@settings(max_examples=15)
+def test_energy_translation_invariant(seed):
+    potential = reference_potential()
+    s = make_water_cluster(2, seed=seed)
+    e1 = potential.energy(s)
+    shifted = s.copy()
+    shifted.positions = shifted.positions + np.array([3.0, -7.0, 11.0])
+    assert abs(potential.energy(shifted) - e1) < 1e-9
+
+
+@given(seeds, st.floats(min_value=-3.0, max_value=3.0))
+@settings(max_examples=15)
+def test_energy_rotation_invariant(seed, theta):
+    potential = reference_potential()
+    s = make_water_cluster(2, seed=seed)
+    e1 = potential.energy(s)
+    rot = np.array(
+        [
+            [np.cos(theta), -np.sin(theta), 0.0],
+            [np.sin(theta), np.cos(theta), 0.0],
+            [0.0, 0.0, 1.0],
+        ]
+    )
+    rotated = s.copy()
+    rotated.positions = rotated.positions @ rot.T
+    assert abs(potential.energy(rotated) - e1) < 1e-8
+
+
+@given(seeds)
+@settings(max_examples=10)
+def test_forces_sum_to_zero_property(seed):
+    """Newton's third law for arbitrary clusters, both parameterizations."""
+    s = make_water_cluster(3, seed=seed)
+    for potential in (reference_potential(), ttm_potential()):
+        _, forces = potential.energy_and_forces(s)
+        np.testing.assert_allclose(forces.sum(axis=0), 0.0, atol=1e-8)
+
+
+@given(seeds)
+@settings(max_examples=10)
+def test_features_finite_and_nonnegative(seed):
+    basis = RbfBasis(n_centers=6)
+    s = make_water_cluster(2, seed=seed)
+    features = featurize(s.positions, s.types, basis)
+    assert np.all(np.isfinite(features))
+    assert np.all(features >= 0.0)  # sums of Gaussians times a cutoff in [0,1]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1_000_000), min_size=1, max_size=50))
+@settings(max_examples=20)
+def test_kvstore_concurrent_producers_preserve_multiset(items):
+    """Values pushed by concurrent producers all come out exactly once."""
+    server = KVServer(Site("solo"))
+    chunks = [items[i::4] for i in range(4)]
+
+    def produce(chunk):
+        for item in chunk:
+            server.rpush("q", item)
+
+    threads = [threading.Thread(target=produce, args=(c,)) for c in chunks]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    popped = []
+    while True:
+        value = server.lpop("q")
+        if value is None:
+            break
+        popped.append(value)
+    assert sorted(popped) == sorted(items)
+
+
+def test_resource_counter_conservation_under_contention():
+    """Total slots are conserved through concurrent acquire/release storms."""
+    counter = ResourceCounter(8, ["a", "b"])
+    counter.allocate("a", 5)
+    counter.allocate("b", 3)
+    errors = []
+
+    def worker(pool):
+        try:
+            for _ in range(200):
+                if counter.acquire(pool, 1, timeout=1.0):
+                    counter.release(pool, 1)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(pool,))
+        for pool in ("a", "b")
+        for _ in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert counter.available("a") == 5
+    assert counter.available("b") == 3
+    assert counter.unallocated == 0

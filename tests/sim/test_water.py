@@ -1,0 +1,195 @@
+"""Tests for the water-cluster physics, MD, and dataset builders."""
+
+import numpy as np
+import pytest
+
+from repro.net.clock import get_clock
+from repro.sim.water import (
+    ATOM_C,
+    ATOM_H,
+    ATOM_O,
+    Structure,
+    make_test_set,
+    make_water_cluster,
+    maxwell_boltzmann_velocities,
+    reference_potential,
+    run_md,
+    ttm_potential,
+)
+
+
+# -- structures ---------------------------------------------------------------
+
+
+def test_structure_validation():
+    with pytest.raises(ValueError):
+        Structure(np.zeros((2, 2)), np.zeros(2, dtype=int))
+    with pytest.raises(ValueError):
+        Structure(np.zeros((2, 3)), np.zeros(3, dtype=int))
+
+
+def test_structure_copy_is_deep():
+    s = make_water_cluster(1, seed=0)
+    c = s.copy()
+    c.positions += 1.0
+    assert not np.allclose(s.positions, c.positions)
+
+
+def test_cluster_composition_with_methane():
+    s = make_water_cluster(3, seed=0, with_methane=True)
+    assert s.n_atoms == 5 + 3 * 3
+    assert int(np.sum(s.types == ATOM_C)) == 1
+    assert int(np.sum(s.types == ATOM_O)) == 3
+    assert int(np.sum(s.types == ATOM_H)) == 4 + 6
+    # 4 C-H bonds + 2 O-H per water.
+    assert len(s.bonds) == 4 + 6
+
+
+def test_cluster_without_methane():
+    s = make_water_cluster(2, seed=1, with_methane=False)
+    assert s.n_atoms == 6
+    assert int(np.sum(s.types == ATOM_C)) == 0
+
+
+def test_cluster_molecules_not_overlapping():
+    s = make_water_cluster(6, seed=3)
+    heavy = s.positions[s.types != ATOM_H]
+    for i in range(len(heavy)):
+        for j in range(i + 1, len(heavy)):
+            assert np.linalg.norm(heavy[i] - heavy[j]) > 1.5
+
+
+def test_cluster_bond_lengths_near_equilibrium():
+    s = make_water_cluster(2, seed=4)
+    for i, j in s.bonds:
+        r = np.linalg.norm(s.positions[i] - s.positions[j])
+        assert 0.9 < r < 1.2
+
+
+def test_masses_by_type():
+    s = make_water_cluster(1, seed=0)
+    assert s.masses[s.types == ATOM_O][0] == pytest.approx(16.0)
+    assert s.masses[s.types == ATOM_H][0] == pytest.approx(1.0)
+
+
+# -- potentials -------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_forces_are_negative_gradient(seed):
+    potential = reference_potential()
+    s = make_water_cluster(2, seed=seed)
+    _, forces = potential.energy_and_forces(s)
+    eps = 1e-6
+    for atom in (0, 1, s.n_atoms - 1):
+        for dim in range(3):
+            sp, sm = s.copy(), s.copy()
+            sp.positions[atom, dim] += eps
+            sm.positions[atom, dim] -= eps
+            numeric = -(potential.energy(sp) - potential.energy(sm)) / (2 * eps)
+            assert forces[atom, dim] == pytest.approx(numeric, rel=1e-5, abs=1e-7)
+
+
+def test_ttm_forces_also_consistent():
+    potential = ttm_potential()
+    s = make_water_cluster(1, seed=5)
+    _, forces = potential.energy_and_forces(s)
+    eps = 1e-6
+    sp, sm = s.copy(), s.copy()
+    sp.positions[0, 0] += eps
+    sm.positions[0, 0] -= eps
+    numeric = -(potential.energy(sp) - potential.energy(sm)) / (2 * eps)
+    assert forces[0, 0] == pytest.approx(numeric, rel=1e-5, abs=1e-7)
+
+
+def test_energy_finite_even_for_overlaps():
+    potential = reference_potential()
+    s = make_water_cluster(2, seed=0)
+    s.positions[3] = s.positions[0] + 0.01  # near-collision
+    energy, forces = potential.energy_and_forces(s)
+    assert np.isfinite(energy)
+    assert np.all(np.isfinite(forces))
+
+
+def test_ttm_is_systematically_biased():
+    reference, ttm = reference_potential(), ttm_potential()
+    diffs = []
+    for seed in range(10):
+        s = make_water_cluster(3, seed=seed)
+        diffs.append(ttm.energy(s) - reference.energy(s))
+    diffs = np.array(diffs)
+    assert abs(diffs.mean()) > 0.1  # clear bias for fine-tuning to remove
+    assert diffs.std() > 0.01  # geometry-dependent, so it is learnable
+
+
+def test_net_force_is_zero():
+    """Newton's third law: internal forces sum to ~0."""
+    potential = reference_potential()
+    s = make_water_cluster(3, seed=7)
+    _, forces = potential.energy_and_forces(s)
+    np.testing.assert_allclose(forces.sum(axis=0), 0.0, atol=1e-9)
+
+
+# -- velocities / MD --------------------------------------------------------------------
+
+
+def test_maxwell_boltzmann_zero_momentum():
+    s = make_water_cluster(3, seed=0)
+    v = maxwell_boltzmann_velocities(s, 300.0, seed=1)
+    np.testing.assert_allclose(v.mean(axis=0), 0.0, atol=1e-12)
+
+
+def test_maxwell_boltzmann_scales_with_temperature():
+    s = make_water_cluster(3, seed=0)
+    cold = maxwell_boltzmann_velocities(s, 10.0, seed=1)
+    hot = maxwell_boltzmann_velocities(s, 1000.0, seed=1)
+    assert np.std(hot) > np.std(cold) * 3
+
+
+def test_md_returns_requested_frames():
+    s = make_water_cluster(1, seed=0)
+    potential = reference_potential()
+    frames = run_md(s, potential.forces, 8, sample_every=2, seed=0)
+    assert len(frames) == 4
+    assert all(isinstance(f, type(s)) for f in frames)
+
+
+def test_md_moves_atoms_but_stays_finite():
+    s = make_water_cluster(2, seed=1)
+    potential = reference_potential()
+    frames = run_md(s, potential.forces, 20, temperature=300.0, seed=2)
+    assert not np.allclose(frames[-1].positions, s.positions)
+    assert np.all(np.isfinite(frames[-1].positions))
+    # Cluster should not have exploded across hundreds of angstroms.
+    assert np.abs(frames[-1].positions).max() < 100.0
+
+
+def test_md_does_not_mutate_input():
+    s = make_water_cluster(1, seed=3)
+    original = s.positions.copy()
+    run_md(s, reference_potential().forces, 5, seed=0)
+    np.testing.assert_array_equal(s.positions, original)
+
+
+def test_md_rejects_zero_steps():
+    with pytest.raises(ValueError):
+        run_md(make_water_cluster(1), reference_potential().forces, 0)
+
+
+def test_md_deterministic_given_seed():
+    s = make_water_cluster(1, seed=4)
+    potential = reference_potential()
+    f1 = run_md(s, potential.forces, 6, seed=9)
+    f2 = run_md(s, potential.forces, 6, seed=9)
+    np.testing.assert_allclose(f1[-1].positions, f2[-1].positions)
+
+
+# -- test set -------------------------------------------------------------------------------
+
+
+def test_make_test_set_contents():
+    test_set = make_test_set(n_trajectories=2, temperatures=(100.0, 300.0), n_steps=8, n_waters=2)
+    assert len(test_set) > 0
+    for structure, energy, forces in test_set:
+        assert np.isfinite(energy)
+        assert forces.shape == structure.positions.shape

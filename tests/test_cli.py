@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_testbed_command(capsys):
+    assert main(["testbed"]) == 0
+    out = capsys.readouterr().out
+    assert "theta-login" in out
+    assert "outbound-only" in out
+    assert "NO (needs tunnel)" in out
+
+
+def test_moldesign_command(capsys):
+    code = main(
+        [
+            "moldesign",
+            "--simulations", "24",
+            "--molecules", "300",
+            "--time-scale", "0.002",
+            "--workflow", "parsl+redis",
+            "--timeout", "120",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "found" in out
+    assert "utilization" in out
+
+
+def test_finetune_command(capsys):
+    code = main(
+        [
+            "finetune",
+            "--structures", "6",
+            "--pretrain", "60",
+            "--time-scale", "0.002",
+            "--timeout", "180",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "force RMSD" in out
+
+
+def test_compare_command(capsys):
+    code = main(
+        ["compare", "--tasks", "3", "--payload-mb", "0.2", "--time-scale", "0.002"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    for config in ("parsl", "parsl+redis", "funcx+globus"):
+        assert config in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["launch-rockets"])

@@ -1,0 +1,50 @@
+"""Smoke tests: the shipped examples must run end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart_runs():
+    out = _run("quickstart.py")
+    assert "task results" in out
+    assert "training" in out
+
+
+def test_data_fabric_tour_runs():
+    out = _run("data_fabric_tour.py")
+    assert "deployment reality check" in out
+    assert "refused" in out
+    assert "get-on-GPU FAILS" in out  # file backend across facilities
+
+
+def test_molecular_design_example_runs():
+    out = _run(
+        "molecular_design.py",
+        "--simulations", "40",
+        "--molecules", "400",
+        "--time-scale", "0.002",
+    )
+    assert "molecules found" in out
+    assert "discovery curve" in out
+
+
+def test_workflow_comparison_example_runs():
+    out = _run("workflow_comparison.py", "--tasks", "4", "--payload-mb", "0.5")
+    assert "parsl+redis" in out
+    assert "funcx+globus" in out

@@ -1,0 +1,163 @@
+"""Tests for serialization and nominal payload sizing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import SerializationError
+from repro.serialize import (
+    Blob,
+    Payload,
+    deserialize,
+    deserialize_cost,
+    nominal_size,
+    serialize,
+    serialize_cost,
+)
+
+
+def test_roundtrip_simple_objects():
+    for obj in [1, "text", [1, 2, 3], {"a": (1, 2)}, None, 3.5]:
+        assert deserialize(serialize(obj)) == obj
+
+
+def test_roundtrip_numpy():
+    arr = np.arange(12).reshape(3, 4)
+    out = deserialize(serialize(arr))
+    np.testing.assert_array_equal(out, arr)
+
+
+def test_blob_roundtrip_and_equality():
+    blob = Blob(1234, tag="x")
+    out = deserialize(serialize(blob))
+    assert out == blob
+    assert hash(out) == hash(blob)
+    assert out != Blob(1234, tag="y")
+
+
+def test_blob_rejects_negative():
+    with pytest.raises(ValueError):
+        Blob(-1)
+
+
+def test_blob_counts_toward_nominal_size():
+    payload = serialize(Blob(5_000_000))
+    assert payload.nominal_size >= 5_000_000
+    assert len(payload.data) < 1000  # real bytes stay tiny
+
+
+def test_nested_blobs_all_counted():
+    obj = {"a": Blob(1_000_000), "b": [Blob(2_000_000), Blob(3_000_000)]}
+    payload = serialize(obj)
+    assert payload.nominal_size >= 6_000_000
+
+
+def test_payload_len_is_nominal():
+    payload = serialize(Blob(42_000))
+    assert len(payload) == payload.nominal_size
+
+
+def test_nested_serialize_calls_do_not_leak_accounting():
+    class Sneaky:
+        def __reduce__(self):
+            # Serializing this object serializes a Blob internally.
+            inner = serialize(Blob(7_000_000))
+            return (bytes, (inner.data,))
+
+    payload = serialize([Sneaky()])
+    # The inner serialize already consumed its own accounting; the outer
+    # payload must not double count it.
+    assert payload.nominal_size < 7_000_000
+
+
+def test_unpicklable_raises_serialization_error():
+    with pytest.raises(SerializationError):
+        serialize(lambda x: x)
+
+
+def test_deserialize_garbage_raises():
+    with pytest.raises(SerializationError):
+        deserialize(b"not-a-pickle")
+
+
+def test_deserialize_accepts_raw_bytes():
+    payload = serialize({"k": 1})
+    assert deserialize(payload.data) == {"k": 1}
+
+
+# -- nominal_size estimates -----------------------------------------------------
+
+
+def test_nominal_size_basics():
+    assert nominal_size(b"abcd") == 4
+    assert nominal_size("ab") == 2
+    assert nominal_size(None) == 1
+    assert nominal_size(True) == 1
+    assert nominal_size(7) == 8
+    assert nominal_size(1.5) == 8
+
+
+def test_nominal_size_ndarray():
+    arr = np.zeros((10, 10), dtype=np.float64)
+    assert nominal_size(arr) == 800
+
+
+def test_nominal_size_containers_sum():
+    assert nominal_size([b"ab", b"cd"]) == 8 + 4
+    assert nominal_size({"k": b"abc"}) == 8 + 1 + 3
+
+
+def test_nominal_size_blob():
+    assert nominal_size(Blob(999)) == 999
+
+
+def test_nominal_size_proxy_is_reference_sized():
+    from repro.proxystore.proxy import Proxy, SimpleFactory
+
+    proxy = Proxy(SimpleFactory(np.zeros(1_000_000)))
+    assert nominal_size(proxy) == Proxy.REFERENCE_SIZE
+    # Sizing must not have resolved the proxy.
+    from repro.proxystore.proxy import is_resolved
+
+    assert not is_resolved(proxy)
+
+
+class _Custom:
+    def __init__(self):
+        self.data = list(range(100))
+
+
+def test_nominal_size_fallback_pickles():
+    assert nominal_size(_Custom()) > 50
+
+
+# -- cost models --------------------------------------------------------------------
+
+
+def test_costs_monotonic_in_size():
+    assert serialize_cost(10) < serialize_cost(10_000_000)
+    assert deserialize_cost(10) < deserialize_cost(10_000_000)
+
+
+def test_costs_have_base():
+    assert serialize_cost(0) > 0
+    assert deserialize_cost(0) > 0
+
+
+@given(st.binary(max_size=2048))
+def test_bytes_roundtrip_property(data):
+    payload = serialize(data)
+    assert deserialize(payload) == data
+    assert payload.nominal_size >= len(data)
+
+
+@given(
+    st.recursive(
+        st.one_of(st.integers(), st.text(max_size=20), st.none()),
+        lambda children: st.lists(children, max_size=4),
+        max_leaves=20,
+    )
+)
+def test_structured_roundtrip_property(obj):
+    assert deserialize(serialize(obj)) == obj

@@ -1,0 +1,176 @@
+"""Tests for the Globus-like transfer service and client."""
+
+import pytest
+
+from repro.exceptions import TransferError
+from repro.net.clock import get_clock
+from repro.net.context import at_site
+from repro.net.defaults import PaperConstants
+from repro.net.topology import UniformLatency
+from repro.transfer import (
+    TransferClient,
+    TransferEndpoint,
+    TransferService,
+    TransferStatus,
+)
+
+
+@pytest.fixture
+def rig(testbed):
+    constants = PaperConstants(
+        globus_request_latency=UniformLatency(0.05, 0.06),
+        globus_transfer_base=UniformLatency(0.2, 0.3),
+        globus_poll_interval=0.05,
+    )
+    service = TransferService(
+        testbed.globus_cloud, testbed.network, constants
+    ).start()
+    src = TransferEndpoint(
+        "ep-src", testbed.theta_login, testbed.mounts.volume("theta-lustre")
+    )
+    dst = TransferEndpoint("ep-dst", testbed.venti, testbed.mounts.volume("venti-local"))
+    service.register_endpoint(src)
+    service.register_endpoint(dst)
+    client = TransferClient(service, "tester", site=testbed.theta_login)
+    yield testbed, service, src, dst, client
+    service.stop()
+
+
+def test_transfer_moves_file(rig):
+    testbed, service, src, dst, client = rig
+    src.volume.write("f1", b"payload", nominal_size=1000)
+    task_id = client.submit("ep-src", "ep-dst", [("f1", "f1")])
+    task = client.wait(task_id, timeout=60)
+    assert task.status is TransferStatus.SUCCEEDED
+    assert dst.volume.read("f1") == b"payload"
+    assert dst.volume.size("f1") == 1000
+    assert task.bytes_transferred == 1000
+
+
+def test_transfer_multiple_files(rig):
+    testbed, service, src, dst, client = rig
+    for i in range(3):
+        src.volume.write(f"f{i}", bytes([i]), nominal_size=10)
+    task_id = client.submit("ep-src", "ep-dst", [(f"f{i}", f"g{i}") for i in range(3)])
+    client.wait(task_id, timeout=60)
+    for i in range(3):
+        assert dst.volume.read(f"g{i}") == bytes([i])
+
+
+def test_missing_source_file_fails(rig):
+    testbed, service, src, dst, client = rig
+    task_id = client.submit("ep-src", "ep-dst", [("ghost", "ghost")])
+    with pytest.raises(TransferError):
+        client.wait(task_id, timeout=60)
+    assert client.task(task_id).status is TransferStatus.FAILED
+
+
+def test_empty_items_rejected(rig):
+    _, service, *_ = rig
+    with pytest.raises(TransferError):
+        service.submit("u", "ep-src", "ep-dst", [])
+
+
+def test_unknown_endpoint_rejected(rig):
+    testbed, service, src, dst, client = rig
+    with pytest.raises(TransferError):
+        client.submit("ep-src", "ghost", [("a", "b")])
+
+
+def test_duplicate_endpoint_rejected(rig):
+    testbed, service, src, dst, client = rig
+    with pytest.raises(TransferError):
+        service.register_endpoint(src)
+
+
+def test_unknown_task_status(rig):
+    testbed, service, src, dst, client = rig
+    with pytest.raises(TransferError):
+        client.status("gt-999999")
+
+
+def test_submission_pays_https_latency(rig):
+    testbed, service, src, dst, client = rig
+    src.volume.write("f", b"x", nominal_size=1)
+    clock = get_clock()
+    start = clock.now()
+    client.submit("ep-src", "ep-dst", [("f", "f")])
+    cost = clock.now() - start
+    assert cost >= 0.05  # at least the configured request latency
+
+
+def test_transfer_duration_in_expected_band(rig):
+    testbed, service, src, dst, client = rig
+    src.volume.write("f", b"x", nominal_size=1)
+    task_id = client.submit("ep-src", "ep-dst", [("f", "f")])
+    task = client.wait(task_id, timeout=60)
+    took = task.completed_at - task.started_at
+    assert 0.2 <= took <= 5.0
+
+
+def test_paused_endpoint_defers_transfer(rig):
+    testbed, service, src, dst, client = rig
+    src.volume.write("f", b"x", nominal_size=1)
+    service.pause_endpoint("ep-dst")
+    task_id = client.submit("ep-src", "ep-dst", [("f", "f")])
+    get_clock().sleep(1.0)
+    assert client.status(task_id) is TransferStatus.QUEUED
+    service.resume_endpoint("ep-dst")
+    task = client.wait(task_id, timeout=60)
+    assert task.status is TransferStatus.SUCCEEDED
+
+
+def test_injected_failure_is_retried(rig):
+    testbed, service, src, dst, client = rig
+    src.volume.write("f", b"x", nominal_size=1)
+    service.inject_failure("simulated checksum error")
+    task_id = client.submit("ep-src", "ep-dst", [("f", "f")])
+    task = client.wait(task_id, timeout=120)
+    assert task.status is TransferStatus.SUCCEEDED
+    assert task.retries >= 1
+
+
+def test_repeated_failures_exhaust_retries(rig):
+    testbed, service, src, dst, client = rig
+    src.volume.write("f", b"x", nominal_size=1)
+    for _ in range(TransferService.MAX_RETRIES + 1):
+        service.inject_failure("persistent error")
+    task_id = client.submit("ep-src", "ep-dst", [("f", "f")])
+    with pytest.raises(TransferError):
+        client.wait(task_id, timeout=120)
+    assert client.task(task_id).status is TransferStatus.FAILED
+
+
+def test_concurrency_limit_enforced(testbed):
+    constants = PaperConstants(
+        globus_request_latency=UniformLatency(0.01, 0.02),
+        globus_transfer_base=UniformLatency(2.0, 2.1),
+        globus_poll_interval=0.05,
+        globus_concurrent_transfer_limit=2,
+    )
+    service = TransferService(testbed.globus_cloud, testbed.network, constants).start()
+    src = TransferEndpoint("s", testbed.theta_login, testbed.mounts.volume("theta-lustre"))
+    dst = TransferEndpoint("d", testbed.venti, testbed.mounts.volume("venti-local"))
+    service.register_endpoint(src)
+    service.register_endpoint(dst)
+    client = TransferClient(service, "limited", site=testbed.theta_login)
+    try:
+        for i in range(5):
+            src.volume.write(f"f{i}", b"x", nominal_size=1)
+        ids = [client.submit("s", "d", [(f"f{i}", f"f{i}")]) for i in range(5)]
+        get_clock().sleep(1.0)
+        assert service.active_count("limited") <= 2
+        for task_id in ids:
+            client.wait(task_id, timeout=120)
+    finally:
+        service.stop()
+
+
+def test_wait_timeout(rig):
+    testbed, service, src, dst, client = rig
+    src.volume.write("f", b"x", nominal_size=1)
+    service.pause_endpoint("ep-dst")
+    task_id = client.submit("ep-src", "ep-dst", [("f", "f")])
+    with pytest.raises(TransferError):
+        client.wait(task_id, timeout=0.5)
+    service.resume_endpoint("ep-dst")
