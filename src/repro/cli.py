@@ -11,11 +11,16 @@ Commands
 ``compare``
     Run the same synthetic task batch through all three workflow
     configurations and print the latency decomposition side by side.
+``trace``
+    Reconstruct a recorded campaign from a span JSONL file (written with
+    ``--trace-out``): per-component medians, orphan check, and the critical
+    path of a chosen task.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import statistics
 import sys
 
@@ -36,6 +41,40 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--time-scale", type=float, default=0.004,
         help="wall seconds per nominal second (smaller = faster run)",
     )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="record every span and metric of the run; spans are written "
+        "as JSONL to PATH (inspect with `python -m repro.cli trace PATH`)",
+    )
+
+
+@contextlib.contextmanager
+def _observability(trace_out: str | None):
+    """Install a tracer + metrics registry for one campaign run.
+
+    On exit the spans go to ``trace_out`` as JSONL and a console summary of
+    both spans and metrics is printed.  A no-op when ``trace_out`` is unset
+    (the zero-overhead default)."""
+    if not trace_out:
+        yield
+        return
+    from repro import observe
+
+    tracer = observe.Tracer()
+    registry = observe.MetricsRegistry()
+    observe.set_tracer(tracer)
+    observe.set_metrics(registry)
+    try:
+        yield
+    finally:
+        observe.set_tracer(None)
+        observe.set_metrics(None)
+        spans = tracer.spans()
+        count = observe.write_spans_jsonl(spans, trace_out)
+        print(f"\nwrote {count} spans to {trace_out}")
+        if spans:
+            print(observe.render_span_summary(spans))
+        print(registry.render())
 
 
 def cmd_testbed(args: argparse.Namespace) -> int:
@@ -76,9 +115,10 @@ def cmd_moldesign(args: argparse.Namespace) -> int:
         max_simulations=args.simulations,
         n_initial=min(48, max(args.simulations // 3, 4)),
     )
-    outcome = run_moldesign_campaign(
-        args.workflow, config, seed=args.seed, join_timeout=args.timeout
-    )
+    with _observability(args.trace_out):
+        outcome = run_moldesign_campaign(
+            args.workflow, config, seed=args.seed, join_timeout=args.timeout
+        )
     print(
         f"{args.workflow}: found {outcome.n_found}/{outcome.n_simulated} "
         f"above IP {outcome.threshold:.2f} "
@@ -106,9 +146,10 @@ def cmd_finetune(args: argparse.Namespace) -> int:
     config = FineTuneConfig(
         n_pretrain=args.pretrain, target_new_structures=args.structures
     )
-    outcome = run_finetuning_campaign(
-        args.workflow, config, seed=args.seed, join_timeout=args.timeout
-    )
+    with _observability(args.trace_out):
+        outcome = run_finetuning_campaign(
+            args.workflow, config, seed=args.seed, join_timeout=args.timeout
+        )
     print(
         f"{args.workflow}: +{outcome.n_new_structures} DFT structures; "
         f"force RMSD {outcome.rmsd_before:.3f} -> {outcome.rmsd_after:.3f}; "
@@ -142,6 +183,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
         f"{args.tasks} tasks x {args.payload_mb:.1f} MB on the GPU resource:\n"
     )
     print(f"{'configuration':<14} {'lifetime':>9} {'overhead':>9}")
+    stack = contextlib.ExitStack()
+    stack.enter_context(_observability(args.trace_out))
     for config in WORKFLOW_CONFIGS:
         reset_clock(args.time_scale)
         testbed = build_paper_testbed(seed=args.seed)
@@ -172,6 +215,46 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 f"{config:<14} {statistics.median(lifetimes):>8.2f}s "
                 f"{statistics.median(overheads):>8.2f}s"
             )
+    stack.close()
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro import observe
+
+    try:
+        spans = observe.load_spans_jsonl(args.trace_file)
+    except FileNotFoundError:
+        print(f"trace file not found: {args.trace_file}")
+        return 1
+    except (ValueError, KeyError) as exc:
+        print(f"could not parse {args.trace_file}: {exc}")
+        return 1
+    if not spans:
+        print(f"no spans in {args.trace_file}")
+        return 1
+    print(observe.render_span_summary(spans))
+    orphans = observe.find_orphans(spans)
+    if orphans:
+        print(f"\nWARNING: {len(orphans)} orphan spans (parent never recorded):")
+        for span in orphans[:10]:
+            print(f"  {span.name} trace={span.trace_id} parent={span.parent_id}")
+    else:
+        print("\nno orphan spans: every parent id resolves within its trace")
+    traces = observe.group_traces(spans)
+    if args.trace_id is not None:
+        chosen = [args.trace_id]
+    else:
+        # Default: the longest task, where the critical path is most telling.
+        def root_duration(bucket):
+            root = observe.trace_root(bucket)
+            return root.duration or 0.0 if root is not None else 0.0
+
+        ranked = sorted(traces, key=lambda t: root_duration(traces[t]), reverse=True)
+        chosen = ranked[: args.limit]
+    for trace_id in chosen:
+        print()
+        print(observe.render_critical_path(spans, trace_id))
     return 0
 
 
@@ -202,6 +285,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--payload-mb", type=float, default=1.0)
     p.add_argument("--tasks", type=int, default=8)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "trace", help="reconstruct a recorded campaign from a span JSONL file"
+    )
+    p.add_argument("trace_file", help="JSONL written by a --trace-out run")
+    p.add_argument(
+        "--trace-id", default=None,
+        help="print this task's critical path (default: the longest tasks)",
+    )
+    p.add_argument(
+        "--limit", type=int, default=1,
+        help="how many longest tasks to print critical paths for",
+    )
+    p.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -18,6 +18,13 @@ from dataclasses import dataclass
 from repro.core.result import Result
 from repro.exceptions import WorkflowError
 from repro.net.clock import Clock, get_clock
+from repro.observe import (
+    counter_inc,
+    new_task_trace,
+    observe,
+    record_span,
+    trace_span,
+)
 from repro.net.context import current_site
 from repro.net.kvstore import KVClient, KVServer
 from repro.net.topology import Network
@@ -135,20 +142,25 @@ class ColmenaQueues:
             task_info=task_info or {},
         )
         result.mark_created()
-        start = self._clock.now()
-        result.args = tuple(self._maybe_proxy(a, spec) for a in result.args)
-        result.kwargs = {
-            k: self._maybe_proxy(v, spec) for k, v in result.kwargs.items()
-        }
-        result.dur_proxy_inputs = self._clock.now() - start
-        # Measure the envelope first so the cost can ride inside the pickle.
-        probe = serialize(result)
-        cost = serialize_cost(probe.nominal_size)
-        result.dur_serialize_inputs = cost
-        result.mark_client_sent()
-        payload = serialize(result)
-        self._clock.sleep(cost)
-        self._client().rpush(_REQUEST_QUEUE, payload)
+        result.trace_ctx = new_task_trace(result.task_id)
+        with trace_span(
+            "client.submit", parent=result.trace_ctx, topic=topic, method=method
+        ):
+            start = self._clock.now()
+            result.args = tuple(self._maybe_proxy(a, spec) for a in result.args)
+            result.kwargs = {
+                k: self._maybe_proxy(v, spec) for k, v in result.kwargs.items()
+            }
+            result.dur_proxy_inputs = self._clock.now() - start
+            # Measure the envelope first so the cost can ride inside the pickle.
+            probe = serialize(result)
+            cost = serialize_cost(probe.nominal_size)
+            result.dur_serialize_inputs = cost
+            result.mark_client_sent()
+            payload = serialize(result)
+            self._clock.sleep(cost)
+            self._client().rpush(_REQUEST_QUEUE, payload)
+        counter_inc("queues.tasks_submitted", topic=topic)
         return result
 
     def _maybe_proxy(self, obj: object, spec: TopicSpec) -> object:
@@ -168,6 +180,29 @@ class ColmenaQueues:
         result: Result = deserialize(payload)
         result.dur_deserialize_value = cost
         result.mark_client_result_received()
+        if result.trace_ctx is not None:
+            # The return hop (server stamped one end, we stamped the other)
+            # and the root span whose id was pre-allocated at submit time.
+            record_span(
+                "queue.result",
+                parent=result.trace_ctx,
+                start=result.time_server_result_received,
+                end=result.time_client_result_received,
+                topic=result.topic,
+            )
+            record_span(
+                "task",
+                trace_id=result.trace_ctx[0],
+                span_id=result.trace_ctx[1],
+                start=result.time_created,
+                end=result.time_client_result_received,
+                method=result.method,
+                topic=result.topic,
+                success=result.success,
+            )
+        counter_inc("queues.results_received", topic=result.topic)
+        if result.task_lifetime is not None:
+            observe("task.lifetime_s", result.task_lifetime, topic=result.topic)
         return result
 
     def send_kill_signal(self) -> None:
@@ -191,6 +226,14 @@ class ColmenaQueues:
         result: Result = deserialize(payload)
         result.dur_server_deserialize = cost
         result.mark_server_received()
+        if result.trace_ctx is not None:
+            record_span(
+                "queue.request",
+                parent=result.trace_ctx,
+                start=result.time_client_sent,
+                end=result.time_server_received,
+                topic=result.topic,
+            )
         return result
 
     def send_result(self, result: Result) -> None:

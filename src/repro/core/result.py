@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.net.clock import get_clock
+from repro.observe import trace_span
 from repro.proxystore.proxy import is_proxy, resolve, resolve_seconds
 
 __all__ = ["Result"]
@@ -47,6 +48,10 @@ class Result:
     )
     #: Free-form application data that rides along (e.g. batch labels).
     task_info: dict[str, Any] = field(default_factory=dict)
+    #: ``(trace_id, root_span_id)`` when the campaign runs under
+    #: :mod:`repro.observe` tracing; rides the envelope so every hop can
+    #: parent its spans to this task's trace.  ``None`` when tracing is off.
+    trace_ctx: tuple[str, str] | None = None
 
     # -- outcome -----------------------------------------------------------
     value: Any = None
@@ -75,6 +80,10 @@ class Result:
     dur_server_serialize: float = 0.0  # task server: repack for the fabric
     dur_deserialize_inputs: float = 0.0  # worker: envelope deserialization
     dur_resolve_proxies: float = 0.0  # worker: waiting for input data
+    #: Per-argument resolve wait: ``{"arg0": s, "<kwarg name>": s, ...}``.
+    #: Only proxied inputs appear; the values sum to ``dur_resolve_proxies``
+    #: (modulo non-proxy overhead), splitting Fig. 5's aggregate wait by input.
+    proxy_resolve_detail: dict[str, float] = field(default_factory=dict)
     dur_proxy_value: float = 0.0  # worker: placing large outputs in a store
     dur_serialize_value: float = 0.0  # worker: envelope serialization
     dur_deserialize_value: float = 0.0  # client: envelope deserialization
@@ -137,7 +146,10 @@ class Result:
         start = clock.now()
         value = self.value
         if is_proxy(value):
-            resolve(value)
+            # The store's own ``proxy.resolve`` span nests under this one,
+            # joining the Thinker's data-access wait to the task's trace.
+            with trace_span("result.resolve", parent=self.trace_ctx):
+                resolve(value)
             took = resolve_seconds(value)
             self.dur_resolve_value = took if took is not None else clock.now() - start
         if self.time_value_accessed is None:

@@ -31,8 +31,9 @@ from repro.faas.client import FaasClient
 from repro.net.clock import get_clock
 from repro.net.context import SiteThread, at_site
 from repro.net.topology import Site
+from repro.observe import counter_inc, current_span, record_span, trace_span
 from repro.parsl.dataflow import DataFlowKernel
-from repro.proxystore.proxy import extract
+from repro.proxystore.proxy import extract, is_proxy
 from repro.proxystore.store import get_store
 from repro.serialize import deserialize_cost, nominal_size, serialize_cost
 
@@ -60,39 +61,65 @@ class ColmenaTask:
         self.output_store = output_store
         self.output_threshold = output_threshold
 
+    def _resolve_inputs(self, result: Result, clock) -> tuple[tuple, dict]:
+        """Materialize proxied inputs, timing the wait per argument."""
+        args = []
+        for index, arg in enumerate(result.args):
+            if is_proxy(arg):
+                t0 = clock.now()
+                args.append(extract(arg))
+                result.proxy_resolve_detail[f"arg{index}"] = clock.now() - t0
+            else:
+                args.append(arg)
+        kwargs = {}
+        for name, value in result.kwargs.items():
+            if is_proxy(value):
+                t0 = clock.now()
+                kwargs[name] = extract(value)
+                result.proxy_resolve_detail[name] = clock.now() - t0
+            else:
+                kwargs[name] = value
+        return tuple(args), kwargs
+
     def __call__(self, result: Result) -> Result:
         clock = get_clock()
-        result.mark_worker_started()
-        size_in = nominal_size(result.args) + nominal_size(result.kwargs)
-        result.dur_deserialize_inputs = deserialize_cost(size_in)
-        # Materialize proxied inputs, timing the wait for remote data.
-        start = clock.now()
-        args = tuple(extract(a) for a in result.args)
-        kwargs = {k: extract(v) for k, v in result.kwargs.items()}
-        result.dur_resolve_proxies = clock.now() - start
-        result.mark_compute_started()
-        try:
-            value = self.fn(*args, **kwargs)
-        except Exception as exc:
-            import traceback
+        # Parent to the surrounding fabric span when one is active on this
+        # thread (FuncX/Htex worker wrappers), else directly to the task root.
+        parent = current_span() or result.trace_ctx
+        with trace_span("worker.execute", parent=parent, method=result.method):
+            result.mark_worker_started()
+            size_in = nominal_size(result.args) + nominal_size(result.kwargs)
+            result.dur_deserialize_inputs = deserialize_cost(size_in)
+            # Materialize proxied inputs, timing the wait for remote data.
+            start = clock.now()
+            with trace_span("worker.resolve_proxies"):
+                args, kwargs = self._resolve_inputs(result, clock)
+            result.dur_resolve_proxies = clock.now() - start
+            result.mark_compute_started()
+            try:
+                with trace_span("worker.compute"):
+                    value = self.fn(*args, **kwargs)
+            except Exception as exc:
+                import traceback
 
+                result.mark_compute_ended()
+                result.set_failure(repr(exc), traceback.format_exc())
+                result.mark_worker_ended()
+                return result
             result.mark_compute_ended()
-            result.set_failure(repr(exc), traceback.format_exc())
+            # Large outputs go back by reference, same policy as inputs.
+            start = clock.now()
+            if (
+                self.output_store is not None
+                and self.output_threshold is not None
+                and nominal_size(value) > self.output_threshold
+            ):
+                with trace_span("worker.proxy_output"):
+                    value = get_store(self.output_store).proxy(value)
+            result.dur_proxy_value = clock.now() - start
+            result.set_success(value)
+            result.dur_serialize_value = serialize_cost(nominal_size(value) + 512)
             result.mark_worker_ended()
-            return result
-        result.mark_compute_ended()
-        # Large outputs go back by reference, same policy as inputs.
-        start = clock.now()
-        if (
-            self.output_store is not None
-            and self.output_threshold is not None
-            and nominal_size(value) > self.output_threshold
-        ):
-            value = get_store(self.output_store).proxy(value)
-        result.dur_proxy_value = clock.now() - start
-        result.set_success(value)
-        result.dur_serialize_value = serialize_cost(nominal_size(value) + 512)
-        result.mark_worker_ended()
         return result
 
 
@@ -192,8 +219,17 @@ class TaskServer(ABC):
                 self.queues.send_result(result)
                 continue
             result.mark_server_dispatched()
+            if result.trace_ctx is not None:
+                record_span(
+                    "server.process",
+                    parent=result.trace_ctx,
+                    start=result.time_server_received,
+                    end=result.time_server_dispatched,
+                    method=result.method,
+                )
             self._dispatch(result)
             self.tasks_dispatched += 1
+            counter_inc("server.tasks_dispatched", method=result.method)
         self._running = False
 
     def _on_fabric_done(self, original: Result, future: Future) -> None:
@@ -212,8 +248,27 @@ class TaskServer(ABC):
                 returned = original
                 returned.set_failure(repr(error))
             returned.mark_server_result_received()
+            if returned.trace_ctx is not None:
+                # The outbound fabric hop (dispatch -> worker start) and the
+                # return hop (worker end -> back at the server), both ends
+                # of each now being on the ledger.
+                record_span(
+                    "fabric.dispatch",
+                    parent=returned.trace_ctx,
+                    start=returned.time_server_dispatched,
+                    end=returned.time_worker_started,
+                    method=returned.method,
+                )
+                record_span(
+                    "fabric.collect",
+                    parent=returned.trace_ctx,
+                    start=returned.time_worker_ended,
+                    end=returned.time_server_result_received,
+                    method=returned.method,
+                )
             self.queues.send_result(returned)
             self.tasks_returned += 1
+            counter_inc("server.tasks_returned")
 
     # -- fabric hooks ---------------------------------------------------------------
     @abstractmethod
@@ -294,7 +349,9 @@ class ParslTaskServer(TaskServer):
     def _dispatch(self, result: Result) -> None:
         spec = self.methods[result.method]
         task = self._tasks[result.method]
-        future = self.dfk.submit(task, result, executor=spec.target)
+        future = self.dfk.submit(
+            task, result, executor=spec.target, _trace_ctx=result.trace_ctx
+        )
         future.add_done_callback(lambda f, r=result: self._on_fabric_done(r, f))
 
 
@@ -331,6 +388,9 @@ class FuncXTaskServer(TaskServer):
     def _dispatch(self, result: Result) -> None:
         spec = self.methods[result.method]
         future = self.client.submit(
-            self._func_ids[result.method], spec.target, result
+            self._func_ids[result.method],
+            spec.target,
+            result,
+            _trace_ctx=result.trace_ctx,
         )
         future.add_done_callback(lambda f, r=result: self._on_fabric_done(r, f))

@@ -29,6 +29,7 @@ from repro.exceptions import WorkflowError
 from repro.net.clock import get_clock
 from repro.net.context import SiteThread
 from repro.net.topology import Site
+from repro.observe import counter_inc
 
 __all__ = [
     "agent",
@@ -65,6 +66,9 @@ def result_processor(*, topic: str = "default", critical: bool = False) -> Calla
             while not self.done.is_set():
                 result = self.queues.get_result(topic, timeout=0.25)
                 if result is not None:
+                    counter_inc(
+                        "thinker.results_processed", topic=topic, agent=func.__name__
+                    )
                     func(self, result)
 
         setattr(loop, _MARKER, {"kind": "processor", "critical": critical})

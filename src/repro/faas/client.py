@@ -26,6 +26,7 @@ from repro.faas.cloud import FaasCloud, TaskStatus
 from repro.net.clock import Clock, get_clock
 from repro.net.context import SiteThread, current_site
 from repro.net.topology import Site
+from repro.observe import TraceContext, counter_inc, record_span, trace_span
 from repro.serialize import deserialize, deserialize_cost, serialize, serialize_cost
 
 __all__ = ["FaasClient", "FaasExecutor"]
@@ -49,6 +50,9 @@ class FaasClient:
         self._clock = clock or get_clock()
         self._futures: dict[str, Future] = {}
         self._futures_lock = threading.Lock()
+        # Trace context per in-flight task, so the notifier thread can emit
+        # download spans into the right trace.
+        self._traces: dict[str, TraceContext] = {}
         # Registration cache: holds a strong reference to each function so
         # identity (``is``) stays valid — caching by bare id() would break
         # when CPython reuses a collected object's address.
@@ -82,26 +86,63 @@ class FaasClient:
         return func_id
 
     def submit(
-        self, func_id: str, endpoint_id: str, /, *args: object, **kwargs: object
+        self,
+        func_id: str,
+        endpoint_id: str,
+        /,
+        *args: object,
+        _trace_ctx: TraceContext | None = None,
+        **kwargs: object,
     ) -> Future:
-        """Invoke a registered function on an endpoint; returns a future."""
-        args_payload = serialize((args, kwargs))
-        self._clock.sleep(serialize_cost(args_payload.nominal_size))
-        self._pay_api_call()
-        task_id = self.cloud.submit(
-            self.token, self.client_id, func_id, endpoint_id, args_payload
-        )
+        """Invoke a registered function on an endpoint; returns a future.
+
+        ``_trace_ctx`` (underscored: the name is reserved, never forwarded
+        to the function) joins this invocation to an observe trace; the
+        context also rides the cloud dispatch record so the endpoint and
+        worker side can parent their spans to the same trace.
+        """
+        with trace_span("cloud.submit", parent=_trace_ctx, endpoint=endpoint_id) as span:
+            # Direct SDK use has no task-level context; root the task's
+            # trace at this submit span so the endpoint/worker/download
+            # spans still join up into one trace.
+            ctx = _trace_ctx if _trace_ctx is not None else span.context
+            args_payload = serialize((args, kwargs))
+            self._clock.sleep(serialize_cost(args_payload.nominal_size))
+            self._pay_api_call()
+            task_id = self.cloud.submit(
+                self.token,
+                self.client_id,
+                func_id,
+                endpoint_id,
+                args_payload,
+                trace_ctx=ctx,
+            )
+        counter_inc("faas.api_calls", op="submit")
         future: Future = Future()
         future.task_id = task_id  # type: ignore[attr-defined]
         with self._futures_lock:
             self._futures[task_id] = future
+            if ctx is not None:
+                self._traces[task_id] = ctx
         return future
 
     def run(
-        self, fn: Callable, endpoint_id: str, /, *args: object, **kwargs: object
+        self,
+        fn: Callable,
+        endpoint_id: str,
+        /,
+        *args: object,
+        _trace_ctx: TraceContext | None = None,
+        **kwargs: object,
     ) -> Future:
         """Register-if-needed and submit in one call."""
-        return self.submit(self.register_function(fn), endpoint_id, *args, **kwargs)
+        return self.submit(
+            self.register_function(fn),
+            endpoint_id,
+            *args,
+            _trace_ctx=_trace_ctx,
+            **kwargs,
+        )
 
     def close(self) -> None:
         self._running = False
@@ -115,25 +156,27 @@ class FaasClient:
                 continue
             with self._futures_lock:
                 future = self._futures.pop(task_id, None)
+                trace_ctx = self._traces.pop(task_id, None)
             if future is None:
                 continue  # e.g. a cancelled/unknown task
             # Notification push + result download, charged to the client.
-            site = self._home_site()
-            self._clock.sleep(self.cloud.network.latency(self.cloud.site, site))
-            status, payload = self.cloud.get_result_payload(self.token, task_id)
-            self._clock.sleep(
-                self.cloud.network.transfer_time(
-                    self.cloud.site, site, payload.nominal_size
+            with trace_span("result.download", parent=trace_ctx):
+                site = self._home_site()
+                self._clock.sleep(self.cloud.network.latency(self.cloud.site, site))
+                status, payload = self.cloud.get_result_payload(self.token, task_id)
+                self._clock.sleep(
+                    self.cloud.network.transfer_time(
+                        self.cloud.site, site, payload.nominal_size
+                    )
                 )
-            )
-            emit(
-                "data_transfer",
-                resource=site.name,
-                bytes=payload.nominal_size,
-                via="faas-cloud",
-            )
-            self._clock.sleep(deserialize_cost(payload.nominal_size))
-            body = deserialize(payload)
+                emit(
+                    "data_transfer",
+                    resource=site.name,
+                    bytes=payload.nominal_size,
+                    via="faas-cloud",
+                )
+                self._clock.sleep(deserialize_cost(payload.nominal_size))
+                body = deserialize(payload)
             if status is TaskStatus.SUCCESS and body.get("success"):
                 future.set_result(body["value"])
             else:

@@ -37,6 +37,7 @@ from repro.faas.auth import SCOPE_COMPUTE, AuthServer, Token
 from repro.net.clock import Clock, get_clock
 from repro.net.defaults import PaperConstants
 from repro.net.topology import Network, Site
+from repro.observe import TraceContext, counter_inc, gauge_set
 from repro.serialize import Payload
 
 __all__ = ["TaskStatus", "TaskRecord", "TaskDispatch", "FaasCloud"]
@@ -65,6 +66,7 @@ class TaskRecord:
     submitted_at: float = 0.0
     fetched_at: float | None = None
     completed_at: float | None = None
+    trace_ctx: TraceContext | None = None
 
 
 @dataclass(frozen=True)
@@ -75,6 +77,7 @@ class TaskDispatch:
     task_id: str
     func_id: str
     args_locator: str
+    trace_ctx: TraceContext | None = None
 
 
 @dataclass
@@ -117,6 +120,7 @@ class _PayloadStore:
     def write(self, payload: Payload) -> str:
         tier = self._tier(payload.nominal_size)
         self._charge(tier, payload.nominal_size)
+        counter_inc("faas.store_writes", tier=tier)
         locator = f"{tier}:{uuid.uuid4().hex}"
         with self._lock:
             self._objects[locator] = _StoredObject(payload, tier)
@@ -129,6 +133,7 @@ class _PayloadStore:
             except KeyError:
                 raise WorkflowError(f"unknown payload locator {locator!r}") from None
         self._charge(stored.tier, stored.payload.nominal_size)
+        counter_inc("faas.store_reads", tier=stored.tier)
         return stored.payload
 
     def delete(self, locator: str) -> None:
@@ -216,6 +221,8 @@ class FaasCloud:
         func_id: str,
         endpoint_id: str,
         args_payload: Payload,
+        *,
+        trace_ctx: TraceContext | None = None,
     ) -> str:
         self.auth.validate(token, SCOPE_COMPUTE)
         self.endpoint_site(endpoint_id)
@@ -237,10 +244,14 @@ class FaasCloud:
             client_id=client_id,
             args_locator=args_locator,
             submitted_at=self.clock.now(),
+            trace_ctx=trace_ctx,
         )
         with self._queue_cond:
             self._tasks[task_id] = record
             self._queues[endpoint_id].append(task_id)
+            gauge_set(
+                "faas.queue_depth", len(self._queues[endpoint_id]), endpoint=endpoint_id
+            )
             self._queue_cond.notify_all()
         return record.task_id
 
@@ -296,8 +307,14 @@ class FaasCloud:
                 record.status = TaskStatus.DISPATCHED
                 record.fetched_at = self.clock.now()
                 out.append(
-                    TaskDispatch(record.task_id, record.func_id, record.args_locator)
+                    TaskDispatch(
+                        record.task_id,
+                        record.func_id,
+                        record.args_locator,
+                        record.trace_ctx,
+                    )
                 )
+            gauge_set("faas.queue_depth", len(queue), endpoint=endpoint_id)
         return out
 
     def requeue_dispatched(self, token: Token, endpoint_id: str) -> list[str]:

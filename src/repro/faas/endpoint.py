@@ -17,11 +17,13 @@ import traceback
 from typing import Callable
 
 from repro.bench.recording import emit
+from repro.exceptions import WorkflowError
 from repro.faas.auth import Token
 from repro.faas.cloud import FaasCloud, TaskDispatch
 from repro.net.clock import Clock, get_clock
 from repro.net.context import SiteThread
 from repro.net.topology import Site
+from repro.observe import TraceContext, counter_inc, trace_span
 from repro.resources.worker import WorkerPool
 from repro.serialize import (
     Payload,
@@ -63,6 +65,18 @@ class FaasEndpoint:
         max_tasks_per_poll: int = 32,
         clock: Clock | None = None,
     ) -> None:
+        if poll_interval is not None and poll_interval <= 0:
+            raise WorkflowError(
+                f"poll_interval must be a positive number of seconds, "
+                f"got {poll_interval!r} (the endpoint long-polls the cloud "
+                "with this timeout; zero or negative would spin)"
+            )
+        if max_tasks_per_poll <= 0:
+            raise WorkflowError(
+                f"max_tasks_per_poll must be a positive integer, got "
+                f"{max_tasks_per_poll!r} (each poll must be allowed to "
+                "fetch at least one task)"
+            )
         self.name = name
         self.cloud = cloud
         self.token = token
@@ -77,7 +91,9 @@ class FaasEndpoint:
         self._clock = clock or get_clock()
         self.endpoint_id = cloud.register_endpoint(token, name, pool.site)
         self._functions: dict[str, Callable] = {}
-        self._outbox: queue.Queue[tuple[str, bool, Payload] | None] = queue.Queue()
+        self._outbox: queue.Queue[
+            tuple[str, bool, Payload, TraceContext | None] | None
+        ] = queue.Queue()
         self._running = False
         self._paused = threading.Event()
         self._threads: list[SiteThread] = []
@@ -159,29 +175,41 @@ class FaasEndpoint:
             self._clock.sleep(
                 self.cloud.network.latency(self.cloud.site, self.site)
             )
+            counter_inc("endpoint.polls", endpoint=self.name)
+            if not dispatches:
+                counter_inc("endpoint.polls_empty", endpoint=self.name)
             for dispatch in dispatches:
                 self._dispatch(dispatch)
 
     def _dispatch(self, dispatch: TaskDispatch) -> None:
         # Pull the argument payload down from the cloud store (charged to
         # this thread: the endpoint is the one blocked on the download).
-        args_payload = self.cloud.store.read(dispatch.args_locator)
-        self._clock.sleep(
-            self.cloud.network.transfer_time(
-                self.cloud.site, self.site, args_payload.nominal_size
+        with trace_span(
+            "endpoint.fetch", parent=dispatch.trace_ctx, endpoint=self.name
+        ):
+            args_payload = self.cloud.store.read(dispatch.args_locator)
+            self._clock.sleep(
+                self.cloud.network.transfer_time(
+                    self.cloud.site, self.site, args_payload.nominal_size
+                )
             )
+            emit(
+                "data_transfer",
+                resource=self.site.name,
+                bytes=args_payload.nominal_size,
+                via="faas-cloud",
+            )
+            fn = self._function(dispatch.func_id)
+        self.pool.submit(
+            self._make_work(dispatch.task_id, fn, args_payload, dispatch.trace_ctx)
         )
-        emit(
-            "data_transfer",
-            resource=self.site.name,
-            bytes=args_payload.nominal_size,
-            via="faas-cloud",
-        )
-        fn = self._function(dispatch.func_id)
-        self.pool.submit(self._make_work(dispatch.task_id, fn, args_payload))
 
     def _make_work(
-        self, task_id: str, fn: Callable, args_payload: Payload
+        self,
+        task_id: str,
+        fn: Callable,
+        args_payload: Payload,
+        trace_ctx: TraceContext | None = None,
     ) -> Callable[[], None]:
         endpoint_site = self.site
         worker_site = self.pool.site
@@ -189,33 +217,36 @@ class FaasEndpoint:
         clock = self._clock
 
         def work() -> None:
-            # Manager -> worker forwarding inside the resource.
-            clock.sleep(
-                network.transfer_time(
-                    endpoint_site, worker_site, args_payload.nominal_size
+            # Manager -> worker forwarding inside the resource.  The span
+            # lives on this worker thread's stack, so the ColmenaTask's
+            # ``worker.execute`` span (raised inside ``fn``) nests under it.
+            with trace_span("worker.run", parent=trace_ctx, endpoint=self.name):
+                clock.sleep(
+                    network.transfer_time(
+                        endpoint_site, worker_site, args_payload.nominal_size
+                    )
                 )
-            )
-            clock.sleep(deserialize_cost(args_payload.nominal_size))
-            try:
-                args, kwargs = deserialize(args_payload)
-                value = fn(*args, **kwargs)
-                body = {"success": True, "value": value}
-                success = True
-            except Exception as exc:
-                body = {
-                    "success": False,
-                    "error": repr(exc),
-                    "traceback": traceback.format_exc(),
-                }
-                success = False
-            result_payload = serialize(body)
-            clock.sleep(serialize_cost(result_payload.nominal_size))
-            clock.sleep(
-                network.transfer_time(
-                    worker_site, endpoint_site, result_payload.nominal_size
+                clock.sleep(deserialize_cost(args_payload.nominal_size))
+                try:
+                    args, kwargs = deserialize(args_payload)
+                    value = fn(*args, **kwargs)
+                    body = {"success": True, "value": value}
+                    success = True
+                except Exception as exc:
+                    body = {
+                        "success": False,
+                        "error": repr(exc),
+                        "traceback": traceback.format_exc(),
+                    }
+                    success = False
+                result_payload = serialize(body)
+                clock.sleep(serialize_cost(result_payload.nominal_size))
+                clock.sleep(
+                    network.transfer_time(
+                        worker_site, endpoint_site, result_payload.nominal_size
+                    )
                 )
-            )
-            self._outbox.put((task_id, success, result_payload))
+            self._outbox.put((task_id, success, result_payload, trace_ctx))
 
         return work
 
@@ -224,14 +255,15 @@ class FaasEndpoint:
             item = self._outbox.get()
             if item is None:
                 return
-            task_id, success, payload = item
+            task_id, success, payload, trace_ctx = item
             # Results wait here while paused (store-and-forward on our side).
             while self._paused.is_set():
                 self._clock.sleep(self._poll_interval)
-            self._pay_api_call()
-            self.cloud.report_result(
-                self.token, self.endpoint_id, task_id, success, payload
-            )
+            with trace_span("result.uplink", parent=trace_ctx, endpoint=self.name):
+                self._pay_api_call()
+                self.cloud.report_result(
+                    self.token, self.endpoint_id, task_id, success, payload
+                )
 
     def __enter__(self) -> "FaasEndpoint":
         return self.start()

@@ -1,0 +1,103 @@
+"""``repro.observe`` — distributed tracing + metrics across the task fabric.
+
+The Result ledger (Figs. 3–7) sees task-level endpoints only; this
+subsystem sees the fabric between them.  Install a :class:`Tracer` and/or
+a :class:`MetricsRegistry` before a campaign, run it, then export:
+
+>>> from repro import observe
+>>> observe.set_tracer(observe.Tracer())
+>>> observe.set_metrics(observe.MetricsRegistry())
+>>> # ... run a campaign ...
+>>> spans = observe.get_tracer().spans()
+>>> observe.write_spans_jsonl(spans, "trace.jsonl")
+>>> print(observe.render_span_summary(spans))
+
+Both facilities are off by default and their instrumentation points are
+one-global-read no-ops, so an uninstrumented campaign pays nothing.
+``python -m repro.cli trace <file>`` reconstructs and prints critical
+paths from an exported JSONL trace.
+"""
+
+from repro.observe.critical_path import (
+    PathEntry,
+    critical_path,
+    find_orphans,
+    group_traces,
+    trace_root,
+)
+from repro.observe.export import (
+    load_spans_jsonl,
+    metrics_report_table,
+    render_critical_path,
+    render_span_summary,
+    span_summary,
+    spans_report_table,
+    write_spans_jsonl,
+)
+from repro.observe.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter_inc,
+    gauge_add,
+    gauge_set,
+    get_metrics,
+    metrics_enabled,
+    observe,
+    set_metrics,
+)
+from repro.observe.span import (
+    Span,
+    TraceContext,
+    Tracer,
+    current_context,
+    current_span,
+    get_tracer,
+    new_task_trace,
+    record_span,
+    set_tracer,
+    trace_span,
+    tracing_enabled,
+)
+
+__all__ = [
+    # span
+    "Span",
+    "Tracer",
+    "TraceContext",
+    "set_tracer",
+    "get_tracer",
+    "tracing_enabled",
+    "trace_span",
+    "record_span",
+    "new_task_trace",
+    "current_span",
+    "current_context",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "set_metrics",
+    "get_metrics",
+    "metrics_enabled",
+    "counter_inc",
+    "gauge_set",
+    "gauge_add",
+    "observe",
+    # traces
+    "PathEntry",
+    "group_traces",
+    "find_orphans",
+    "trace_root",
+    "critical_path",
+    # export
+    "write_spans_jsonl",
+    "load_spans_jsonl",
+    "span_summary",
+    "render_span_summary",
+    "render_critical_path",
+    "spans_report_table",
+    "metrics_report_table",
+]

@@ -1,0 +1,138 @@
+"""Trace reconstruction: group spans, validate parentage, find the
+critical path.
+
+A recorded campaign is a flat list of spans.  This module rebuilds the
+per-task structure: :func:`group_traces` buckets spans by trace id,
+:func:`find_orphans` flags spans whose parent never arrived (the invariant
+the endpoint-outage tests assert), and :func:`critical_path` walks one
+trace backwards from the root span's end to produce the chain of intervals
+that actually determined the task's lifetime — the span-level analogue of
+the paper's Fig. 3 component decomposition.
+
+The backward walk is the standard one for tracing tools: starting at the
+root's end, repeatedly pick the child that *finishes last* among those
+that *started* before the cursor, recurse into it, then move the cursor
+to its start.  Children may overlap slightly (a ``worker.run`` span's
+closing transfer extends past the ledger's ``time_worker_ended``, which
+starts the ``fabric.collect`` hop); requiring only ``start < cursor``
+keeps such spans on the path.  Time inside a path span not covered by its
+own children is that component's *self time*; time between consecutive
+path spans is attributed to the parent (queueing / untraced work).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.observe.span import Span
+
+__all__ = [
+    "PathEntry",
+    "group_traces",
+    "find_orphans",
+    "trace_root",
+    "critical_path",
+]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class PathEntry:
+    """One hop on a critical path."""
+
+    span: Span
+    depth: int
+    #: Seconds of this span not covered by its own on-path children.
+    self_seconds: float
+
+
+def group_traces(spans: list[Span]) -> dict[str, list[Span]]:
+    """Bucket spans by trace id, each bucket sorted by start time."""
+    traces: dict[str, list[Span]] = defaultdict(list)
+    for span in spans:
+        traces[span.trace_id].append(span)
+    for bucket in traces.values():
+        bucket.sort(key=lambda s: (s.start if s.start is not None else 0.0))
+    return dict(traces)
+
+
+def find_orphans(spans: list[Span]) -> list[Span]:
+    """Spans whose ``parent_id`` does not exist within their own trace.
+
+    A non-empty return means context was lost somewhere (e.g. a hop that
+    dropped the trace tuple) — the invariant the outage tests protect.
+    """
+    by_trace: dict[str, set[str]] = defaultdict(set)
+    for span in spans:
+        by_trace[span.trace_id].add(span.span_id)
+    return [
+        span
+        for span in spans
+        if span.parent_id is not None and span.parent_id not in by_trace[span.trace_id]
+    ]
+
+
+def trace_root(spans: list[Span]) -> Span | None:
+    """The root span of one trace: parentless, earliest-starting, and the
+    longest if several qualify (reconstructed hop spans can be parentless
+    in partial traces)."""
+    roots = [s for s in spans if s.parent_id is None]
+    if not roots:
+        return None
+    return max(roots, key=lambda s: (s.duration or 0.0))
+
+
+def critical_path(spans: list[Span]) -> list[PathEntry]:
+    """The chain of spans that determined this trace's end-to-end time,
+    in chronological order.  Empty if the trace has no usable root."""
+    root = trace_root(spans)
+    if root is None or root.start is None or root.end is None:
+        return []
+    children: dict[str, list[Span]] = defaultdict(list)
+    for span in spans:
+        if span.parent_id is not None and span.start is not None and span.end is not None:
+            children[span.parent_id].append(span)
+
+    entries: list[PathEntry] = []
+
+    def walk(span: Span, depth: int) -> None:
+        kids = children.get(span.span_id, [])
+        # Backward sweep: chain the latest-finishing child started before
+        # the cursor (cursor strictly decreases, so this terminates).
+        chain: list[Span] = []
+        cursor = span.end
+        remaining = sorted(kids, key=lambda s: s.end)
+        while remaining:
+            candidates = [k for k in remaining if k.start < cursor - _EPS]
+            if not candidates:
+                break
+            pick = max(candidates, key=lambda s: s.end)
+            chain.append(pick)
+            cursor = pick.start
+            remaining = [k for k in candidates if k is not pick]
+        chain.reverse()
+        # Union of the chain's coverage, clipped to this span (overlaps
+        # between consecutive picks must not be double-counted).
+        covered = 0.0
+        prev_end: float | None = None
+        for kid in chain:
+            lo, hi = kid.start, min(kid.end, span.end)
+            if prev_end is not None:
+                lo = max(lo, prev_end)
+            if hi > lo:
+                covered += hi - lo
+            prev_end = hi if prev_end is None else max(prev_end, hi)
+        entries.append(
+            PathEntry(span, depth, max((span.end - span.start) - covered, 0.0))
+        )
+        for kid in chain:
+            walk(kid, depth + 1)
+
+    walk(root, 0)
+    # Chronological order, children after parents at the same instant.
+    entries.sort(
+        key=lambda e: (e.span.start if e.span.start is not None else 0.0, e.depth)
+    )
+    return entries

@@ -1,0 +1,166 @@
+"""Exporters: JSONL trace files, console summaries, benchmark tables.
+
+Three consumers of a recorded campaign:
+
+* **JSONL** — one span per line, the durable artifact ``repro.cli trace``
+  reconstructs critical paths from (:func:`write_spans_jsonl` /
+  :func:`load_spans_jsonl`);
+* **console** — a per-component medians block for quick inspection
+  (:func:`render_span_summary`);
+* **benchmark reporting** — :func:`spans_report_table` and
+  :func:`metrics_report_table` produce
+  :class:`~repro.bench.reporting.ReportTable` rows so figure harnesses can
+  cite span-level breakdowns next to the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+from typing import Any
+
+from repro.bench.reporting import ReportTable
+from repro.observe.critical_path import critical_path, group_traces
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.span import Span
+
+__all__ = [
+    "write_spans_jsonl",
+    "load_spans_jsonl",
+    "span_summary",
+    "render_span_summary",
+    "render_critical_path",
+    "spans_report_table",
+    "metrics_report_table",
+]
+
+
+def write_spans_jsonl(spans: list[Span], path: str | pathlib.Path) -> int:
+    """Write one span per line; returns the number written."""
+    path = pathlib.Path(path)
+    with path.open("w") as fh:
+        for span in spans:
+            fh.write(json.dumps(span.to_dict()) + "\n")
+    return len(spans)
+
+
+def load_spans_jsonl(path: str | pathlib.Path) -> list[Span]:
+    spans: list[Span] = []
+    with pathlib.Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def span_summary(spans: list[Span]) -> dict[str, dict[str, float]]:
+    """Per-span-name aggregate durations: count / median / mean / max."""
+    by_name: dict[str, list[float]] = {}
+    for span in spans:
+        if span.duration is not None:
+            by_name.setdefault(span.name, []).append(span.duration)
+    out: dict[str, dict[str, float]] = {}
+    for name, durations in sorted(by_name.items()):
+        out[name] = {
+            "count": len(durations),
+            "median": statistics.median(durations),
+            "mean": statistics.fmean(durations),
+            "max": max(durations),
+        }
+    return out
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds < 1.0:
+        return f"{seconds * 1000:.0f}ms"
+    return f"{seconds:.2f}s"
+
+
+def render_span_summary(spans: list[Span]) -> str:
+    summary = span_summary(spans)
+    traces = group_traces(spans)
+    width = max((len(name) for name in summary), default=4)
+    lines = [
+        f"== trace summary: {len(spans)} spans in {len(traces)} traces ==",
+        f"{'component':<{width}}  {'count':>5}  {'median':>8}  {'mean':>8}  {'max':>8}",
+    ]
+    for name, stats in summary.items():
+        lines.append(
+            f"{name:<{width}}  {stats['count']:>5.0f}  "
+            f"{_fmt_s(stats['median']):>8}  {_fmt_s(stats['mean']):>8}  "
+            f"{_fmt_s(stats['max']):>8}"
+        )
+    return "\n".join(lines)
+
+
+def render_critical_path(spans: list[Span], trace_id: str) -> str:
+    """Pretty-print one trace's critical path with offsets and self times."""
+    traces = group_traces(spans)
+    bucket = traces.get(trace_id)
+    if not bucket:
+        return f"trace {trace_id!r} not found"
+    path = critical_path(bucket)
+    if not path:
+        return f"trace {trace_id!r} has no complete root span"
+    root = path[0].span
+    origin = root.start or 0.0
+    lines = [
+        f"== critical path: trace {trace_id} "
+        f"({_fmt_s(root.duration or 0.0)} end to end) =="
+    ]
+    for entry in path:
+        span = entry.span
+        indent = "  " * entry.depth
+        offset = (span.start or 0.0) - origin
+        site = f" @{span.site}" if span.site else ""
+        lines.append(
+            f"  +{offset:8.3f}s  {indent}{span.name:<24} "
+            f"{_fmt_s(span.duration or 0.0):>8}  (self {_fmt_s(entry.self_seconds)})"
+            f"{site}"
+        )
+    return "\n".join(lines)
+
+
+def spans_report_table(
+    spans: list[Span], title: str = "trace component medians"
+) -> ReportTable:
+    """One informational row per component — the hook figure harnesses use
+    to cite span-level breakdowns next to ledger-derived numbers."""
+    table = ReportTable(title)
+    for name, stats in span_summary(spans).items():
+        table.add(
+            name,
+            "-",
+            f"{_fmt_s(stats['median'])} median x{stats['count']:.0f}",
+        )
+    return table
+
+
+def metrics_report_table(
+    registry: MetricsRegistry, title: str = "campaign metrics"
+) -> ReportTable:
+    table = ReportTable(title)
+
+    def label_str(labels: dict[str, Any]) -> str:
+        if not labels:
+            return ""
+        return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+    for name, labels, counter in registry.counters():
+        table.add(f"{name}{label_str(labels)}", "-", f"{counter.value:g}")
+    for name, labels, gauge in registry.gauges():
+        table.add(
+            f"{name}{label_str(labels)}",
+            "-",
+            f"{gauge.value:g} (peak {gauge.high_water:g})",
+        )
+    for name, labels, hist in registry.histograms():
+        stats = hist.summary()
+        table.add(
+            f"{name}{label_str(labels)}",
+            "-",
+            f"n={stats['count']} median={stats['median']:.4g}",
+        )
+    return table

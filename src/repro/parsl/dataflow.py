@@ -13,6 +13,7 @@ from concurrent.futures import Future
 from typing import Callable
 
 from repro.exceptions import WorkflowError
+from repro.observe import counter_inc
 from repro.parsl.executors import HtexExecutor
 
 __all__ = ["DataFlowKernel"]
@@ -69,6 +70,7 @@ class DataFlowKernel:
         if not self._started:
             raise WorkflowError("DataFlowKernel is not started")
         target = self.executor(executor)
+        counter_inc("dfk.submitted", executor=target.label)
         deps = [a for a in args if isinstance(a, Future)]
         deps += [v for v in kwargs.values() if isinstance(v, Future)]
         if not deps:

@@ -21,6 +21,7 @@ from repro.bench.recording import emit
 from repro.net.clock import Clock, get_clock
 from repro.net.context import SiteThread
 from repro.net.topology import Network, Site
+from repro.observe import TraceContext, counter_inc, trace_span
 from repro.parsl.channels import Channel, DirectChannel
 from repro.resources.worker import WorkerPool
 from repro.serialize import (
@@ -69,9 +70,9 @@ class HtexExecutor(Executor):
         self.channel = channel or DirectChannel()
         self.channel.validate(network, pool.site, controller_site)
         self._clock = clock or get_clock()
-        self._tasks: queue.Queue[tuple[Future, Payload, Callable] | None] = (
-            queue.Queue()
-        )
+        self._tasks: queue.Queue[
+            tuple[Future, Payload, Callable, TraceContext | None] | None
+        ] = queue.Queue()
         self._running = False
         self._interchange: SiteThread | None = None
         # Bulk bytes in both directions share one channel stream.
@@ -112,13 +113,21 @@ class HtexExecutor(Executor):
         self.pool.stop()
 
     # -- submission ------------------------------------------------------------
-    def submit(self, fn: Callable, /, *args: object, **kwargs: object) -> Future:
+    def submit(
+        self,
+        fn: Callable,
+        /,
+        *args: object,
+        _trace_ctx: TraceContext | None = None,
+        **kwargs: object,
+    ) -> Future:
         if not self._running:
             raise RuntimeError(f"executor {self.label!r} is not started")
-        payload = serialize((args, kwargs))
-        self._clock.sleep(serialize_cost(payload.nominal_size))
+        with trace_span("htex.submit", parent=_trace_ctx, executor=self.label):
+            payload = serialize((args, kwargs))
+            self._clock.sleep(serialize_cost(payload.nominal_size))
         future: Future = Future()
-        self._tasks.put((future, payload, fn))
+        self._tasks.put((future, payload, fn, _trace_ctx))
         return future
 
     # -- interchange + worker glue ---------------------------------------------------
@@ -127,41 +136,49 @@ class HtexExecutor(Executor):
             item = self._tasks.get()
             if item is None:
                 return
-            future, payload, fn = item
+            future, payload, fn, trace_ctx = item
             # Interchange -> worker: the whole argument payload rides the
             # channel (tunnels cap throughput and add latency).
-            self._pay_transfer(
-                self.controller_site, self.pool.site, payload.nominal_size
-            )
+            with trace_span("htex.dispatch", parent=trace_ctx, executor=self.label):
+                self._pay_transfer(
+                    self.controller_site, self.pool.site, payload.nominal_size
+                )
             emit(
                 "data_transfer",
                 resource=self.pool.site.name,
                 bytes=payload.nominal_size,
                 via=f"htex:{self.label}",
             )
-            self.pool.submit(self._make_work(future, payload, fn))
+            self.pool.submit(self._make_work(future, payload, fn, trace_ctx))
 
     def _make_work(
-        self, future: Future, payload: Payload, fn: Callable
+        self,
+        future: Future,
+        payload: Payload,
+        fn: Callable,
+        trace_ctx: TraceContext | None = None,
     ) -> Callable[[], None]:
         def work() -> None:
-            self._clock.sleep(deserialize_cost(payload.nominal_size))
-            try:
-                args, kwargs = deserialize(payload)
-                value = fn(*args, **kwargs)
-                body = {"success": True, "value": value}
-            except Exception as exc:
-                body = {
-                    "success": False,
-                    "error": repr(exc),
-                    "traceback": traceback.format_exc(),
-                }
-            result_payload = serialize(body)
-            self._clock.sleep(serialize_cost(result_payload.nominal_size))
-            # Worker -> interchange -> client, again by value.
-            self._pay_transfer(
-                self.pool.site, self.controller_site, result_payload.nominal_size
-            )
+            # Span opens on the worker thread, so spans raised inside ``fn``
+            # (the ColmenaTask's ``worker.execute``) nest under it.
+            with trace_span("worker.run", parent=trace_ctx, executor=self.label):
+                self._clock.sleep(deserialize_cost(payload.nominal_size))
+                try:
+                    args, kwargs = deserialize(payload)
+                    value = fn(*args, **kwargs)
+                    body = {"success": True, "value": value}
+                except Exception as exc:
+                    body = {
+                        "success": False,
+                        "error": repr(exc),
+                        "traceback": traceback.format_exc(),
+                    }
+                result_payload = serialize(body)
+                self._clock.sleep(serialize_cost(result_payload.nominal_size))
+                # Worker -> interchange -> client, again by value.
+                self._pay_transfer(
+                    self.pool.site, self.controller_site, result_payload.nominal_size
+                )
             emit(
                 "data_transfer",
                 resource=self.controller_site.name,

@@ -26,6 +26,7 @@ from repro.bench.recording import emit
 from repro.exceptions import StoreError
 from repro.net.clock import get_clock
 from repro.net.context import current_site
+from repro.observe import counter_inc, observe, trace_span
 from repro.proxystore.connectors.base import Connector
 from repro.proxystore.proxy import Factory, Proxy
 from repro.serialize import (
@@ -263,14 +264,19 @@ class Store:
         hit, cached = cache.get(key)
         if hit:
             self.metrics.record_get(clock.now() - start, 0, cache_hit=True)
+            counter_inc("store.cache_hits", store=self.name)
+            observe("store.get_s", clock.now() - start, store=self.name)
             return cached
-        payload = self.connector.get(key, timeout=timeout)
-        clock.sleep(deserialize_cost(payload.nominal_size))
-        obj = deserialize(payload)
+        with trace_span("proxy.resolve", store=self.name, cache_hit=False):
+            payload = self.connector.get(key, timeout=timeout)
+            clock.sleep(deserialize_cost(payload.nominal_size))
+            obj = deserialize(payload)
         cache.put(key, obj)
         self.metrics.record_get(
             clock.now() - start, payload.nominal_size, cache_hit=False
         )
+        counter_inc("store.cache_misses", store=self.name)
+        observe("store.get_s", clock.now() - start, store=self.name)
         site = current_site()
         emit(
             "data_transfer",

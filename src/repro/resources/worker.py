@@ -18,6 +18,7 @@ from repro.bench.recording import emit
 from repro.net.clock import Clock, get_clock
 from repro.net.context import SiteThread
 from repro.net.topology import Site
+from repro.observe import gauge_set, observe
 from repro.resources.scheduler import BatchJob, BatchScheduler
 
 __all__ = ["WorkerPool"]
@@ -95,6 +96,7 @@ class WorkerPool:
         if not self._running:
             raise RuntimeError(f"worker pool {self.name!r} is not running")
         self._queue.put(work)
+        gauge_set("pool.queue_depth", self._queue.qsize(), pool=self.name)
 
     @property
     def queue_depth(self) -> int:
@@ -119,7 +121,9 @@ class WorkerPool:
                 last_end = self._last_end.get(idx)
                 if last_end is not None:
                     self.idle_gaps.append(start - last_end)
+                    observe("pool.idle_gap_s", start - last_end, pool=self.name)
                 self._active += 1
+                gauge_set("pool.active", self._active, pool=self.name)
             emit("worker_task_start", pool=self.name, resource=self.site.name)
             try:
                 work()

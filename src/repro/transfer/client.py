@@ -13,6 +13,7 @@ from repro.net.clock import Clock, get_clock
 from repro.net.context import current_site
 from repro.net.defaults import PaperConstants
 from repro.net.topology import LogNormalLatency, Network, Site
+from repro.observe import current_context
 from repro.transfer.service import (
     TransferItem,
     TransferService,
@@ -64,10 +65,15 @@ class TransferClient:
         items: list[TransferItem] | list[tuple[str, str]],
     ) -> str:
         """Submit a transfer task; returns its id after the HTTPS round trip."""
+        # Capture the caller's span before the blocking request so the
+        # service-side ``globus.transfer`` span lands in the right trace.
+        trace_ctx = current_context()
         self._pay_request(
             self._network._sample(self._constants.globus_request_latency)
         )
-        return self._service.submit(self.user, src_endpoint, dst_endpoint, items)
+        return self._service.submit(
+            self.user, src_endpoint, dst_endpoint, items, trace_ctx=trace_ctx
+        )
 
     def status(self, task_id: str) -> TransferStatus:
         self._pay_request(self._network._sample(_STATUS_LATENCY))

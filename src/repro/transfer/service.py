@@ -32,6 +32,7 @@ from repro.net.context import SiteThread
 from repro.net.defaults import PaperConstants
 from repro.net.fs import FileSystem
 from repro.net.topology import Network, Site
+from repro.observe import TraceContext, counter_inc, gauge_set, observe, record_span
 
 __all__ = [
     "TransferEndpoint",
@@ -85,6 +86,11 @@ class TransferTask:
     bytes_transferred: int = 0
     error: str | None = None
     retries: int = 0
+    trace_ctx: TraceContext | None = None
+    #: Set once when the per-user concurrency limit first defers this task,
+    #: so the ``transfer.limit_stalls`` counter ticks once per task, not
+    #: once per dispatcher sweep.
+    limit_stalled: bool = False
     done_event: threading.Event = field(default_factory=threading.Event, repr=False)
 
 
@@ -174,6 +180,8 @@ class TransferService:
         src_endpoint: str,
         dst_endpoint: str,
         items: list[TransferItem] | list[tuple[str, str]],
+        *,
+        trace_ctx: TraceContext | None = None,
     ) -> str:
         src, dst = self.endpoint(src_endpoint), self.endpoint(dst_endpoint)
         norm = tuple(
@@ -189,6 +197,7 @@ class TransferService:
             dst=dst,
             items=norm,
             submitted_at=self._clock.now(),
+            trace_ctx=trace_ctx,
         )
         with self._wakeup:
             self._tasks[task_id] = task
@@ -211,6 +220,9 @@ class TransferService:
     def _eligible(self, task: TransferTask) -> bool:
         limit = self._constants.globus_concurrent_transfer_limit
         if self._active_by_user.get(task.user, 0) >= limit:
+            if not task.limit_stalled:
+                task.limit_stalled = True
+                counter_inc("transfer.limit_stalls", user=task.user)
             return False
         if task.src.endpoint_id in self._paused or task.dst.endpoint_id in self._paused:
             return False
@@ -235,6 +247,7 @@ class TransferService:
                     else:
                         remaining.append(task_id)
                 self._queue = remaining
+                gauge_set("transfer.active", sum(self._active_by_user.values()))
                 if not started:
                     self._wakeup.wait(
                         self._clock.wall_timeout(self._constants.globus_poll_interval)
@@ -302,3 +315,17 @@ class TransferService:
             self._active_by_user[task.user] -= 1
             task.done_event.set()
             self._wakeup.notify_all()
+        record_span(
+            "globus.transfer",
+            parent=task.trace_ctx,
+            start=task.submitted_at,
+            end=task.completed_at,
+            task_id=task.task_id,
+            status=status.value,
+            bytes=bytes_done,
+            files=len(task.items),
+            retries=task.retries,
+        )
+        if task.started_at is not None:
+            observe("transfer.queue_wait_s", task.started_at - task.submitted_at)
+            observe("transfer.active_s", task.completed_at - task.started_at)

@@ -9,6 +9,7 @@ from repro.apps.environment import clear_software
 from repro.bench.recording import set_global_log
 from repro.net.clock import reset_clock
 from repro.net.defaults import build_paper_testbed
+from repro.observe import set_metrics, set_tracer
 from repro.proxystore.store import clear_store_registry
 
 # Property tests share the module-scoped clean_state fixture; silence the
@@ -31,8 +32,12 @@ def clean_state():
     clear_store_registry()
     clear_software()
     set_global_log(None)
+    set_tracer(None)
+    set_metrics(None)
     yield
     set_global_log(None)
+    set_tracer(None)
+    set_metrics(None)
     clear_store_registry()
     clear_software()
 

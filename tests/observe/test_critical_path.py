@@ -1,0 +1,111 @@
+"""Trace reconstruction: grouping, orphan detection, critical path."""
+
+from __future__ import annotations
+
+from repro.observe import (
+    Span,
+    critical_path,
+    find_orphans,
+    group_traces,
+    trace_root,
+)
+
+
+def _span(name, trace="t1", span_id=None, parent=None, start=0.0, end=1.0):
+    return Span(
+        name,
+        trace_id=trace,
+        span_id=span_id or name,
+        parent_id=parent,
+        start=start,
+        end=end,
+    )
+
+
+def _sample_trace():
+    """root [0, 10]; submit [0, 1]; run [1.5, 9]; compute [2, 8.5] under
+    run; collect [9, 9.8].  Gap 1..1.5 is the root's untraced queueing."""
+    return [
+        _span("task", start=0.0, end=10.0),
+        _span("submit", parent="task", start=0.0, end=1.0),
+        _span("run", parent="task", start=1.5, end=9.0),
+        _span("compute", parent="run", start=2.0, end=8.5),
+        _span("collect", parent="task", start=9.0, end=9.8),
+    ]
+
+
+def test_group_traces_buckets_and_sorts():
+    spans = [
+        _span("b", trace="t2", start=5.0),
+        _span("late", start=3.0),
+        _span("early", start=1.0),
+    ]
+    traces = group_traces(spans)
+    assert set(traces) == {"t1", "t2"}
+    assert [s.name for s in traces["t1"]] == ["early", "late"]
+
+
+def test_find_orphans_flags_missing_parents_within_trace_only():
+    ok = _span("child", parent="task")
+    root = _span("task")
+    orphan = _span("lost", span_id="lost", parent="never-recorded")
+    # Same span id existing in a *different* trace must not satisfy the
+    # parent lookup.
+    other = _span("never-recorded", trace="t2", span_id="never-recorded")
+    assert find_orphans([root, ok, orphan, other]) == [orphan]
+    assert find_orphans([root, ok]) == []
+
+
+def test_trace_root_prefers_longest_parentless_span():
+    hop = _span("hop", span_id="h", start=0.0, end=1.0)  # parentless hop
+    root = _span("task", start=0.0, end=10.0)
+    assert trace_root([hop, root]) is root
+    assert trace_root([_span("x", parent="missing")]) is None
+
+
+def test_critical_path_walks_dominant_chain():
+    path = critical_path(_sample_trace())
+    names = [entry.span.name for entry in path]
+    # submit is NOT on the path: the backward sweep from root's end reaches
+    # run.start=1.5 and submit (end 1.0) finished before it, so it chains;
+    # actually submit.end <= 1.5, so it is picked as the predecessor.
+    assert names == ["task", "submit", "run", "compute", "collect"]
+    depths = {e.span.name: e.depth for e in path}
+    assert depths == {"task": 0, "submit": 1, "run": 1, "compute": 2, "collect": 1}
+
+
+def test_critical_path_self_times():
+    entries = {e.span.name: e for e in critical_path(_sample_trace())}
+    # Root: 10 s total, children on path cover [0,1] + [1.5,9] + [9,9.8]
+    # = 9.3 s, so 0.7 s of self (queueing gaps).
+    assert abs(entries["task"].self_seconds - 0.7) < 1e-9
+    # run: 7.5 s, compute covers 6.5 s -> 1 s self.
+    assert abs(entries["run"].self_seconds - 1.0) < 1e-9
+    # Leaves own their whole duration.
+    assert abs(entries["compute"].self_seconds - 6.5) < 1e-9
+
+
+def test_critical_path_handles_overlapping_child():
+    """A child whose end overruns the next hop's start stays on the path
+    (the worker.run / fabric.collect overlap from the real fabric)."""
+    spans = [
+        _span("task", start=0.0, end=10.0),
+        _span("run", parent="task", start=1.0, end=8.2),
+        _span("collect", parent="task", start=8.0, end=10.0),
+    ]
+    names = [e.span.name for e in critical_path(spans)]
+    assert names == ["task", "run", "collect"]
+    # Overlap must not be double-counted in the root's coverage.
+    root = next(e for e in critical_path(spans) if e.span.name == "task")
+    assert abs(root.self_seconds - 1.0) < 1e-9  # only [0,1] is uncovered
+
+
+def test_critical_path_empty_cases():
+    assert critical_path([]) == []
+    assert critical_path([_span("open", end=None)]) == []
+    # Children missing timestamps are skipped, not fatal.
+    spans = [
+        _span("task", start=0.0, end=2.0),
+        _span("broken", parent="task", start=None, end=None),
+    ]
+    assert [e.span.name for e in critical_path(spans)] == ["task"]

@@ -1,0 +1,94 @@
+"""Exporters: JSONL round-trip, console summaries, report tables."""
+
+from __future__ import annotations
+
+from repro.observe import (
+    MetricsRegistry,
+    Span,
+    load_spans_jsonl,
+    metrics_report_table,
+    render_critical_path,
+    render_span_summary,
+    span_summary,
+    spans_report_table,
+    write_spans_jsonl,
+)
+
+
+def _trace():
+    return [
+        Span("task", trace_id="t1", span_id="root", start=0.0, end=10.0),
+        Span(
+            "worker.run",
+            trace_id="t1",
+            span_id="run",
+            parent_id="root",
+            start=1.0,
+            end=9.0,
+            site="theta-login",
+            tags={"topic": "simulate"},
+        ),
+        Span("task", trace_id="t2", span_id="root2", start=0.0, end=4.0),
+    ]
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    spans = _trace()
+    assert write_spans_jsonl(spans, path) == 3
+    loaded = load_spans_jsonl(path)
+    assert [s.to_dict() for s in loaded] == [s.to_dict() for s in spans]
+    # Blank lines are tolerated (hand-edited files, concatenated shards).
+    path.write_text(path.read_text() + "\n\n")
+    assert len(load_spans_jsonl(path)) == 3
+
+
+def test_span_summary_aggregates_by_name():
+    summary = span_summary(_trace())
+    assert summary["task"] == {"count": 2, "median": 7.0, "mean": 7.0, "max": 10.0}
+    assert summary["worker.run"]["count"] == 1
+    # Spans without both timestamps don't contribute.
+    open_span = Span("task", trace_id="t3", span_id="x", start=0.0, end=None)
+    assert span_summary([open_span]) == {}
+
+
+def test_render_span_summary_header_and_units():
+    text = render_span_summary(_trace())
+    assert "3 spans in 2 traces" in text
+    assert "worker.run" in text
+    assert "7.00s" in text  # >=1 s renders in seconds
+    short = render_span_summary(
+        [Span("hop", trace_id="t", span_id="s", start=0.0, end=0.25)]
+    )
+    assert "250ms" in short  # sub-second renders in milliseconds
+
+
+def test_render_critical_path_shows_chain_and_site():
+    text = render_critical_path(_trace(), "t1")
+    assert "critical path: trace t1" in text
+    assert "task" in text and "worker.run" in text
+    assert "@theta-login" in text
+    assert "self" in text
+    assert "not found" in render_critical_path(_trace(), "nope")
+
+
+def test_spans_report_table_rows_are_informational():
+    table = spans_report_table(_trace())
+    labels = [row.label for row in table.rows]
+    assert labels == ["task", "worker.run"]
+    assert all(row.holds is None for row in table.rows)
+    assert "median x2" in table.rows[0].measured
+
+
+def test_metrics_report_table_covers_all_instruments():
+    registry = MetricsRegistry()
+    registry.counter("polls", endpoint="theta").inc(12)
+    registry.gauge("depth").set(3)
+    registry.histogram("wait_s").observe(0.5)
+    table = metrics_report_table(registry)
+    labels = [row.label for row in table.rows]
+    assert "polls{endpoint=theta}" in labels
+    assert "depth" in labels
+    assert "wait_s" in labels
+    rendered = table.render()
+    assert "12" in rendered and "peak 3" in rendered

@@ -1,0 +1,115 @@
+"""Metrics registry: instruments, labels, aggregation, zero-overhead."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.observe import (
+    MetricsRegistry,
+    counter_inc,
+    gauge_add,
+    gauge_set,
+    get_metrics,
+    metrics_enabled,
+    observe,
+    set_metrics,
+)
+
+
+def test_disabled_helpers_are_noops():
+    assert not metrics_enabled()
+    counter_inc("a")
+    gauge_set("b", 3)
+    gauge_add("b", 1)
+    observe("c", 0.5)
+    assert get_metrics() is None
+
+
+def test_counter_increments_and_rejects_negative():
+    registry = MetricsRegistry()
+    counter = registry.counter("tasks")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_labels_fan_out_and_get_or_create_is_stable():
+    registry = MetricsRegistry()
+    a = registry.counter("polls", endpoint="theta")
+    b = registry.counter("polls", endpoint="venti")
+    assert a is not b
+    assert registry.counter("polls", endpoint="theta") is a
+    a.inc(3)
+    b.inc(1)
+    assert registry.counter_total("polls") == 4.0
+
+
+def test_gauge_tracks_high_water():
+    gauge = MetricsRegistry().gauge("depth")
+    gauge.set(5)
+    gauge.set(2)
+    gauge.add(1)
+    assert gauge.value == 3
+    assert gauge.high_water == 5
+
+
+def test_histogram_summary():
+    hist = MetricsRegistry().histogram("lat")
+    for value in [0.1, 0.2, 0.3, 0.4, 10.0]:
+        hist.observe(value)
+    stats = hist.summary()
+    assert stats["count"] == 5
+    assert stats["median"] == 0.3
+    assert stats["max"] == 10.0
+    assert hist.sum == pytest.approx(11.0)
+
+
+def test_empty_histogram_summary_is_zeroes():
+    stats = MetricsRegistry().histogram("empty").summary()
+    assert stats == {"count": 0, "mean": 0.0, "median": 0.0, "p95": 0.0, "max": 0.0}
+
+
+def test_module_helpers_route_to_installed_registry():
+    registry = MetricsRegistry()
+    set_metrics(registry)
+    counter_inc("submitted", topic="simulate")
+    counter_inc("submitted", 2, topic="simulate")
+    gauge_set("depth", 7, pool="cpu")
+    observe("wait_s", 1.25)
+    assert registry.counter("submitted", topic="simulate").value == 3
+    assert registry.gauge("depth", pool="cpu").high_water == 7
+    assert registry.histogram("wait_s").count == 1
+
+
+def test_snapshot_is_json_serializable_and_render_mentions_everything():
+    registry = MetricsRegistry()
+    registry.counter("hits", store="local").inc(4)
+    registry.gauge("active").set(2)
+    registry.histogram("gap_s", pool="cpu").observe(0.5)
+    snapshot = registry.snapshot()
+    json.dumps(snapshot)  # must not raise
+    assert snapshot["counters"][0]["value"] == 4
+    text = registry.render()
+    for needle in ("hits{store=local}", "active", "gap_s{pool=cpu}", "median"):
+        assert needle in text
+
+
+def test_concurrent_increments_do_not_lose_updates():
+    registry = MetricsRegistry()
+    set_metrics(registry)
+
+    def spin():
+        for _ in range(500):
+            counter_inc("spins")
+
+    threads = [threading.Thread(target=spin) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert registry.counter("spins").value == 4000

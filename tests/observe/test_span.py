@@ -1,0 +1,158 @@
+"""Tracer core: live nesting, reconstruction, propagation, zero-overhead."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+from repro.net.clock import get_clock
+from repro.net.context import at_site
+from repro.observe import (
+    Span,
+    Tracer,
+    current_context,
+    current_span,
+    new_task_trace,
+    record_span,
+    set_tracer,
+    trace_span,
+    tracing_enabled,
+)
+from repro.observe.span import _NOOP_SPAN
+
+
+def test_disabled_is_noop_singleton():
+    assert not tracing_enabled()
+    span = trace_span("anything", parent=("t", "s"), tag=1)
+    assert span is _NOOP_SPAN
+    with span as inner:
+        assert inner.set_tag("k", "v") is inner
+        assert inner.context is None
+    assert record_span("hop", start=0.0, end=1.0) is None
+    assert new_task_trace("task-1") is None
+    assert current_span() is None and current_context() is None
+
+
+def test_live_span_records_timestamps_and_tags():
+    tracer = Tracer()
+    set_tracer(tracer)
+    clock = get_clock()
+    before = clock.now()
+    with trace_span("work", method="simulate") as span:
+        clock.sleep(0.5)
+        span.set_tag("late", True)
+    [stored] = tracer.spans()
+    assert stored is span
+    assert stored.name == "work"
+    assert stored.tags == {"method": "simulate", "late": True}
+    assert stored.start >= before
+    assert stored.duration >= 0.5 - 1e-6
+
+
+def test_nesting_parents_inner_to_outer_on_same_thread():
+    tracer = Tracer()
+    set_tracer(tracer)
+    with trace_span("outer") as outer:
+        assert current_span() is outer
+        with trace_span("inner") as inner:
+            assert inner.trace_id == outer.trace_id
+            assert inner.parent_id == outer.span_id
+        assert current_span() is outer
+    assert current_span() is None
+    assert len(tracer.spans()) == 2
+
+
+def test_explicit_parent_tuple_beats_tls():
+    tracer = Tracer()
+    set_tracer(tracer)
+    ctx = ("trace-A", "span-A")
+    with trace_span("outer"):
+        with trace_span("joined", parent=ctx) as joined:
+            assert joined.trace_id == "trace-A"
+            assert joined.parent_id == "span-A"
+
+
+def test_new_task_trace_preallocates_root_span_id():
+    set_tracer(Tracer())
+    ctx = new_task_trace("task-42")
+    assert ctx is not None
+    trace_id, root_span_id = ctx
+    assert trace_id == "task-42"
+    # Recording the root later with the pre-allocated id keeps children
+    # attached (no orphan window while the task is in flight).
+    tracer = Tracer()
+    set_tracer(tracer)
+    record_span("child", start=1.0, end=2.0, parent=ctx)
+    record_span("task", trace_id=trace_id, span_id=root_span_id, start=0.0, end=3.0)
+    child, root = tracer.spans()
+    assert child.parent_id == root.span_id
+
+
+def test_trace_context_is_pickleable():
+    set_tracer(Tracer())
+    ctx = new_task_trace("task-7")
+    assert pickle.loads(pickle.dumps(ctx)) == ctx
+
+
+def test_record_span_tolerates_missing_timestamps():
+    tracer = Tracer()
+    set_tracer(tracer)
+    assert record_span("hop", start=None, end=1.0) is None
+    assert record_span("hop", start=1.0, end=None) is None
+    assert len(tracer.spans()) == 0
+
+
+def test_span_stack_is_thread_local():
+    tracer = Tracer()
+    set_tracer(tracer)
+    seen = {}
+
+    def worker():
+        seen["ctx"] = current_context()
+        with trace_span("worker-side") as span:
+            seen["trace"] = span.trace_id
+
+    with trace_span("main-side") as outer:
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+    assert seen["ctx"] is None  # the other thread does not inherit our stack
+    assert seen["trace"] != outer.trace_id  # it started a fresh trace
+
+
+def test_span_captures_site(testbed):
+    tracer = Tracer()
+    set_tracer(tracer)
+    with at_site(testbed.theta_login):
+        with trace_span("pinned"):
+            pass
+    [span] = tracer.spans()
+    assert span.site == testbed.theta_login.name
+
+
+def test_span_round_trips_through_dict():
+    span = Span(
+        "hop",
+        trace_id="t1",
+        parent_id="p1",
+        start=1.0,
+        end=2.5,
+        site="theta-login",
+        tags={"topic": "simulate"},
+    )
+    clone = Span.from_dict(span.to_dict())
+    assert clone.to_dict() == span.to_dict()
+    assert clone.duration == 1.5
+
+
+def test_exception_inside_span_is_tagged_and_stored():
+    tracer = Tracer()
+    set_tracer(tracer)
+    try:
+        with trace_span("failing"):
+            raise ValueError("boom")
+    except ValueError:
+        pass
+    [span] = tracer.spans()
+    assert span.end is not None
+    assert "boom" in span.tags["error"]

@@ -63,3 +63,51 @@ def test_compare_command(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["launch-rockets"])
+
+
+def test_moldesign_trace_out_then_trace_command(tmp_path, capsys):
+    """End to end: record a traced campaign, then reconstruct it."""
+    trace_file = tmp_path / "run.jsonl"
+    code = main(
+        [
+            "moldesign",
+            "--simulations", "6",
+            "--molecules", "100",
+            "--time-scale", "0.002",
+            "--timeout", "120",
+            "--trace-out", str(trace_file),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "trace summary" in out
+    assert "== metrics ==" in out
+    assert trace_file.exists()
+
+    code = main(["trace", str(trace_file), "--limit", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "trace summary" in out
+    assert "no orphan spans" in out
+    assert "critical path" in out
+    assert "worker.compute" in out
+
+
+def test_trace_command_missing_file(tmp_path, capsys):
+    assert main(["trace", str(tmp_path / "nope.jsonl")]) != 0
+
+
+def test_trace_command_specific_trace_id(tmp_path, capsys):
+    import json
+
+    trace_file = tmp_path / "tiny.jsonl"
+    spans = [
+        {"name": "task", "trace_id": "t1", "span_id": "root",
+         "parent_id": None, "start": 0.0, "end": 2.0},
+        {"name": "worker.run", "trace_id": "t1", "span_id": "run",
+         "parent_id": "root", "start": 0.5, "end": 1.5},
+    ]
+    trace_file.write_text("\n".join(json.dumps(s) for s in spans) + "\n")
+    assert main(["trace", str(trace_file), "--trace-id", "t1"]) == 0
+    out = capsys.readouterr().out
+    assert "critical path: trace t1" in out
