@@ -12,6 +12,9 @@ Subpackages
     Transparent pass-by-reference data fabric (ProxyStore substitute).
 ``repro.faas``
     Federated function-as-a-service platform (FuncX substitute).
+``repro.chaos``
+    Deterministic fault injection, shared retry policies, and the chaos
+    campaign that audits recovery across the whole fabric.
 ``repro.parsl``
     Conventional pilot-job workflow executor baseline (Parsl substitute).
 ``repro.core``

@@ -146,6 +146,7 @@ def build_workflow(
     run_id: str | None = None,
     use_batch_scheduler: bool = False,
     batch_queue_delay: object | None = None,
+    faas_retry_policy: object | None = None,
 ) -> WorkflowHandle:
     """Assemble one of the three §V-B workflow stacks on ``testbed``.
 
@@ -153,6 +154,10 @@ def build_workflow(
     batch queue (sampled queue-wait before workers exist) — the multi-level
     scheduling reality of §II-A.  The GPU box is a standalone server in the
     paper, so it never queues.
+
+    ``faas_retry_policy`` (a :class:`repro.chaos.RetryPolicy`) makes the
+    FuncX stack's client retry failed tasks with backoff; the default None
+    keeps the historical fail-fast behavior.
     """
     if config not in WORKFLOW_CONFIGS:
         raise WorkflowError(f"unknown workflow config {config!r}; pick from {WORKFLOW_CONFIGS}")
@@ -300,7 +305,9 @@ def build_workflow(
             f"{run_id}-venti", cloud, token, testbed.venti, gpu_pool
         ).start()
         endpoints = [ep_cpu, ep_gpu]
-        faas_client = FaasClient(cloud, token, site=testbed.theta_login)
+        faas_client = FaasClient(
+            cloud, token, site=testbed.theta_login, retry_policy=faas_retry_policy
+        )
         targets = {"cpu": ep_cpu.endpoint_id, "gpu": ep_gpu.endpoint_id}
         task_server = FuncXTaskServer(
             queues,

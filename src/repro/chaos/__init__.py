@@ -1,0 +1,53 @@
+"""repro.chaos — deterministic fault injection and recovery policies.
+
+Three pieces:
+
+* :mod:`repro.chaos.plan` — :class:`FaultPlan` / :class:`FaultInjector` and
+  the ``chaos_check`` hook the fabric is instrumented with;
+* :mod:`repro.chaos.policy` — the shared :class:`RetryPolicy` used by the
+  FaaS client, the transfer client, and the ProxyStore ``Store``;
+* :mod:`repro.chaos.campaign` — the fault-matrix campaign harness behind
+  ``repro.cli chaos`` (imported lazily: it pulls in the whole fabric, and
+  the fabric's modules import *this* package for the hook API).
+"""
+
+from __future__ import annotations
+
+from repro.chaos.plan import (
+    HOOKS,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    attempt_from_key,
+    chaos_check,
+    chaos_enabled,
+    get_injector,
+    set_injector,
+)
+from repro.chaos.policy import RetryPolicy, stable_unit_hash
+
+__all__ = [
+    "HOOKS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "attempt_from_key",
+    "chaos_check",
+    "chaos_enabled",
+    "get_injector",
+    "set_injector",
+    "stable_unit_hash",
+    # lazy (see __getattr__):
+    "campaign",
+]
+
+
+def __getattr__(name: str):
+    if name == "campaign":
+        import importlib
+
+        return importlib.import_module("repro.chaos.campaign")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,446 @@
+"""The chaos campaign: a fault matrix swept over workflow configurations.
+
+Each **cell** of the matrix runs one workload (N FaaS tasks that each
+resolve an object out of a ProxyStore backend) under one injected fault
+mode, then audits the run against three invariants:
+
+1. **No lost tasks** — every submitted task's future resolves to the
+   expected value, with no intervention beyond the configured
+   :class:`~repro.chaos.policy.RetryPolicy`; every task record at the cloud
+   reaches a terminal state.
+2. **No orphan spans** — every recorded span's parent resolves within its
+   trace (recovery machinery must not drop trace context).
+3. **Retry reconciliation** — the recovery counters (client retries, store
+   retries, transfer requeues, failovers) add up against the injector's own
+   record of what it fired.
+
+Fault selection is a pure function of the plan seed and content-derived
+event keys, so a cell's **ledger digest** (fault events + task outcomes) is
+identical across runs — ``run_campaign(verify_determinism=True)`` proves it
+by running every cell twice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.chaos.plan import FaultInjector, FaultPlan, FaultSpec, set_injector
+from repro.chaos.policy import RetryPolicy
+from repro.faas import SCOPE_COMPUTE, AuthServer, FaasClient, FaasCloud, FaasEndpoint
+from repro.net.clock import get_clock
+from repro.net.context import at_site
+from repro.net.defaults import PaperConstants, Testbed, build_paper_testbed
+from repro.net.kvstore import KVServer
+from repro.net.topology import UniformLatency
+from repro.observe import (
+    MetricsRegistry,
+    Tracer,
+    find_orphans,
+    set_metrics,
+    set_tracer,
+)
+from repro.proxystore.connectors.file import FileConnector
+from repro.proxystore.connectors.globus import GlobusConnector
+from repro.proxystore.connectors.redis import RedisConnector
+from repro.proxystore.store import Store, clear_store_registry, get_store
+from repro.resources import WorkerPool
+from repro.transfer.client import TransferClient
+from repro.transfer.service import TransferEndpoint, TransferService
+
+__all__ = [
+    "FAULT_MODES",
+    "CONFIGS",
+    "CellResult",
+    "fault_specs",
+    "run_cell",
+    "run_campaign",
+    "render_results",
+]
+
+#: Fault modes the campaign knows how to inject *and* reconcile.
+FAULT_MODES: tuple[str, ...] = (
+    "worker_exception",
+    "endpoint_crash",
+    "payload_cap",
+    "store_corruption",
+    "cloud_store_error",
+    "transfer_fault",
+)
+
+#: Workflow configurations (FaaS fabric + ProxyStore backend).
+CONFIGS: tuple[str, ...] = ("faas-file", "faas-redis", "faas-globus")
+
+#: Counters surfaced in every cell report.
+_REPORT_COUNTERS = (
+    "client.retries",
+    "client.submit_retries",
+    "store.retries",
+    "transfer.retries",
+    "endpoint.dispatch_errors",
+    "endpoint.crashes",
+    "faas.lease_expiries",
+    "faas.failovers",
+    "faas.duplicate_results",
+)
+
+
+def fault_specs(mode: str) -> tuple[FaultSpec, ...]:
+    """The injection plan for one fault mode.
+
+    Rates below 1.0 select a deterministic *subset* of event keys; the
+    ``attempt: 0`` matches confine faults to first attempts so the retry
+    budget always suffices and every cell is expected to pass.
+    """
+    if mode == "none":
+        return ()
+    if mode == "worker_exception":
+        return (FaultSpec("worker.execute", mode, rate=0.6, match={"attempt": 0}),)
+    if mode == "endpoint_crash":
+        return (
+            FaultSpec(
+                "endpoint.crash", mode, rate=1.0, match={"endpoint": "ep-a"}, max_fires=1
+            ),
+        )
+    if mode == "payload_cap":
+        return (FaultSpec("cloud.submit", mode, rate=0.6, match={"attempt": 0}),)
+    if mode == "store_corruption":
+        return (FaultSpec("store.get", mode, rate=0.6, match={"attempt": 0}),)
+    if mode == "cloud_store_error":
+        return (FaultSpec("cloud.store.read", mode, rate=0.4),)
+    if mode == "transfer_fault":
+        return (FaultSpec("transfer.attempt", mode, rate=0.6, match={"attempt": 0}),)
+    raise ValueError(f"unknown fault mode {mode!r}; known: {sorted(FAULT_MODES)}")
+
+
+def chaos_task(index: int, store_name: str, key: str) -> int:
+    """The campaign workload body: resolve a stored object, compute on it.
+
+    Module-level so it pickles by reference; unique ``index`` per task keeps
+    argument and result payloads content-distinct, which keeps content-
+    derived fault keys distinct too.
+    """
+    values = get_store(store_name).get(key)
+    return index + sum(values)
+
+
+@dataclass
+class CellResult:
+    """Outcome of one (fault mode, config) campaign cell."""
+
+    mode: str
+    config: str
+    tasks: int
+    fires: int
+    counters: dict[str, int] = field(default_factory=dict)
+    failures: list[str] = field(default_factory=list)
+    digest: str = ""
+    duration_nominal_s: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class _Rig:
+    """Per-config wiring: the store plus where each actor runs."""
+
+    store: Store
+    client_site: object
+    agent_site: object
+    worker_site: object
+    cleanups: list
+
+
+def _campaign_constants() -> PaperConstants:
+    """Paper constants tuned for campaign turnaround: fast heartbeats so
+    failover resolves in a few nominal seconds, light Globus latencies so
+    the globus config's cells are not dominated by transfer floors."""
+    return PaperConstants(
+        endpoint_heartbeat_period=1.0,
+        endpoint_lease_ttl=3.0,
+        globus_request_latency=UniformLatency(0.05, 0.06),
+        globus_transfer_base=UniformLatency(0.2, 0.3),
+        globus_poll_interval=0.05,
+    )
+
+
+def _build_rig(config: str, testbed: Testbed, policy: RetryPolicy) -> _Rig:
+    if config == "faas-file":
+        store = Store(
+            "chaos-store",
+            FileConnector(testbed.mounts.volume("theta-lustre"), "chaos"),
+            retry_policy=policy,
+        )
+        return _Rig(
+            store=store,
+            client_site=testbed.theta_login,
+            agent_site=testbed.theta_login,
+            worker_site=testbed.theta_compute,
+            cleanups=[store.close],
+        )
+    if config == "faas-redis":
+        server = KVServer(testbed.theta_login, name="chaos-redis")
+        store = Store(
+            "chaos-store",
+            RedisConnector(server, testbed.network),
+            retry_policy=policy,
+        )
+        return _Rig(
+            store=store,
+            client_site=testbed.theta_login,
+            agent_site=testbed.theta_login,
+            worker_site=testbed.theta_compute,
+            cleanups=[store.close],
+        )
+    if config == "faas-globus":
+        service = TransferService(
+            testbed.globus_cloud, testbed.network, testbed.constants
+        ).start()
+        ep_theta = TransferEndpoint(
+            "chaos-gep-theta", testbed.theta_login, testbed.mounts.volume("theta-lustre")
+        )
+        ep_venti = TransferEndpoint(
+            "chaos-gep-venti", testbed.venti, testbed.mounts.volume("venti-local")
+        )
+        service.register_endpoint(ep_theta)
+        service.register_endpoint(ep_venti)
+        transfer_client = TransferClient(service, "chaos-user", retry_policy=policy)
+        store = Store(
+            "chaos-store",
+            GlobusConnector(
+                transfer_client,
+                {testbed.theta_login.name: ep_theta, testbed.venti.name: ep_venti},
+                "chaos-globus",
+            ),
+            retry_policy=policy,
+        )
+        return _Rig(
+            store=store,
+            client_site=testbed.theta_login,
+            agent_site=testbed.venti,
+            worker_site=testbed.venti,
+            cleanups=[store.close, service.stop],
+        )
+    raise ValueError(f"unknown config {config!r}; known: {sorted(CONFIGS)}")
+
+
+def _ledger_digest(injector: FaultInjector, outcomes: list) -> str:
+    """Hash the *logical* ledger: which faults fired (by content key) and
+    what every task produced.  Timestamps and run-local ids are excluded —
+    they vary with thread scheduling; this must not."""
+    events = sorted((e.hook, e.mode, e.key) for e in injector.fires())
+    blob = repr((events, outcomes)).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def _reconcile(
+    mode: str, fires: int, counters: dict[str, int], failures: list[str]
+) -> None:
+    """Check that recovery counters add up against injected fault counts."""
+
+    def expect(counter: str, expected: int) -> None:
+        got = counters.get(counter, 0)
+        if got != expected:
+            failures.append(
+                f"reconciliation: {counter} is {got}, expected {expected} "
+                f"(injector fired {fires})"
+            )
+
+    if mode in ("none",):
+        expect("client.retries", 0)
+    elif mode == "worker_exception":
+        expect("client.retries", fires)
+    elif mode == "payload_cap":
+        expect("client.submit_retries", fires)
+    elif mode == "store_corruption":
+        expect("store.retries", fires)
+    elif mode == "cloud_store_error":
+        # A fired read surfaces either as a dispatch error (args) or a
+        # download error (result); both recover via one client retry.
+        expect("client.retries", fires)
+    elif mode == "transfer_fault":
+        expect("transfer.retries", fires)
+    elif mode == "endpoint_crash":
+        expect("endpoint.crashes", fires)
+        if fires != 1:
+            failures.append(f"endpoint_crash cell expected exactly 1 fire, got {fires}")
+        if counters.get("faas.lease_expiries", 0) < 1:
+            failures.append("endpoint_crash: the dead endpoint's lease never expired")
+        if counters.get("faas.failovers", 0) < 1:
+            failures.append("endpoint_crash: no task failed over to the survivor")
+        # Failover must be invisible to the client: no client-side retries.
+        expect("client.retries", fires - 1)
+
+
+def run_cell(
+    mode: str,
+    config: str,
+    *,
+    seed: int = 0,
+    n_tasks: int = 6,
+) -> CellResult:
+    """Run one campaign cell and audit its invariants.
+
+    Invariant violations are collected into ``CellResult.failures`` rather
+    than raised, so a sweep reports every broken cell instead of dying on
+    the first one.
+    """
+    failures: list[str] = []
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    injector = FaultInjector(FaultPlan.build(seed, fault_specs(mode)))
+    set_tracer(tracer)
+    set_metrics(metrics)
+    set_injector(injector)
+
+    policy = RetryPolicy(max_attempts=5, base_delay=0.1, max_delay=1.0)
+    constants = _campaign_constants()
+    testbed = build_paper_testbed(seed=seed, constants=constants)
+    clock = get_clock()
+    started = clock.now()
+
+    auth = AuthServer()
+    identity = auth.register_identity("chaos-user", "anl")
+    token = auth.issue_token(identity, {SCOPE_COMPUTE})
+    cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, constants)
+    rig = _build_rig(config, testbed, policy)
+    pool_a = WorkerPool(rig.worker_site, 2, name="chaos-pool-a")
+    pool_b = WorkerPool(rig.worker_site, 2, name="chaos-pool-b")
+    ep_a = FaasEndpoint(
+        "ep-a", cloud, token, rig.agent_site, pool_a,
+        failover_group="chaos-pair", poll_interval=0.25,
+    ).start()
+    ep_b = FaasEndpoint(
+        "ep-b", cloud, token, rig.agent_site, pool_b,
+        failover_group="chaos-pair", poll_interval=0.25,
+    ).start()
+    client = FaasClient(
+        cloud, token, site=rig.client_site, retry_policy=policy
+    )
+
+    outcomes: list = []
+    try:
+        with at_site(rig.client_site):
+            keys = []
+            for index in range(n_tasks):
+                key = f"{mode}-{index}"
+                rig.store.put([index, index + 1], key=key)
+                keys.append(key)
+            # All tasks target ep-a; ep-b is the hot standby whose polls
+            # drive lazy lease expiry (failover without client help).
+            futures = [
+                client.run(chaos_task, ep_a.endpoint_id, index, rig.store.name, key)
+                for index, key in enumerate(keys)
+            ]
+        for index, future in enumerate(futures):
+            try:
+                outcomes.append(future.result(timeout=120))
+            except Exception as exc:  # noqa: BLE001 - audited below
+                outcomes.append(f"error:{type(exc).__name__}")
+                failures.append(f"task {index} was lost to {exc!r}")
+        expected = [index + (index + (index + 1)) for index in range(n_tasks)]
+        if not failures and outcomes != expected:
+            failures.append(f"wrong results: {outcomes} != {expected}")
+    finally:
+        try:
+            client.close()
+            ep_a.stop()
+            ep_b.stop()
+        finally:
+            for cleanup in rig.cleanups:
+                cleanup()
+            set_injector(None)
+            set_tracer(None)
+            set_metrics(None)
+            clear_store_registry()
+
+    # -- invariants ---------------------------------------------------------
+    non_terminal = [
+        record.task_id
+        for record in cloud.task_records()
+        if not record.status.terminal
+    ]
+    if non_terminal:
+        failures.append(f"tasks never reached a terminal state: {non_terminal}")
+    orphans = find_orphans(tracer.spans())
+    if orphans:
+        failures.append(
+            f"{len(orphans)} orphan spans, e.g. "
+            f"{orphans[0].name}@{orphans[0].trace_id}"
+        )
+    counters = {
+        name: int(metrics.counter_total(name)) for name in _REPORT_COUNTERS
+    }
+    fires = injector.fire_count()
+    _reconcile(mode, fires, counters, failures)
+
+    return CellResult(
+        mode=mode,
+        config=config,
+        tasks=n_tasks,
+        fires=fires,
+        counters=counters,
+        failures=failures,
+        digest=_ledger_digest(injector, outcomes),
+        duration_nominal_s=clock.now() - started,
+    )
+
+
+def run_campaign(
+    modes: tuple[str, ...] = FAULT_MODES,
+    configs: tuple[str, ...] = CONFIGS,
+    *,
+    seed: int = 0,
+    n_tasks: int = 6,
+    verify_determinism: bool = False,
+) -> list[CellResult]:
+    """Sweep the fault matrix; returns one :class:`CellResult` per cell.
+
+    ``verify_determinism`` runs every cell twice and fails the cell if the
+    two ledger digests differ — the end-to-end proof that fault injection
+    is a function of the seed, not of thread scheduling.
+    """
+    results: list[CellResult] = []
+    for config in configs:
+        for mode in modes:
+            result = run_cell(mode, config, seed=seed, n_tasks=n_tasks)
+            if verify_determinism:
+                rerun = run_cell(mode, config, seed=seed, n_tasks=n_tasks)
+                if rerun.digest != result.digest:
+                    result.failures.append(
+                        f"nondeterministic ledger: {result.digest} vs "
+                        f"{rerun.digest} across two runs of seed {seed}"
+                    )
+                result.failures.extend(
+                    f"(rerun) {failure}" for failure in rerun.failures
+                )
+            results.append(result)
+    return results
+
+
+def render_results(results: list[CellResult]) -> str:
+    """A fixed-width report table, one row per cell."""
+    header = (
+        f"{'config':<12} {'mode':<18} {'tasks':>5} {'fires':>5} "
+        f"{'retries':>7} {'failovers':>9} {'digest':<16} verdict"
+    )
+    lines = [header, "-" * len(header)]
+    for r in results:
+        retries = (
+            r.counters.get("client.retries", 0)
+            + r.counters.get("client.submit_retries", 0)
+            + r.counters.get("store.retries", 0)
+            + r.counters.get("transfer.retries", 0)
+        )
+        lines.append(
+            f"{r.config:<12} {r.mode:<18} {r.tasks:>5} {r.fires:>5} "
+            f"{retries:>7} {r.counters.get('faas.failovers', 0):>9} "
+            f"{r.digest:<16} {'PASS' if r.passed else 'FAIL'}"
+        )
+        for failure in r.failures:
+            lines.append(f"    ! {failure}")
+    passed = sum(1 for r in results if r.passed)
+    lines.append(f"{passed}/{len(results)} cells passed")
+    return "\n".join(lines)

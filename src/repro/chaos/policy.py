@@ -1,0 +1,77 @@
+"""Retry policies shared by every recovery layer in the fabric.
+
+The FaaS client, the transfer client, and the ProxyStore ``Store`` all need
+the same thing when a fault fires: a bounded number of attempts with
+exponentially growing, jittered delays between them.  :class:`RetryPolicy`
+is that one shared vocabulary, so a campaign can say "4 attempts, 250 ms
+base backoff" once and hand the same object to every layer.
+
+Jitter is *deterministic*: instead of drawing from an RNG (whose call order
+would depend on thread scheduling), the jitter factor is a stable hash of
+``(key, attempt)``.  Two runs of the same campaign back off by identical
+amounts, which is what makes chaos campaigns reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+def stable_unit_hash(text: str) -> float:
+    """Map ``text`` to a float in [0, 1) that is stable across processes
+    (unlike ``hash()``, which is salted per interpreter)."""
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter and a hard attempt cap.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first one; ``1`` disables retrying.
+    base_delay:
+        Nominal seconds before the first retry.
+    multiplier:
+        Backoff growth factor per retry.
+    max_delay:
+        Ceiling on any single delay, in nominal seconds.
+    jitter:
+        Fractional spread around the computed delay (``0.25`` means the
+        delay lands in ``[0.75x, 1.25x]``), derived from a stable hash so
+        identical ``(key, attempt)`` pairs always jitter identically.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.25
+    multiplier: float = 2.0
+    max_delay: float = 8.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def retries_left(self, attempt: int) -> bool:
+        """True if attempt number ``attempt`` (0-based) may be followed by
+        another one."""
+        return attempt + 1 < self.max_attempts
+
+    def delay_for(self, attempt: int, key: str = "") -> float:
+        """Nominal seconds to wait after failed attempt ``attempt`` (0-based)."""
+        raw = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        u = stable_unit_hash(f"retry|{key}|{attempt}")
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * u)

@@ -15,6 +15,11 @@ Commands
     Reconstruct a recorded campaign from a span JSONL file (written with
     ``--trace-out``): per-component medians, orphan check, and the critical
     path of a chosen task.
+``chaos``
+    Sweep the fault-injection matrix (worker exceptions, endpoint crashes
+    mid-lease, payload-cap rejections, store corruption, transfer faults)
+    over the workflow configurations and audit the no-lost-tasks,
+    no-orphan-spans, and retry-reconciliation invariants per cell.
 """
 
 from __future__ import annotations
@@ -219,6 +224,42 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos.campaign import (
+        CONFIGS,
+        FAULT_MODES,
+        render_results,
+        run_campaign,
+    )
+
+    modes = tuple(args.modes) if args.modes else FAULT_MODES
+    configs = tuple(args.configs) if args.configs else CONFIGS
+    unknown_modes = [m for m in modes if m not in FAULT_MODES]
+    if unknown_modes:
+        print(f"unknown fault mode(s) {unknown_modes}; known: {sorted(FAULT_MODES)}")
+        return 1
+    unknown_configs = [c for c in configs if c not in CONFIGS]
+    if unknown_configs:
+        print(f"unknown config(s) {unknown_configs}; known: {sorted(CONFIGS)}")
+        return 1
+    reset_clock(args.time_scale)
+    print(
+        f"chaos campaign: {len(modes)} fault modes x {len(configs)} configs, "
+        f"{args.tasks} tasks/cell, seed {args.seed}"
+        + (", determinism verified (each cell runs twice)"
+           if args.verify_determinism else "")
+    )
+    results = run_campaign(
+        modes,
+        configs,
+        seed=args.seed,
+        n_tasks=args.tasks,
+        verify_determinism=args.verify_determinism,
+    )
+    print(render_results(results))
+    return 0 if all(result.passed for result in results) else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro import observe
 
@@ -285,6 +326,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--payload-mb", type=float, default=1.0)
     p.add_argument("--tasks", type=int, default=8)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "chaos", help="sweep the fault matrix and audit recovery invariants"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--time-scale", type=float, default=0.002,
+        help="wall seconds per nominal second (smaller = faster run)",
+    )
+    p.add_argument(
+        "--matrix", "--modes", dest="modes", nargs="+", default=None,
+        metavar="MODE",
+        help="fault modes to inject (default: all; see repro.chaos.campaign."
+        "FAULT_MODES)",
+    )
+    p.add_argument(
+        "--configs", nargs="+", default=None, metavar="CONFIG",
+        help="workflow configs to sweep (default: faas-file faas-redis "
+        "faas-globus)",
+    )
+    p.add_argument(
+        "--tasks", type=int, default=6, help="tasks per campaign cell"
+    )
+    p.add_argument(
+        "--verify-determinism", action="store_true",
+        help="run every cell twice and require identical ledger digests",
+    )
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "trace", help="reconstruct a recorded campaign from a span JSONL file"

@@ -54,9 +54,37 @@ class TaskError(ReproError):
         self.remote_traceback = remote_traceback
 
 
-class TimeoutError_(ReproError):
-    """A blocking wait elapsed.  Named with a trailing underscore to avoid
-    shadowing the builtin while staying importable as ``TimeoutError_``."""
+class DeadlineExceededError(ReproError):
+    """A blocking wait elapsed before the awaited event happened."""
+
+
+#: Deprecated alias for :class:`DeadlineExceededError` (the old name worked
+#: around shadowing the builtin ``TimeoutError`` with a trailing underscore).
+TimeoutError_ = DeadlineExceededError
+
+
+class RetryExhaustedError(ReproError):
+    """An operation failed on every attempt its retry budget allowed.
+
+    Carries the number of attempts and the last underlying error so callers
+    can distinguish "gave up retrying" from a first-try failure.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        attempts: int | None = None,
+        last_error: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class LeaseExpiredError(ReproError):
+    """An endpoint acted on a task after its heartbeat lease expired and the
+    task was handed to another endpoint (the action must be discarded)."""
 
 
 class EndpointUnavailableError(ReproError):

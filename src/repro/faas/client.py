@@ -1,4 +1,4 @@
-"""Client SDK for the FaaS platform: futures, executor, notification.
+"""Client SDK for the FaaS platform: futures, executor, notification, retry.
 
 ``FaasClient.submit`` serializes arguments, pays the HTTPS round trip, and
 returns a ``concurrent.futures.Future``.  A per-client notifier thread
@@ -7,6 +7,13 @@ downloads result payloads, and completes futures — including converting
 remote failures into :class:`repro.exceptions.TaskError` with the remote
 traceback attached.
 
+Hand the client a :class:`repro.chaos.RetryPolicy` and failed attempts are
+retried transparently: the notifier resubmits the already-serialized
+argument payload under the *same* future after a backoff, so the caller only
+ever sees the final outcome (the value, or ``RetryExhaustedError`` once the
+budget is spent).  Submission-time rejections (payload cap) retry inline in
+``submit``.  Without a policy the original fail-fast semantics are intact.
+
 :class:`FaasExecutor` adapts the client to the standard
 ``concurrent.futures.Executor`` interface, the integration surface FuncX
 exposes and Colmena's task server builds on.
@@ -14,22 +21,52 @@ exposes and Colmena's task server builds on.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import uuid
 from concurrent.futures import Executor, Future
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.bench.recording import emit
-from repro.exceptions import TaskError
+from repro.chaos.policy import RetryPolicy
+from repro.exceptions import (
+    PayloadTooLargeError,
+    ReproError,
+    RetryExhaustedError,
+    TaskError,
+    WorkflowError,
+)
 from repro.faas.auth import Token
 from repro.faas.cloud import FaasCloud, TaskStatus
 from repro.net.clock import Clock, get_clock
 from repro.net.context import SiteThread, current_site
 from repro.net.topology import Site
-from repro.observe import TraceContext, counter_inc, record_span, trace_span
-from repro.serialize import deserialize, deserialize_cost, serialize, serialize_cost
+from repro.observe import TraceContext, counter_inc, trace_span
+from repro.serialize import (
+    Payload,
+    deserialize,
+    deserialize_cost,
+    serialize,
+    serialize_cost,
+)
 
 __all__ = ["FaasClient", "FaasExecutor"]
+
+
+@dataclass
+class _PendingTask:
+    """Everything needed to retry one submission under the same future."""
+
+    future: Future
+    trace_ctx: TraceContext | None
+    func_id: str
+    endpoint_id: str
+    args_payload: Payload
+    attempt: int
+    #: Content digest of the argument payload — the stable base for chaos
+    #: keys and retry jitter (task ids are allocation-order dependent).
+    chaos_base: str
 
 
 class FaasClient:
@@ -42,17 +79,18 @@ class FaasClient:
         *,
         site: Site | None = None,
         clock: Clock | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.cloud = cloud
         self.token = token
         self.client_id = f"client-{uuid.uuid4().hex[:8]}"
         self._site = site
         self._clock = clock or get_clock()
-        self._futures: dict[str, Future] = {}
+        self._retry_policy = retry_policy
+        # In-flight work by task id; a retried attempt re-registers the same
+        # _PendingTask (same future) under the new task id.
+        self._pending: dict[str, _PendingTask] = {}
         self._futures_lock = threading.Lock()
-        # Trace context per in-flight task, so the notifier thread can emit
-        # download spans into the right trace.
-        self._traces: dict[str, TraceContext] = {}
         # Registration cache: holds a strong reference to each function so
         # identity (``is``) stays valid — caching by bare id() would break
         # when CPython reuses a collected object's address.
@@ -108,22 +146,42 @@ class FaasClient:
             ctx = _trace_ctx if _trace_ctx is not None else span.context
             args_payload = serialize((args, kwargs))
             self._clock.sleep(serialize_cost(args_payload.nominal_size))
-            self._pay_api_call()
-            task_id = self.cloud.submit(
-                self.token,
-                self.client_id,
-                func_id,
-                endpoint_id,
-                args_payload,
-                trace_ctx=ctx,
-            )
+            chaos_base = hashlib.sha256(args_payload.data).hexdigest()[:16]
+            attempt = 0
+            while True:
+                self._pay_api_call()
+                try:
+                    task_id = self.cloud.submit(
+                        self.token,
+                        self.client_id,
+                        func_id,
+                        endpoint_id,
+                        args_payload,
+                        trace_ctx=ctx,
+                        chaos_key=f"{chaos_base}#a{attempt}",
+                    )
+                    break
+                except PayloadTooLargeError:
+                    policy = self._retry_policy
+                    if policy is None or not policy.retries_left(attempt):
+                        raise
+                    counter_inc("client.submit_retries", endpoint=endpoint_id)
+                    self._clock.sleep(policy.delay_for(attempt, key=chaos_base))
+                    attempt += 1
         counter_inc("faas.api_calls", op="submit")
         future: Future = Future()
         future.task_id = task_id  # type: ignore[attr-defined]
+        pending = _PendingTask(
+            future=future,
+            trace_ctx=ctx,
+            func_id=func_id,
+            endpoint_id=endpoint_id,
+            args_payload=args_payload,
+            attempt=attempt,
+            chaos_base=chaos_base,
+        )
         with self._futures_lock:
-            self._futures[task_id] = future
-            if ctx is not None:
-                self._traces[task_id] = ctx
+            self._pending[task_id] = pending
         return future
 
     def run(
@@ -147,6 +205,13 @@ class FaasClient:
     def close(self) -> None:
         self._running = False
         self._notifier.join(timeout=10)
+        if self._notifier.is_alive():
+            counter_inc("client.wedged_threads")
+            raise WorkflowError(
+                "FaasClient notifier thread was still alive 10 s after "
+                "close(); it is likely blocked inside the cloud's completed "
+                "queue with a stopped clock"
+            )
 
     # -- result delivery -----------------------------------------------------------
     def _notify_loop(self) -> None:
@@ -155,37 +220,98 @@ class FaasClient:
             if task_id is None:
                 continue
             with self._futures_lock:
-                future = self._futures.pop(task_id, None)
-                trace_ctx = self._traces.pop(task_id, None)
-            if future is None:
+                pending = self._pending.pop(task_id, None)
+            if pending is None:
                 continue  # e.g. a cancelled/unknown task
-            # Notification push + result download, charged to the client.
-            with trace_span("result.download", parent=trace_ctx):
-                site = self._home_site()
-                self._clock.sleep(self.cloud.network.latency(self.cloud.site, site))
-                status, payload = self.cloud.get_result_payload(self.token, task_id)
-                self._clock.sleep(
-                    self.cloud.network.transfer_time(
-                        self.cloud.site, site, payload.nominal_size
-                    )
-                )
-                emit(
-                    "data_transfer",
-                    resource=site.name,
-                    bytes=payload.nominal_size,
-                    via="faas-cloud",
-                )
-                self._clock.sleep(deserialize_cost(payload.nominal_size))
-                body = deserialize(payload)
+            try:
+                status, body = self._download(task_id, pending.trace_ctx)
+            except ReproError as exc:
+                # The download itself failed (e.g. the cloud store returned
+                # corrupt data): consumes an attempt like a remote failure.
+                self._finish_attempt(pending, repr(exc), None)
+                continue
             if status is TaskStatus.SUCCESS and body.get("success"):
-                future.set_result(body["value"])
+                pending.future.set_result(body["value"])
             else:
-                future.set_exception(
-                    TaskError(
-                        body.get("error", "remote task failed"),
-                        remote_traceback=body.get("traceback"),
-                    )
+                self._finish_attempt(
+                    pending,
+                    body.get("error", "remote task failed"),
+                    body.get("traceback"),
                 )
+
+    def _download(
+        self, task_id: str, trace_ctx: TraceContext | None
+    ) -> tuple[TaskStatus, dict]:
+        # Notification push + result download, charged to the client.
+        with trace_span("result.download", parent=trace_ctx):
+            site = self._home_site()
+            self._clock.sleep(self.cloud.network.latency(self.cloud.site, site))
+            status, payload = self.cloud.get_result_payload(self.token, task_id)
+            self._clock.sleep(
+                self.cloud.network.transfer_time(
+                    self.cloud.site, site, payload.nominal_size
+                )
+            )
+            emit(
+                "data_transfer",
+                resource=site.name,
+                bytes=payload.nominal_size,
+                via="faas-cloud",
+            )
+            self._clock.sleep(deserialize_cost(payload.nominal_size))
+            body = deserialize(payload)
+        return status, body
+
+    def _finish_attempt(
+        self, pending: _PendingTask, error: str, traceback_text: str | None
+    ) -> None:
+        """A task attempt failed: retry under the same future, or give up."""
+        policy = self._retry_policy
+        attempt = pending.attempt
+        while policy is not None and policy.retries_left(attempt):
+            counter_inc("client.retries", endpoint=pending.endpoint_id)
+            self._clock.sleep(policy.delay_for(attempt, key=pending.chaos_base))
+            attempt += 1
+            try:
+                self._resubmit(pending, attempt)
+                return
+            except ReproError as exc:
+                # The resubmission itself was rejected; burn another attempt.
+                error = repr(exc)
+                traceback_text = None
+        if policy is None:
+            pending.future.set_exception(
+                TaskError(error, remote_traceback=traceback_text)
+            )
+        else:
+            counter_inc("client.retries_exhausted", endpoint=pending.endpoint_id)
+            pending.future.set_exception(
+                RetryExhaustedError(
+                    f"task failed after {attempt + 1} attempts: {error}",
+                    attempts=attempt + 1,
+                    last_error=error,
+                )
+            )
+
+    def _resubmit(self, pending: _PendingTask, attempt: int) -> None:
+        """Re-enter the already-serialized payload under a fresh task id."""
+        with trace_span(
+            "cloud.submit", parent=pending.trace_ctx, endpoint=pending.endpoint_id
+        ):
+            self._pay_api_call()
+            task_id = self.cloud.submit(
+                self.token,
+                self.client_id,
+                pending.func_id,
+                pending.endpoint_id,
+                pending.args_payload,
+                trace_ctx=pending.trace_ctx,
+                chaos_key=f"{pending.chaos_base}#a{attempt}",
+            )
+        counter_inc("faas.api_calls", op="submit")
+        pending.attempt = attempt
+        with self._futures_lock:
+            self._pending[task_id] = pending
 
     def __enter__(self) -> "FaasClient":
         return self

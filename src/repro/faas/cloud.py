@@ -21,15 +21,18 @@ the caller is blocked on the HTTPS response.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import threading
 import uuid
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 
+from repro.chaos.plan import attempt_from_key, chaos_check
 from repro.exceptions import (
     EndpointUnavailableError,
+    LeaseExpiredError,
     PayloadTooLargeError,
     WorkflowError,
 )
@@ -67,6 +70,15 @@ class TaskRecord:
     fetched_at: float | None = None
     completed_at: float | None = None
     trace_ctx: TraceContext | None = None
+    #: Content-derived fault-injection key supplied by the client (rides the
+    #: dispatch so endpoint/worker hooks key faults deterministically).
+    chaos_key: str | None = None
+    #: How many times this record went back to WAITING (crash reclaim or
+    #: lease-expiry failover).
+    requeues: int = 0
+    #: Endpoints this task was reassigned *away from*; a result reported by
+    #: one of them is a stale lease, not a protocol error.
+    previous_endpoints: list[str] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -78,12 +90,14 @@ class TaskDispatch:
     func_id: str
     args_locator: str
     trace_ctx: TraceContext | None = None
+    chaos_key: str | None = None
 
 
 @dataclass
 class _StoredObject:
     payload: Payload
     tier: str  # "redis" | "s3"
+    chaos_exempt: bool = False
 
 
 class _PayloadStore:
@@ -117,13 +131,17 @@ class _PayloadStore:
             return "redis"
         return "s3"
 
-    def write(self, payload: Payload) -> str:
+    def write(self, payload: Payload, *, chaos_exempt: bool = False) -> str:
+        """Store a payload.  ``chaos_exempt`` marks payloads whose bytes are
+        *not* content-deterministic (failure reports embed task ids and
+        tracebacks); fault injection skips them so the fault ledger stays a
+        pure function of the plan seed."""
         tier = self._tier(payload.nominal_size)
         self._charge(tier, payload.nominal_size)
         counter_inc("faas.store_writes", tier=tier)
         locator = f"{tier}:{uuid.uuid4().hex}"
         with self._lock:
-            self._objects[locator] = _StoredObject(payload, tier)
+            self._objects[locator] = _StoredObject(payload, tier, chaos_exempt)
         return locator
 
     def read(self, locator: str) -> Payload:
@@ -134,6 +152,22 @@ class _PayloadStore:
                 raise WorkflowError(f"unknown payload locator {locator!r}") from None
         self._charge(stored.tier, stored.payload.nominal_size)
         counter_inc("faas.store_reads", tier=stored.tier)
+        # Fault keys derive from payload *content* so re-stored retries of
+        # the same bytes count occurrences deterministically across runs.
+        if stored.chaos_exempt:
+            return stored.payload
+        spec = chaos_check(
+            "cloud.store.read",
+            hashlib.sha256(stored.payload.data).hexdigest()[:16],
+            tier=stored.tier,
+        )
+        if spec is not None:
+            if spec.delay:
+                self._clock.sleep(spec.delay)
+            raise WorkflowError(
+                f"injected fault {spec.mode!r}: payload store read of "
+                f"{locator!r} returned corrupt data"
+            )
         return stored.payload
 
     def delete(self, locator: str) -> None:
@@ -168,6 +202,10 @@ class FaasCloud:
         self._completed_cond = threading.Condition()
         self._lock = threading.Lock()
         self._ids = itertools.count()
+        # Heartbeat leases: only endpoints that ever heartbeat hold a lease,
+        # so direct-API test rigs without an agent process are never reaped.
+        self._lease_expiry: dict[str, float] = {}
+        self._failover_groups: dict[str, str | None] = {}
 
     # -- registry ------------------------------------------------------------
     def register_function(self, token: Token, payload: Payload) -> str:
@@ -185,13 +223,24 @@ class FaasCloud:
             except KeyError:
                 raise WorkflowError(f"unknown function {func_id!r}") from None
 
-    def register_endpoint(self, token: Token, name: str, site: Site) -> str:
+    def register_endpoint(
+        self,
+        token: Token,
+        name: str,
+        site: Site,
+        *,
+        failover_group: str | None = None,
+    ) -> str:
+        """Register an endpoint; endpoints sharing a ``failover_group`` are
+        interchangeable targets, so tasks stranded on one whose lease
+        expires are re-dispatched to a surviving member of the group."""
         self.auth.validate(token, SCOPE_COMPUTE)
         endpoint_id = f"ep-{name}-{uuid.uuid4().hex[:8]}"
         with self._lock:
             self._endpoints[endpoint_id] = site
             self._endpoint_online[endpoint_id] = False
             self._queues[endpoint_id] = deque()
+            self._failover_groups[endpoint_id] = failover_group
         return endpoint_id
 
     def endpoint_site(self, endpoint_id: str) -> Site:
@@ -213,6 +262,113 @@ class FaasCloud:
         with self._lock:
             return self._endpoint_online.get(endpoint_id, False)
 
+    # -- heartbeats and leases ------------------------------------------------
+    def heartbeat(self, token: Token, endpoint_id: str) -> float:
+        """Renew an endpoint's lease; returns the new expiry (nominal s).
+
+        An endpoint that stops heartbeating — crash, reclaim, partition —
+        has its lease expire after ``endpoint_lease_ttl``, at which point
+        the cloud re-dispatches everything it held (see
+        :meth:`expire_leases`).  This is the funcX liveness mechanism that
+        makes federation survive endpoint loss without client involvement.
+        """
+        self.auth.validate(token, SCOPE_COMPUTE)
+        self.endpoint_site(endpoint_id)
+        expiry = self.clock.now() + self.constants.endpoint_lease_ttl
+        with self._queue_cond:
+            self._lease_expiry[endpoint_id] = expiry
+            self._endpoint_online[endpoint_id] = True
+        counter_inc("faas.heartbeats", endpoint=endpoint_id)
+        return expiry
+
+    def lease_valid(self, endpoint_id: str) -> bool:
+        with self._queue_cond:
+            expiry = self._lease_expiry.get(endpoint_id)
+            return expiry is not None and expiry > self.clock.now()
+
+    def release_lease(self, token: Token, endpoint_id: str) -> None:
+        """Graceful shutdown: surrender the lease so the stop is not later
+        mistaken for a crash (no failover is triggered)."""
+        self.auth.validate(token, SCOPE_COMPUTE)
+        with self._queue_cond:
+            self._lease_expiry.pop(endpoint_id, None)
+
+    def expire_leases(self) -> list[str]:
+        """Reap endpoints whose lease lapsed; returns the reaped ids.
+
+        Runs lazily on every submit/fetch (any surviving endpoint's long
+        poll triggers it), so failover needs no dedicated reaper thread.
+        """
+        with self._queue_cond:
+            return self._expire_leases_locked()
+
+    def _failover_target_locked(self, endpoint_id: str) -> str | None:
+        """A surviving same-group endpoint with a live lease, if any."""
+        group = self._failover_groups.get(endpoint_id)
+        if group is None:
+            return None
+        now = self.clock.now()
+        for other_id, other_group in sorted(self._failover_groups.items()):
+            if other_id == endpoint_id or other_group != group:
+                continue
+            expiry = self._lease_expiry.get(other_id)
+            if expiry is not None and expiry > now:
+                return other_id
+        return None
+
+    def _expire_leases_locked(self) -> list[str]:
+        now = self.clock.now()
+        reaped = [
+            endpoint_id
+            for endpoint_id, expiry in self._lease_expiry.items()
+            if expiry <= now
+        ]
+        for endpoint_id in reaped:
+            del self._lease_expiry[endpoint_id]
+            self._endpoint_online[endpoint_id] = False
+            counter_inc("faas.lease_expiries", endpoint=endpoint_id)
+            target = self._failover_target_locked(endpoint_id)
+            # Everything the dead endpoint held: fetched-but-unfinished
+            # tasks first (oldest first), then its still-queued backlog.
+            stranded = sorted(
+                (
+                    record
+                    for record in self._tasks.values()
+                    if record.endpoint_id == endpoint_id
+                    and record.status is TaskStatus.DISPATCHED
+                ),
+                key=lambda record: record.submitted_at,
+            )
+            queued = [self._tasks[tid] for tid in self._queues[endpoint_id]]
+            if target is None:
+                # No survivor: put fetched work back on the dead endpoint's
+                # own queue (store-and-forward across a restart, as before).
+                queue = self._queues[endpoint_id]
+                for record in reversed(stranded):
+                    record.status = TaskStatus.WAITING
+                    record.fetched_at = None
+                    record.requeues += 1
+                    queue.appendleft(record.task_id)
+                    counter_inc("faas.requeues", endpoint=endpoint_id)
+            else:
+                queue = self._queues[target]
+                self._queues[endpoint_id].clear()
+                for record in stranded + queued:
+                    record.status = TaskStatus.WAITING
+                    record.fetched_at = None
+                    record.requeues += 1
+                    if endpoint_id not in record.previous_endpoints:
+                        record.previous_endpoints.append(endpoint_id)
+                    record.endpoint_id = target
+                    queue.append(record.task_id)
+                    counter_inc(
+                        "faas.failovers", from_endpoint=endpoint_id, to_endpoint=target
+                    )
+                gauge_set("faas.queue_depth", len(queue), endpoint=target)
+            if stranded or queued:
+                self._queue_cond.notify_all()
+        return reaped
+
     # -- client side ------------------------------------------------------------
     def submit(
         self,
@@ -223,17 +379,29 @@ class FaasCloud:
         args_payload: Payload,
         *,
         trace_ctx: TraceContext | None = None,
+        chaos_key: str | None = None,
     ) -> str:
         self.auth.validate(token, SCOPE_COMPUTE)
         self.endpoint_site(endpoint_id)
+        self.expire_leases()
         with self._lock:
             if func_id not in self._functions:
                 raise WorkflowError(f"unknown function {func_id!r}")
-        if args_payload.nominal_size > self.constants.faas_payload_cap:
+        spec = chaos_check(
+            "cloud.submit",
+            chaos_key or f"{client_id}|{func_id}",
+            attempt=attempt_from_key(chaos_key),
+            size=args_payload.nominal_size,
+        )
+        if spec is not None or args_payload.nominal_size > self.constants.faas_payload_cap:
+            reason = (
+                f"injected fault {spec.mode!r}: service rejected the payload"
+                if spec is not None
+                else "pass large data by reference instead"
+            )
             raise PayloadTooLargeError(
                 f"arguments are {args_payload.nominal_size} bytes; the service "
-                f"caps payloads at {self.constants.faas_payload_cap} "
-                "(pass large data by reference instead)"
+                f"caps payloads at {self.constants.faas_payload_cap} ({reason})"
             )
         args_locator = self.store.write(args_payload)
         task_id = f"task-{next(self._ids):08d}"
@@ -245,6 +413,7 @@ class FaasCloud:
             args_locator=args_locator,
             submitted_at=self.clock.now(),
             trace_ctx=trace_ctx,
+            chaos_key=chaos_key,
         )
         with self._queue_cond:
             self._tasks[task_id] = record
@@ -261,6 +430,11 @@ class FaasCloud:
                 return self._tasks[task_id]
             except KeyError:
                 raise WorkflowError(f"unknown task {task_id!r}") from None
+
+    def task_records(self) -> list[TaskRecord]:
+        """Every task record the cloud has seen (audit/invariant checks)."""
+        with self._queue_cond:
+            return list(self._tasks.values())
 
     def get_result_payload(self, token: Token, task_id: str) -> tuple[TaskStatus, Payload]:
         self.auth.validate(token, SCOPE_COMPUTE)
@@ -297,6 +471,7 @@ class FaasCloud:
         wall = self.clock.wall_timeout(timeout)
         out: list[TaskDispatch] = []
         with self._queue_cond:
+            self._expire_leases_locked()
             queue = self._queues[endpoint_id]
             self._endpoint_online[endpoint_id] = True
             if not queue:
@@ -312,6 +487,7 @@ class FaasCloud:
                         record.func_id,
                         record.args_locator,
                         record.trace_ctx,
+                        record.chaos_key,
                     )
                 )
             gauge_set("faas.queue_depth", len(queue), endpoint=endpoint_id)
@@ -347,6 +523,32 @@ class FaasCloud:
                 self._queue_cond.notify_all()
             return [record.task_id for record in stranded]
 
+    def _check_reporter(self, record: TaskRecord, endpoint_id: str) -> bool:
+        """Validate a result report; True means "accept", False "drop".
+
+        A second report for an already-terminal task is dropped, not an
+        error (a crash-requeued task can legitimately run twice; exactly
+        one terminal transition survives).  A report from an endpoint the
+        task was failed *away from* is a stale lease.  Anything else
+        claiming someone else's task is a protocol violation.
+        """
+        if record.status.terminal:
+            counter_inc("faas.duplicate_results", endpoint=endpoint_id)
+            return False
+        if record.endpoint_id != endpoint_id:
+            if endpoint_id in record.previous_endpoints:
+                counter_inc("faas.stale_results", endpoint=endpoint_id)
+                raise LeaseExpiredError(
+                    f"endpoint {endpoint_id} reported task {record.task_id} "
+                    f"after its lease expired; the task now belongs to "
+                    f"{record.endpoint_id}"
+                )
+            raise WorkflowError(
+                f"endpoint {endpoint_id} reported a result for task "
+                f"{record.task_id} assigned to {record.endpoint_id}"
+            )
+        return True
+
     def report_result(
         self,
         token: Token,
@@ -357,13 +559,22 @@ class FaasCloud:
     ) -> None:
         self.auth.validate(token, SCOPE_COMPUTE)
         record = self.task(task_id)
-        if record.endpoint_id != endpoint_id:
-            raise WorkflowError(
-                f"endpoint {endpoint_id} reported a result for task {task_id} "
-                f"assigned to {record.endpoint_id}"
-            )
-        locator = self.store.write(result_payload)
         with self._completed_cond:
+            if not self._check_reporter(record, endpoint_id):
+                return
+        locator = self.store.write(result_payload, chaos_exempt=not success)
+        # A requeued copy of this task may still sit in a queue (report
+        # racing a reclaim): drop it so the work is not executed again.
+        with self._queue_cond:
+            try:
+                self._queues[record.endpoint_id].remove(task_id)
+            except ValueError:
+                pass
+        with self._completed_cond:
+            # Re-check: another copy of the task may have completed while
+            # this thread was paying the store write.
+            if not self._check_reporter(record, endpoint_id):
+                return
             record.result_locator = locator
             record.status = TaskStatus.SUCCESS if success else TaskStatus.FAILED
             record.completed_at = self.clock.now()

@@ -17,7 +17,8 @@ import traceback
 from typing import Callable
 
 from repro.bench.recording import emit
-from repro.exceptions import WorkflowError
+from repro.chaos.plan import attempt_from_key, chaos_check
+from repro.exceptions import LeaseExpiredError, WorkflowError
 from repro.faas.auth import Token
 from repro.faas.cloud import FaasCloud, TaskDispatch
 from repro.net.clock import Clock, get_clock
@@ -51,6 +52,13 @@ class FaasEndpoint:
         on a different site (compute nodes) — the pool's site decides.
     pool:
         Worker lanes executing the function bodies.
+    failover_group:
+        Endpoints registered under the same group name are interchangeable:
+        if this endpoint's heartbeat lease expires, the cloud re-dispatches
+        its tasks to a surviving group member.
+    heartbeats:
+        Run the heartbeat thread that renews this endpoint's lease (on by
+        default; disable for rigs that drive the cloud API directly).
     """
 
     def __init__(
@@ -64,6 +72,8 @@ class FaasEndpoint:
         poll_interval: float | None = None,
         max_tasks_per_poll: int = 32,
         clock: Clock | None = None,
+        failover_group: str | None = None,
+        heartbeats: bool = True,
     ) -> None:
         if poll_interval is not None and poll_interval <= 0:
             raise WorkflowError(
@@ -89,13 +99,17 @@ class FaasEndpoint:
         )
         self._max_tasks = max_tasks_per_poll
         self._clock = clock or get_clock()
-        self.endpoint_id = cloud.register_endpoint(token, name, pool.site)
+        self._heartbeats = heartbeats
+        self.endpoint_id = cloud.register_endpoint(
+            token, name, pool.site, failover_group=failover_group
+        )
         self._functions: dict[str, Callable] = {}
         self._outbox: queue.Queue[
             tuple[str, bool, Payload, TraceContext | None] | None
         ] = queue.Queue()
         self._running = False
         self._paused = threading.Event()
+        self._crashed = threading.Event()
         self._threads: list[SiteThread] = []
 
     # -- lifecycle -----------------------------------------------------------
@@ -105,7 +119,13 @@ class FaasEndpoint:
         self._running = True
         self.pool.start()
         self.cloud.set_endpoint_online(self.endpoint_id, True)
-        for target, label in ((self._poll_loop, "poll"), (self._uplink_loop, "uplink")):
+        loops = [(self._poll_loop, "poll"), (self._uplink_loop, "uplink")]
+        if self._heartbeats:
+            # Establish the lease before the first fetch so a crash at any
+            # point of the endpoint's life is observable as a lease lapse.
+            self.cloud.heartbeat(self.token, self.endpoint_id)
+            loops.append((self._heartbeat_loop, "heartbeat"))
+        for target, label in loops:
             thread = SiteThread(
                 self.site, target=target, name=f"faas-ep-{self.name}-{label}"
             )
@@ -119,11 +139,35 @@ class FaasEndpoint:
         self._running = False
         self._paused.clear()
         self._outbox.put(None)
+        wedged = []
         for thread in self._threads:
             thread.join(timeout=10)
+            if thread.is_alive():
+                wedged.append(thread.name)
+                counter_inc("endpoint.wedged_threads", endpoint=self.name)
         self.pool.stop()
-        self.cloud.set_endpoint_online(self.endpoint_id, False)
+        if not self._crashed.is_set():
+            self.cloud.release_lease(self.token, self.endpoint_id)
+            self.cloud.set_endpoint_online(self.endpoint_id, False)
         self._threads.clear()
+        if wedged:
+            raise WorkflowError(
+                f"endpoint {self.name!r} shut down with wedged threads "
+                f"{wedged} still alive after a 10 s join; their site clocks "
+                "may be blocked on a dead condition variable"
+            )
+
+    def simulate_crash(self) -> None:
+        """Kill the endpoint process mid-lease (no goodbye to the cloud).
+
+        The agent stops polling, heartbeating, and uploading — exactly what
+        the cloud sees when the node is reclaimed or the process dies.  The
+        lease lapses after ``endpoint_lease_ttl`` and surviving members of
+        the failover group inherit everything this endpoint held.  A crash
+        is terminal for this instance; call :meth:`stop` to reap threads.
+        """
+        self._crashed.set()
+        counter_inc("endpoint.crashes", endpoint=self.name)
 
     def pause(self) -> None:
         """Drop the cloud connection (network outage / restart)."""
@@ -140,6 +184,8 @@ class FaasEndpoint:
         if reclaim:
             self._pay_api_call()
             self.cloud.requeue_dispatched(self.token, self.endpoint_id)
+        if self._heartbeats:
+            self.cloud.heartbeat(self.token, self.endpoint_id)
         self._paused.clear()
         self.cloud.set_endpoint_online(self.endpoint_id, True)
 
@@ -160,8 +206,20 @@ class FaasEndpoint:
         return fn
 
     # -- loops ----------------------------------------------------------------------
+    def _heartbeat_loop(self) -> None:
+        period = self.cloud.constants.endpoint_heartbeat_period
+        while self._running:
+            if self._crashed.is_set():
+                return
+            if not self._paused.is_set():
+                self._pay_api_call()
+                self.cloud.heartbeat(self.token, self.endpoint_id)
+            self._clock.sleep(period)
+
     def _poll_loop(self) -> None:
         while self._running:
+            if self._crashed.is_set():
+                return
             if self._paused.is_set():
                 self._clock.sleep(self._poll_interval)
                 continue
@@ -178,8 +236,25 @@ class FaasEndpoint:
             counter_inc("endpoint.polls", endpoint=self.name)
             if not dispatches:
                 counter_inc("endpoint.polls_empty", endpoint=self.name)
+                continue
+            # Crash *while holding fetched-but-unfinished tasks* — the case
+            # the lease/failover machinery exists for.
+            if chaos_check("endpoint.crash", self.name, endpoint=self.name):
+                self.simulate_crash()
+                return
             for dispatch in dispatches:
-                self._dispatch(dispatch)
+                try:
+                    self._dispatch(dispatch)
+                except Exception as exc:  # noqa: BLE001 - report, don't drop
+                    counter_inc("endpoint.dispatch_errors", endpoint=self.name)
+                    body = {
+                        "success": False,
+                        "error": repr(exc),
+                        "traceback": traceback.format_exc(),
+                    }
+                    self._outbox.put(
+                        (dispatch.task_id, False, serialize(body), dispatch.trace_ctx)
+                    )
 
     def _dispatch(self, dispatch: TaskDispatch) -> None:
         # Pull the argument payload down from the cloud store (charged to
@@ -201,7 +276,13 @@ class FaasEndpoint:
             )
             fn = self._function(dispatch.func_id)
         self.pool.submit(
-            self._make_work(dispatch.task_id, fn, args_payload, dispatch.trace_ctx)
+            self._make_work(
+                dispatch.task_id,
+                fn,
+                args_payload,
+                dispatch.trace_ctx,
+                chaos_key=dispatch.chaos_key,
+            )
         )
 
     def _make_work(
@@ -210,6 +291,8 @@ class FaasEndpoint:
         fn: Callable,
         args_payload: Payload,
         trace_ctx: TraceContext | None = None,
+        *,
+        chaos_key: str | None = None,
     ) -> Callable[[], None]:
         endpoint_site = self.site
         worker_site = self.pool.site
@@ -228,6 +311,19 @@ class FaasEndpoint:
                 )
                 clock.sleep(deserialize_cost(args_payload.nominal_size))
                 try:
+                    spec = chaos_check(
+                        "worker.execute",
+                        chaos_key or task_id,
+                        attempt=attempt_from_key(chaos_key),
+                        endpoint=self.name,
+                    )
+                    if spec is not None:
+                        if spec.delay:
+                            clock.sleep(spec.delay)
+                        raise WorkflowError(
+                            f"injected fault {spec.mode!r}: worker raised "
+                            f"while executing task {task_id}"
+                        )
                     args, kwargs = deserialize(args_payload)
                     value = fn(*args, **kwargs)
                     body = {"success": True, "value": value}
@@ -256,14 +352,24 @@ class FaasEndpoint:
             if item is None:
                 return
             task_id, success, payload, trace_ctx = item
+            if self._crashed.is_set():
+                # The dead process takes its unsent results with it; the
+                # cloud re-dispatches the task once the lease lapses.
+                counter_inc("endpoint.results_lost", endpoint=self.name)
+                continue
             # Results wait here while paused (store-and-forward on our side).
             while self._paused.is_set():
                 self._clock.sleep(self._poll_interval)
             with trace_span("result.uplink", parent=trace_ctx, endpoint=self.name):
                 self._pay_api_call()
-                self.cloud.report_result(
-                    self.token, self.endpoint_id, task_id, success, payload
-                )
+                try:
+                    self.cloud.report_result(
+                        self.token, self.endpoint_id, task_id, success, payload
+                    )
+                except LeaseExpiredError:
+                    # Our lease lapsed (long pause / stall) and the task was
+                    # handed to a peer; the peer's result is the real one.
+                    counter_inc("endpoint.stale_results", endpoint=self.name)
 
     def __enter__(self) -> "FaasEndpoint":
         return self.start()

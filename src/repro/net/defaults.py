@@ -80,6 +80,9 @@ class PaperConstants:
     faas_s3_bandwidth: float = 20e6
     endpoint_poll_interval: float = 0.020
     endpoint_heartbeat_period: float = 5.0
+    # An endpoint that misses ~3 heartbeats is presumed dead and its lease
+    # is reaped (tasks fail over to surviving group members).
+    endpoint_lease_ttl: float = 15.0
 
     # -- Globus-Transfer-like service -----------------------------------------
     globus_request_latency: LatencyModel = LogNormalLatency(0.45, 0.35, cap=2.5)

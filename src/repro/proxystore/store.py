@@ -23,7 +23,9 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.bench.recording import emit
-from repro.exceptions import StoreError
+from repro.chaos.plan import chaos_check
+from repro.chaos.policy import RetryPolicy
+from repro.exceptions import RetryExhaustedError, StoreError
 from repro.net.clock import get_clock
 from repro.net.context import current_site
 from repro.observe import counter_inc, observe, trace_span
@@ -185,6 +187,10 @@ class Store:
     register:
         Register into the global registry immediately (required for
         proxies to be resolvable elsewhere).
+    retry_policy:
+        When set, reads that raise :class:`StoreError` (evicted key,
+        backend blip, injected corruption) are retried with backoff before
+        giving up with :class:`RetryExhaustedError`.
     """
 
     def __init__(
@@ -194,6 +200,7 @@ class Store:
         *,
         cache_size: int = 16,
         register: bool = True,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self.name = name
         self.connector = connector
@@ -201,6 +208,7 @@ class Store:
         self._cache_size = cache_size
         self._caches: dict[str, _LRU] = {}
         self._caches_lock = threading.Lock()
+        self._retry_policy = retry_policy
         if register:
             register_store(self)
 
@@ -267,10 +275,37 @@ class Store:
             counter_inc("store.cache_hits", store=self.name)
             observe("store.get_s", clock.now() - start, store=self.name)
             return cached
-        with trace_span("proxy.resolve", store=self.name, cache_hit=False):
-            payload = self.connector.get(key, timeout=timeout)
-            clock.sleep(deserialize_cost(payload.nominal_size))
-            obj = deserialize(payload)
+        policy = self._retry_policy
+        chaos_key = f"{self.name}:{key}"
+        attempt = 0
+        while True:
+            try:
+                with trace_span("proxy.resolve", store=self.name, cache_hit=False):
+                    payload = self.connector.get(key, timeout=timeout)
+                    spec = chaos_check("store.get", chaos_key, attempt=attempt)
+                    if spec is not None:
+                        if spec.delay:
+                            clock.sleep(spec.delay)
+                        raise StoreError(
+                            f"injected fault {spec.mode!r}: read of {key!r} "
+                            f"from store {self.name!r} returned corrupt bytes"
+                        )
+                    clock.sleep(deserialize_cost(payload.nominal_size))
+                    obj = deserialize(payload)
+                break
+            except StoreError as exc:
+                if policy is None:
+                    raise
+                if not policy.retries_left(attempt):
+                    raise RetryExhaustedError(
+                        f"store {self.name!r} read of {key!r} failed after "
+                        f"{attempt + 1} attempts: {exc}",
+                        attempts=attempt + 1,
+                        last_error=str(exc),
+                    ) from exc
+                counter_inc("store.retries", store=self.name)
+                clock.sleep(policy.delay_for(attempt, key=chaos_key))
+                attempt += 1
         cache.put(key, obj)
         self.metrics.record_get(
             clock.now() - start, payload.nominal_size, cache_hit=False

@@ -4,16 +4,25 @@ Separating client from service matters because the *client* pays the
 costs the paper measures: each API call is an HTTPS request that rides the
 caller-site→cloud link and then waits on the web service's processing
 latency (≈500 ms median for submissions, §V-D1).
+
+The client also owns end-to-end recovery: :meth:`TransferClient.transfer`
+submits, waits, and — under a :class:`repro.chaos.RetryPolicy` — resubmits
+the whole task with backoff when the service reports a terminal failure,
+while :meth:`TransferClient.wait` cancels abandoned tasks on timeout so
+they stop holding a slot of the per-user concurrency limit.
 """
 
 from __future__ import annotations
 
-from repro.exceptions import TransferError
+import hashlib
+
+from repro.chaos.policy import RetryPolicy
+from repro.exceptions import DeadlineExceededError, RetryExhaustedError, TransferError
 from repro.net.clock import Clock, get_clock
 from repro.net.context import current_site
 from repro.net.defaults import PaperConstants
 from repro.net.topology import LogNormalLatency, Network, Site
-from repro.observe import current_context
+from repro.observe import counter_inc, current_context
 from repro.transfer.service import (
     TransferItem,
     TransferService,
@@ -41,6 +50,7 @@ class TransferClient:
         *,
         site: Site | None = None,
         clock: Clock | None = None,
+        retry_policy: RetryPolicy | None = None,
     ) -> None:
         self._service = service
         self._network: Network = service._network
@@ -48,6 +58,7 @@ class TransferClient:
         self.user = user
         self._site = site
         self._clock = clock or get_clock()
+        self._retry_policy = retry_policy
 
     def _caller_site(self) -> Site:
         return self._site or current_site() or self._service.site
@@ -83,15 +94,32 @@ class TransferClient:
         self._pay_request(self._network._sample(_STATUS_LATENCY))
         return self._service.status(task_id)
 
-    def wait(self, task_id: str, timeout: float | None = None) -> TransferTask:
+    def cancel(self, task_id: str) -> bool:
+        """Request cancellation of a transfer; returns False if it had
+        already reached a terminal state."""
+        self._pay_request(self._network._sample(_STATUS_LATENCY))
+        return self._service.cancel(task_id)
+
+    def wait(
+        self,
+        task_id: str,
+        timeout: float | None = None,
+        *,
+        cancel_on_timeout: bool = True,
+    ) -> TransferTask:
         """Block (on the task's completion event, then confirm with a status
         call) until the task reaches a terminal state.
 
         Timeout is in nominal seconds.  Raises :class:`TransferError` if the
-        task failed or the wait timed out.
+        task failed or the wait timed out.  An abandoned (timed-out) task is
+        cancelled by default so it stops holding one of the user's
+        concurrent-transfer slots.
         """
         task = self._service.status(task_id)
         if not task.done_event.wait(self._clock.wall_timeout(timeout)):
+            if cancel_on_timeout:
+                counter_inc("transfer.wait_timeouts", user=self.user)
+                self.cancel(task_id)
             raise TransferError(f"timed out waiting for transfer {task_id}")
         # One confirming status poll, like the SDK's task_wait.
         self._pay_request(self._network._sample(_STATUS_LATENCY))
@@ -100,3 +128,46 @@ class TransferClient:
                 f"transfer {task_id} failed: {task.error or 'unknown error'}"
             )
         return task
+
+    def transfer(
+        self,
+        src_endpoint: str,
+        dst_endpoint: str,
+        items: list[TransferItem] | list[tuple[str, str]],
+        *,
+        timeout: float | None = None,
+    ) -> TransferTask:
+        """Submit and wait, retrying the whole task under the retry policy.
+
+        The service already requeues individual attempt failures internally
+        (``TransferService.MAX_RETRIES``); this wrapper is the client-side
+        last line of defense for tasks that failed *terminally* or timed
+        out.  Without a policy it is plain submit-and-wait.
+        """
+        policy = self._retry_policy
+        retry_key = hashlib.sha256(
+            "|".join(
+                sorted(
+                    it.dst_path if isinstance(it, TransferItem) else it[1]
+                    for it in items
+                )
+            ).encode()
+        ).hexdigest()[:16]
+        attempt = 0
+        while True:
+            task_id = self.submit(src_endpoint, dst_endpoint, items)
+            try:
+                return self.wait(task_id, timeout)
+            except (TransferError, DeadlineExceededError) as exc:
+                if policy is None:
+                    raise
+                if not policy.retries_left(attempt):
+                    raise RetryExhaustedError(
+                        f"transfer to {dst_endpoint!r} failed after "
+                        f"{attempt + 1} attempts: {exc}",
+                        attempts=attempt + 1,
+                        last_error=str(exc),
+                    ) from exc
+                counter_inc("transfer.client_retries", user=self.user)
+                self._clock.sleep(policy.delay_for(attempt, key=retry_key))
+                attempt += 1

@@ -21,11 +21,13 @@ bytes between the endpoints' staging volumes.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import threading
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro.chaos.plan import chaos_check
 from repro.exceptions import TransferError
 from repro.net.clock import Clock, get_clock
 from repro.net.context import SiteThread
@@ -66,10 +68,15 @@ class TransferStatus(str, Enum):
     ACTIVE = "ACTIVE"
     SUCCEEDED = "SUCCEEDED"
     FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
 
     @property
     def terminal(self) -> bool:
-        return self in (TransferStatus.SUCCEEDED, TransferStatus.FAILED)
+        return self in (
+            TransferStatus.SUCCEEDED,
+            TransferStatus.FAILED,
+            TransferStatus.CANCELLED,
+        )
 
 
 @dataclass
@@ -91,6 +98,9 @@ class TransferTask:
     #: so the ``transfer.limit_stalls`` counter ticks once per task, not
     #: once per dispatcher sweep.
     limit_stalled: bool = False
+    #: Cancellation is asynchronous like real Globus: the flag is observed
+    #: at the next opportunity (queue pop, DTN completion, retry decision).
+    cancel_requested: bool = False
     done_event: threading.Event = field(default_factory=threading.Event, repr=False)
 
 
@@ -216,6 +226,29 @@ class TransferService:
         with self._lock:
             return self._active_by_user.get(user, 0)
 
+    def cancel(self, task_id: str) -> bool:
+        """Request cancellation; returns True unless already terminal.
+
+        A QUEUED task is cancelled immediately; an ACTIVE one finishes as
+        CANCELLED when its DTN thread next checks the flag (the in-flight
+        copy is abandoned, no destination files are written)."""
+        with self._wakeup:
+            task = self._tasks.get(task_id)
+            if task is None:
+                raise TransferError(f"unknown transfer task {task_id!r}")
+            if task.status.terminal:
+                return False
+            task.cancel_requested = True
+            if task.status is TransferStatus.QUEUED:
+                self._queue = [tid for tid in self._queue if tid != task_id]
+                task.status = TransferStatus.CANCELLED
+                task.completed_at = self._clock.now()
+                task.error = "cancelled by client"
+                task.done_event.set()
+                counter_inc("transfer.cancelled", user=task.user)
+                self._wakeup.notify_all()
+            return True
+
     # -- dispatcher --------------------------------------------------------------
     def _eligible(self, task: TransferTask) -> bool:
         limit = self._constants.globus_concurrent_transfer_limit
@@ -270,6 +303,14 @@ class TransferService:
         )
         return base + c.globus_per_file_overhead * len(task.items) + wire
 
+    def _chaos_key(self, task: TransferTask) -> str:
+        """Content-derived fault key: the destination path set names the
+        logical transfer stably across retries and runs."""
+        digest = hashlib.sha256(
+            "|".join(sorted(item.dst_path for item in task.items)).encode()
+        )
+        return digest.hexdigest()[:16]
+
     def _run_transfer(self, task: TransferTask) -> None:
         try:
             staged: list[tuple[str, bytes, int]] = []
@@ -279,20 +320,42 @@ class TransferService:
                 staged.append((item.dst_path, data, nominal))
                 total += nominal
             self._clock.sleep(self._transfer_duration(task, total))
+            if task.cancel_requested:
+                self._finish(
+                    task, TransferStatus.CANCELLED, error="cancelled by client"
+                )
+                counter_inc("transfer.cancelled", user=task.user)
+                return
             with self._lock:
                 injected = self._fail_next.pop(0) if self._fail_next else None
+            spec = chaos_check(
+                "transfer.attempt",
+                self._chaos_key(task),
+                attempt=task.retries,
+                user=task.user,
+            )
+            if spec is not None:
+                if spec.delay:
+                    self._clock.sleep(spec.delay)  # a stall before the failure
+                injected = f"injected fault {spec.mode!r}: DTN aborted mid-copy"
             if injected is not None:
                 raise TransferError(injected)
             for dst_path, data, nominal in staged:
                 task.dst.volume.write_raw(dst_path, data, nominal)
             self._finish(task, TransferStatus.SUCCEEDED, bytes_done=total)
         except TransferError as exc:
-            if task.retries < self.MAX_RETRIES:
+            if task.cancel_requested:
+                self._finish(
+                    task, TransferStatus.CANCELLED, error="cancelled by client"
+                )
+                counter_inc("transfer.cancelled", user=task.user)
+            elif task.retries < self.MAX_RETRIES:
                 with self._wakeup:
                     task.retries += 1
                     task.status = TransferStatus.QUEUED
                     self._active_by_user[task.user] -= 1
                     self._queue.append(task.task_id)
+                    counter_inc("transfer.retries", user=task.user)
                     self._wakeup.notify_all()
             else:
                 self._finish(task, TransferStatus.FAILED, error=str(exc))

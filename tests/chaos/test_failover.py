@@ -1,0 +1,221 @@
+"""Heartbeats, lease expiry, failover, and exactly-once result reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LeaseExpiredError, WorkflowError
+from repro.faas import (
+    SCOPE_COMPUTE,
+    AuthServer,
+    FaasClient,
+    FaasCloud,
+    FaasEndpoint,
+)
+from repro.faas.cloud import TaskStatus
+from repro.net.clock import get_clock
+from repro.net.context import at_site
+from repro.net.defaults import PaperConstants, build_paper_testbed
+from repro.observe import MetricsRegistry, set_metrics
+from repro.resources import WorkerPool
+from repro.serialize import serialize
+
+
+def _add(a, b):
+    return a + b
+
+
+FAST = dict(endpoint_heartbeat_period=1.0, endpoint_lease_ttl=3.0)
+
+
+@pytest.fixture
+def cloud_rig():
+    constants = PaperConstants(**FAST)
+    testbed = build_paper_testbed(seed=7, constants=constants)
+    auth = AuthServer()
+    identity = auth.register_identity("u", "anl")
+    token = auth.issue_token(identity, {SCOPE_COMPUTE})
+    cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, constants)
+    return testbed, cloud, token
+
+
+def test_heartbeat_renews_and_ttl_lapses(cloud_rig):
+    testbed, cloud, token = cloud_rig
+    ep = cloud.register_endpoint(token, "solo", testbed.theta_login)
+    assert not cloud.lease_valid(ep)  # never heartbeated
+    cloud.heartbeat(token, ep)
+    assert cloud.lease_valid(ep)
+    get_clock().sleep(2.0)
+    cloud.heartbeat(token, ep)  # renewal pushes expiry out again
+    get_clock().sleep(2.0)
+    assert cloud.lease_valid(ep)
+    get_clock().sleep(2.0)  # 4s since last beat > ttl of 3
+    assert not cloud.lease_valid(ep)
+
+
+def test_release_lease_is_a_graceful_goodbye(cloud_rig):
+    testbed, cloud, token = cloud_rig
+    metrics = MetricsRegistry()
+    set_metrics(metrics)
+    ep = cloud.register_endpoint(token, "solo", testbed.theta_login)
+    cloud.heartbeat(token, ep)
+    cloud.release_lease(token, ep)
+    assert not cloud.lease_valid(ep)
+    # A released lease is gone, not expired: no reap, no counter.
+    assert cloud.expire_leases() == []
+    assert metrics.counter_total("faas.lease_expiries") == 0
+
+
+def test_expire_leases_reaps_and_reports(cloud_rig):
+    testbed, cloud, token = cloud_rig
+    ep = cloud.register_endpoint(token, "solo", testbed.theta_login)
+    cloud.heartbeat(token, ep)
+    get_clock().sleep(4.0)
+    assert cloud.expire_leases() == [ep]
+    assert cloud.expire_leases() == []  # idempotent: already reaped
+
+
+def test_lease_expiry_fails_queued_work_over_to_group_survivor(cloud_rig):
+    testbed, cloud, token = cloud_rig
+    metrics = MetricsRegistry()
+    set_metrics(metrics)
+    ep_a = cloud.register_endpoint(
+        token, "a", testbed.theta_login, failover_group="pair"
+    )
+    ep_b = cloud.register_endpoint(
+        token, "b", testbed.theta_login, failover_group="pair"
+    )
+    cloud.heartbeat(token, ep_a)
+    cloud.heartbeat(token, ep_b)
+    with at_site(testbed.theta_login):
+        func_id = cloud.register_function(token, serialize(_add))
+        task_id = cloud.submit(token, "client", func_id, ep_a, serialize(((1, 2), {})))
+        # ep_a fetches the task, then goes silent; ep_b keeps heartbeating.
+        dispatched = cloud.fetch_tasks(token, ep_a, 10, timeout=1.0)
+    assert [d.task_id for d in dispatched] == [task_id]
+    get_clock().sleep(2.0)
+    cloud.heartbeat(token, ep_b)
+    get_clock().sleep(2.0)
+    cloud.heartbeat(token, ep_b)
+    assert cloud.expire_leases() == [ep_a]
+    record = cloud.task(task_id)
+    assert record.status is TaskStatus.WAITING
+    assert record.endpoint_id == ep_b
+    assert record.previous_endpoints == [ep_a]
+    assert record.requeues == 1
+    assert metrics.counter_total("faas.failovers") == 1
+    # The survivor now sees the task on its own queue.
+    with at_site(testbed.theta_login):
+        refetched = cloud.fetch_tasks(token, ep_b, 10, timeout=1.0)
+    assert [d.task_id for d in refetched] == [task_id]
+
+
+def test_lease_expiry_without_survivor_requeues_in_place(cloud_rig):
+    testbed, cloud, token = cloud_rig
+    ep = cloud.register_endpoint(token, "solo", testbed.theta_login)
+    cloud.heartbeat(token, ep)
+    with at_site(testbed.theta_login):
+        func_id = cloud.register_function(token, serialize(_add))
+        task_id = cloud.submit(token, "client", func_id, ep, serialize(((1, 2), {})))
+        cloud.fetch_tasks(token, ep, 10, timeout=1.0)
+    get_clock().sleep(4.0)
+    assert cloud.expire_leases() == [ep]
+    record = cloud.task(task_id)
+    assert record.status is TaskStatus.WAITING
+    assert record.endpoint_id == ep  # no group, nowhere else to go
+    assert record.previous_endpoints == []
+
+
+def test_report_result_is_idempotent(cloud_rig):
+    testbed, cloud, token = cloud_rig
+    metrics = MetricsRegistry()
+    set_metrics(metrics)
+    ep = cloud.register_endpoint(token, "solo", testbed.theta_login)
+    cloud.heartbeat(token, ep)
+    with at_site(testbed.theta_login):
+        func_id = cloud.register_function(token, serialize(_add))
+        task_id = cloud.submit(token, "client", func_id, ep, serialize(((1, 2), {})))
+        cloud.fetch_tasks(token, ep, 10, timeout=1.0)
+        cloud.report_result(token, ep, task_id, True, serialize({"value": 3}))
+        # A second report (crash-requeued duplicate) is dropped, not an error.
+        cloud.report_result(token, ep, task_id, True, serialize({"value": 3}))
+    assert cloud.task(task_id).status is TaskStatus.SUCCESS
+    assert metrics.counter_total("faas.duplicate_results") == 1
+
+
+def test_stale_report_after_failover_raises_lease_expired(cloud_rig):
+    testbed, cloud, token = cloud_rig
+    ep_a = cloud.register_endpoint(
+        token, "a", testbed.theta_login, failover_group="pair"
+    )
+    ep_b = cloud.register_endpoint(
+        token, "b", testbed.theta_login, failover_group="pair"
+    )
+    cloud.heartbeat(token, ep_a)
+    cloud.heartbeat(token, ep_b)
+    with at_site(testbed.theta_login):
+        func_id = cloud.register_function(token, serialize(_add))
+        task_id = cloud.submit(token, "client", func_id, ep_a, serialize(((1, 2), {})))
+        cloud.fetch_tasks(token, ep_a, 10, timeout=1.0)
+    get_clock().sleep(2.0)
+    cloud.heartbeat(token, ep_b)
+    get_clock().sleep(2.0)
+    cloud.heartbeat(token, ep_b)
+    cloud.expire_leases()  # task now belongs to ep_b
+    with at_site(testbed.theta_login):
+        with pytest.raises(LeaseExpiredError):
+            cloud.report_result(token, ep_a, task_id, True, serialize({"value": 3}))
+
+
+def test_report_for_task_never_owned_is_a_protocol_violation(cloud_rig):
+    testbed, cloud, token = cloud_rig
+    ep_a = cloud.register_endpoint(token, "a", testbed.theta_login)
+    ep_b = cloud.register_endpoint(token, "b", testbed.theta_login)
+    cloud.heartbeat(token, ep_a)
+    with at_site(testbed.theta_login):
+        func_id = cloud.register_function(token, serialize(_add))
+        task_id = cloud.submit(token, "client", func_id, ep_a, serialize(((1, 2), {})))
+        cloud.fetch_tasks(token, ep_a, 10, timeout=1.0)
+        with pytest.raises(WorkflowError):
+            cloud.report_result(token, ep_b, task_id, True, serialize({"value": 3}))
+
+
+def test_endpoint_crash_mid_lease_completes_on_survivor_without_client_help():
+    """The acceptance scenario: kill one endpoint of a failover pair while it
+    holds dispatched tasks; every task still completes, driven entirely by
+    lease expiry plus the survivor's polling — the client has no retry
+    policy, so any client-side recovery would surface as a failed future."""
+    constants = PaperConstants(**FAST)
+    testbed = build_paper_testbed(seed=7, constants=constants)
+    metrics = MetricsRegistry()
+    set_metrics(metrics)
+    auth = AuthServer()
+    identity = auth.register_identity("u", "anl")
+    token = auth.issue_token(identity, {SCOPE_COMPUTE})
+    cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, constants)
+    pool_a = WorkerPool(testbed.theta_compute, 2, name="pool-a")
+    pool_b = WorkerPool(testbed.theta_compute, 2, name="pool-b")
+    ep_a = FaasEndpoint(
+        "ep-a", cloud, token, testbed.theta_login, pool_a,
+        failover_group="pair", poll_interval=0.25,
+    ).start()
+    ep_b = FaasEndpoint(
+        "ep-b", cloud, token, testbed.theta_login, pool_b,
+        failover_group="pair", poll_interval=0.25,
+    ).start()
+    client = FaasClient(cloud, token, site=testbed.theta_login)
+    try:
+        with at_site(testbed.theta_login):
+            futures = [
+                client.run(_add, ep_a.endpoint_id, i, b=1) for i in range(4)
+            ]
+        ep_a.simulate_crash()
+        assert [f.result(timeout=120) for f in futures] == [1, 2, 3, 4]
+    finally:
+        client.close()
+        ep_a.stop()
+        ep_b.stop()
+    assert metrics.counter_total("endpoint.crashes") == 1
+    assert metrics.counter_total("faas.lease_expiries") >= 1
+    assert metrics.counter_total("client.retries") == 0
+    assert all(r.status.terminal for r in cloud.task_records())

@@ -1,0 +1,145 @@
+"""FaultPlan/FaultInjector semantics: selection, gating, and the global hook."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.plan import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    attempt_from_key,
+    chaos_check,
+    chaos_enabled,
+    get_injector,
+    set_injector,
+)
+
+
+def make_injector(*specs: FaultSpec, seed: int = 0) -> FaultInjector:
+    return FaultInjector(FaultPlan.build(seed, specs))
+
+
+def test_unknown_hook_rejected_at_construction():
+    with pytest.raises(ValueError, match="unknown chaos hook"):
+        FaultSpec("worker.exceute", "typo")  # note the typo
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        FaultSpec("worker.execute", "m", rate=1.5)
+    with pytest.raises(ValueError):
+        FaultSpec("worker.execute", "m", delay=-1.0)
+    with pytest.raises(ValueError):
+        FaultSpec("worker.execute", "m", max_fires=-1)
+
+
+def test_rate_one_fires_on_first_occurrence_only():
+    injector = make_injector(FaultSpec("worker.execute", "boom", rate=1.0))
+    assert injector.check("worker.execute", "k1") is not None
+    # Same key again: occurrence 1 is not in the default occurrences=(0,).
+    assert injector.check("worker.execute", "k1") is None
+    # A different key has its own occurrence counter.
+    assert injector.check("worker.execute", "k2") is not None
+    assert injector.fire_count() == 2
+
+
+def test_occurrences_select_the_nth_repetition():
+    injector = make_injector(
+        FaultSpec("store.get", "flaky", occurrences=(1, 2))
+    )
+    assert injector.check("store.get", "k") is None  # occurrence 0
+    assert injector.check("store.get", "k") is not None  # occurrence 1
+    assert injector.check("store.get", "k") is not None  # occurrence 2
+    assert injector.check("store.get", "k") is None  # occurrence 3
+
+
+def test_match_filters_on_context():
+    injector = make_injector(
+        FaultSpec("worker.execute", "boom", match={"attempt": 0})
+    )
+    assert injector.check("worker.execute", "a", attempt=1) is None
+    assert injector.check("worker.execute", "b", attempt=0) is not None
+    # Missing context key does not equal the wanted value.
+    assert injector.check("worker.execute", "c") is None
+
+
+def test_max_fires_caps_total_injections():
+    injector = make_injector(FaultSpec("endpoint.crash", "die", max_fires=1))
+    fired = [
+        injector.check("endpoint.crash", f"ep-{i}") is not None for i in range(5)
+    ]
+    assert sum(fired) == 1
+    assert fired[0]  # rate 1.0: the first eligible event fires
+
+
+def test_rate_selection_is_deterministic_and_partial():
+    spec = FaultSpec("store.get", "corrupt", rate=0.5)
+    first = [
+        make_injector(spec).check("store.get", f"key-{i}") is not None
+        for i in range(40)
+    ]
+    second = [
+        make_injector(spec).check("store.get", f"key-{i}") is not None
+        for i in range(40)
+    ]
+    assert first == second
+    assert 0 < sum(first) < 40  # a strict subset, not all-or-nothing
+
+
+def test_seed_changes_the_selected_subset():
+    spec = FaultSpec("store.get", "corrupt", rate=0.5)
+    by_seed = [
+        tuple(
+            make_injector(spec, seed=seed).check("store.get", f"key-{i}") is not None
+            for i in range(40)
+        )
+        for seed in (0, 1)
+    ]
+    assert by_seed[0] != by_seed[1]
+
+
+def test_fires_and_fire_count_filters():
+    injector = make_injector(
+        FaultSpec("worker.execute", "boom"),
+        FaultSpec("store.get", "corrupt"),
+    )
+    injector.check("worker.execute", "k")
+    injector.check("store.get", "k")
+    events = injector.fires()
+    assert {(e.hook, e.mode) for e in events} == {
+        ("worker.execute", "boom"),
+        ("store.get", "corrupt"),
+    }
+    assert all(e.key == "k#0" for e in events)
+    assert injector.fire_count() == 2
+    assert injector.fire_count(hook="store.get") == 1
+    assert injector.fire_count(mode="boom") == 1
+    assert injector.fire_count(hook="store.get", mode="boom") == 0
+
+
+def test_global_hook_is_noop_without_injector():
+    assert get_injector() is None
+    assert not chaos_enabled()
+    assert chaos_check("worker.execute", "k", attempt=0) is None
+
+
+def test_global_hook_routes_to_installed_injector():
+    injector = make_injector(FaultSpec("worker.execute", "boom"))
+    set_injector(injector)
+    try:
+        assert chaos_enabled()
+        assert chaos_check("worker.execute", "k") is not None
+        assert injector.fire_count() == 1
+    finally:
+        set_injector(None)
+    assert not chaos_enabled()
+
+
+def test_attempt_from_key():
+    assert attempt_from_key(None) == 0
+    assert attempt_from_key("") == 0
+    assert attempt_from_key("deadbeef#a0") == 0
+    assert attempt_from_key("deadbeef#a3") == 3
+    assert attempt_from_key("no-suffix") == 0
+    assert attempt_from_key("weird#anot-a-number") == 0

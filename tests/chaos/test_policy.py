@@ -1,0 +1,51 @@
+"""RetryPolicy and the stable hash underneath fault selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.policy import RetryPolicy, stable_unit_hash
+
+
+def test_stable_unit_hash_range_and_determinism():
+    values = [stable_unit_hash(f"key-{i}") for i in range(200)]
+    assert all(0.0 <= v < 1.0 for v in values)
+    assert values == [stable_unit_hash(f"key-{i}") for i in range(200)]
+    # Distinct inputs spread out rather than collapsing to a few values.
+    assert len(set(values)) == len(values)
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(multiplier=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.5)
+
+
+def test_retries_left():
+    policy = RetryPolicy(max_attempts=3)
+    assert policy.retries_left(0)
+    assert policy.retries_left(1)
+    assert not policy.retries_left(2)
+    assert not policy.retries_left(99)
+
+
+def test_delay_for_grows_and_caps():
+    policy = RetryPolicy(base_delay=1.0, multiplier=2.0, max_delay=3.0, jitter=0.0)
+    assert policy.delay_for(0, key="k") == 1.0
+    assert policy.delay_for(1, key="k") == 2.0
+    # attempt 2 would be 4.0 un-capped
+    assert policy.delay_for(2, key="k") == 3.0
+
+
+def test_delay_for_jitter_is_bounded_and_deterministic():
+    policy = RetryPolicy(base_delay=1.0, multiplier=1.0, max_delay=10.0, jitter=0.25)
+    delays = [policy.delay_for(0, key=f"k{i}") for i in range(50)]
+    assert all(0.75 <= d <= 1.25 for d in delays)
+    assert delays == [policy.delay_for(0, key=f"k{i}") for i in range(50)]
+    # Jitter depends on the key, so different tasks do not retry in lockstep.
+    assert len(set(delays)) > 1

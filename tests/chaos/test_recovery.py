@@ -1,0 +1,202 @@
+"""Per-layer recovery under injected faults: client, endpoint, store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.plan import FaultInjector, FaultPlan, FaultSpec, set_injector
+from repro.chaos.policy import RetryPolicy
+from repro.exceptions import (
+    DeadlineExceededError,
+    LeaseExpiredError,
+    ReproError,
+    RetryExhaustedError,
+    StoreError,
+    TaskError,
+    TimeoutError_,
+)
+from repro.faas import (
+    SCOPE_COMPUTE,
+    AuthServer,
+    FaasClient,
+    FaasCloud,
+    FaasEndpoint,
+)
+from repro.net.context import at_site
+from repro.observe import MetricsRegistry, set_metrics
+from repro.proxystore import FileConnector, Store
+from repro.resources import WorkerPool
+
+
+def _add(a, b):
+    return a + b
+
+
+def install(*specs: FaultSpec, seed: int = 0) -> FaultInjector:
+    injector = FaultInjector(FaultPlan.build(seed, specs))
+    set_injector(injector)
+    return injector
+
+
+@pytest.fixture
+def faas_rig(testbed):
+    metrics = MetricsRegistry()
+    set_metrics(metrics)
+    auth = AuthServer()
+    token = auth.issue_token(auth.register_identity("u", "anl"), {SCOPE_COMPUTE})
+    cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, testbed.constants)
+    pool = WorkerPool(testbed.theta_compute, 2, name="recovery-pool")
+    endpoint = FaasEndpoint("theta", cloud, token, testbed.theta_login, pool).start()
+    yield testbed, cloud, endpoint, metrics
+    endpoint.stop()
+
+
+def test_exception_renames_and_aliases():
+    # The deprecated alias still points at the renamed class.
+    assert TimeoutError_ is DeadlineExceededError
+    exc = RetryExhaustedError("gave up", attempts=3, last_error="boom")
+    assert exc.attempts == 3
+    assert exc.last_error == "boom"
+    assert isinstance(exc, ReproError)
+    assert issubclass(LeaseExpiredError, ReproError)
+
+
+def test_dispatch_error_reports_failed_instead_of_dropping(faas_rig):
+    """A task whose *arguments* cannot be read must come back FAILED, not
+    hang forever: the endpoint reports the dispatch error to the cloud."""
+    testbed, cloud, endpoint, metrics = faas_rig
+    install(FaultSpec("cloud.store.read", "corrupt", rate=1.0, max_fires=1))
+    client = FaasClient(cloud, token=endpoint.token, site=testbed.theta_login)
+    try:
+        with at_site(testbed.theta_login):
+            future = client.run(_add, endpoint.endpoint_id, 1, b=2)
+        with pytest.raises(TaskError, match="injected fault"):
+            future.result(timeout=60)
+    finally:
+        client.close()
+    assert metrics.counter_total("endpoint.dispatch_errors") == 1
+
+
+def test_client_retry_recovers_worker_exceptions(faas_rig):
+    testbed, cloud, endpoint, metrics = faas_rig
+    install(FaultSpec("worker.execute", "boom", rate=1.0, match={"attempt": 0}))
+    client = FaasClient(
+        cloud,
+        token=endpoint.token,
+        site=testbed.theta_login,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.1, max_delay=1.0),
+    )
+    try:
+        with at_site(testbed.theta_login):
+            futures = [client.run(_add, endpoint.endpoint_id, i, b=1) for i in range(3)]
+        assert [f.result(timeout=120) for f in futures] == [1, 2, 3]
+    finally:
+        client.close()
+    assert metrics.counter_total("client.retries") == 3
+    assert metrics.counter_total("client.retries_exhausted") == 0
+
+
+def test_client_retry_budget_exhausts_into_retry_exhausted(faas_rig):
+    testbed, cloud, endpoint, metrics = faas_rig
+    # occurrences 0..4 cover every attempt the 2-attempt policy can make.
+    install(
+        FaultSpec("worker.execute", "boom", rate=1.0, occurrences=tuple(range(5)))
+    )
+    client = FaasClient(
+        cloud,
+        token=endpoint.token,
+        site=testbed.theta_login,
+        retry_policy=RetryPolicy(max_attempts=2, base_delay=0.1, max_delay=1.0),
+    )
+    try:
+        with at_site(testbed.theta_login):
+            future = client.run(_add, endpoint.endpoint_id, 1, b=2)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            future.result(timeout=120)
+        assert excinfo.value.attempts == 2
+    finally:
+        client.close()
+    assert metrics.counter_total("client.retries_exhausted") == 1
+
+
+def test_client_without_policy_fails_fast(faas_rig):
+    testbed, cloud, endpoint, metrics = faas_rig
+    install(FaultSpec("worker.execute", "boom", rate=1.0))
+    client = FaasClient(cloud, token=endpoint.token, site=testbed.theta_login)
+    try:
+        with at_site(testbed.theta_login):
+            future = client.run(_add, endpoint.endpoint_id, 1, b=2)
+        with pytest.raises(TaskError, match="injected fault"):
+            future.result(timeout=60)
+    finally:
+        client.close()
+    assert metrics.counter_total("client.retries") == 0
+
+
+def test_submit_retry_recovers_payload_cap_rejection(faas_rig):
+    testbed, cloud, endpoint, metrics = faas_rig
+    install(FaultSpec("cloud.submit", "payload_cap", rate=1.0, match={"attempt": 0}))
+    client = FaasClient(
+        cloud,
+        token=endpoint.token,
+        site=testbed.theta_login,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.1, max_delay=1.0),
+    )
+    try:
+        with at_site(testbed.theta_login):
+            future = client.run(_add, endpoint.endpoint_id, 1, b=2)
+        assert future.result(timeout=60) == 3
+    finally:
+        client.close()
+    assert metrics.counter_total("client.submit_retries") == 1
+
+
+def test_store_retry_recovers_read_corruption(testbed):
+    metrics = MetricsRegistry()
+    set_metrics(metrics)
+    install(FaultSpec("store.get", "corrupt", rate=1.0, match={"attempt": 0}))
+    store = Store(
+        "recovery-store",
+        FileConnector(testbed.mounts.volume("theta-lustre"), "recovery"),
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.1, max_delay=1.0),
+    )
+    try:
+        with at_site(testbed.theta_login):
+            key = store.put([1, 2, 3])
+            assert store.get(key) == [1, 2, 3]
+    finally:
+        store.close()
+    assert metrics.counter_total("store.retries") == 1
+
+
+def test_store_without_policy_surfaces_corruption(testbed):
+    install(FaultSpec("store.get", "corrupt", rate=1.0))
+    store = Store(
+        "fragile-store",
+        FileConnector(testbed.mounts.volume("theta-lustre"), "fragile"),
+    )
+    try:
+        with at_site(testbed.theta_login):
+            key = store.put([1, 2, 3])
+            with pytest.raises(StoreError, match="injected fault"):
+                store.get(key)
+    finally:
+        store.close()
+
+
+def test_store_retry_budget_exhausts(testbed):
+    install(
+        FaultSpec("store.get", "corrupt", rate=1.0, occurrences=tuple(range(5)))
+    )
+    store = Store(
+        "doomed-store",
+        FileConnector(testbed.mounts.volume("theta-lustre"), "doomed"),
+        retry_policy=RetryPolicy(max_attempts=2, base_delay=0.1, max_delay=1.0),
+    )
+    try:
+        with at_site(testbed.theta_login):
+            key = store.put([1, 2, 3])
+            with pytest.raises(RetryExhaustedError):
+                store.get(key)
+    finally:
+        store.close()

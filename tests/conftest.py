@@ -7,6 +7,7 @@ from hypothesis import HealthCheck, settings
 
 from repro.apps.environment import clear_software
 from repro.bench.recording import set_global_log
+from repro.chaos.plan import set_injector
 from repro.net.clock import reset_clock
 from repro.net.defaults import build_paper_testbed
 from repro.observe import set_metrics, set_tracer
@@ -34,10 +35,12 @@ def clean_state():
     set_global_log(None)
     set_tracer(None)
     set_metrics(None)
+    set_injector(None)
     yield
     set_global_log(None)
     set_tracer(None)
     set_metrics(None)
+    set_injector(None)
     clear_store_registry()
     clear_software()
 

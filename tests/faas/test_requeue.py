@@ -50,6 +50,54 @@ def test_requeue_skips_completed_tasks(rig):
     assert cloud.task(task_id).status is TaskStatus.SUCCESS
 
 
+def test_requeue_with_nothing_dispatched_is_a_noop(rig):
+    cloud, token, endpoint_id, func_id = rig
+    assert cloud.requeue_dispatched(token, endpoint_id) == []
+    # A queued-but-never-fetched task is untouched by a requeue.
+    task_id = cloud.submit(token, "c", func_id, endpoint_id, serialize(((1,), {})))
+    assert cloud.requeue_dispatched(token, endpoint_id) == []
+    assert cloud.task(task_id).status is TaskStatus.WAITING
+
+
+def test_requeue_racing_report_result_keeps_exactly_one_outcome(rig):
+    """A report that lands after the task was requeued must win exactly once:
+    the requeued queue copy is dropped so the work is not run a second time."""
+    cloud, token, endpoint_id, func_id = rig
+    task_id = cloud.submit(token, "c", func_id, endpoint_id, serialize(((1,), {})))
+    cloud.fetch_tasks(token, endpoint_id, 1, timeout=1.0)
+    # The reclaim races the in-flight result: requeue first, report second.
+    assert cloud.requeue_dispatched(token, endpoint_id) == [task_id]
+    cloud.report_result(
+        token, endpoint_id, task_id, True, serialize({"success": True, "value": 1})
+    )
+    assert cloud.task(task_id).status is TaskStatus.SUCCESS
+    # The stale queue copy is gone: nothing left to fetch.
+    assert cloud.fetch_tasks(token, endpoint_id, 10, timeout=0.5) == []
+
+
+def test_requeue_then_duplicate_execution_drops_second_result(rig):
+    """If the race goes the other way — the requeued copy is re-fetched and
+    re-executed before the first result arrives — the slower report is
+    dropped rather than double-finalizing the task."""
+    from repro.observe import MetricsRegistry, set_metrics
+
+    metrics = MetricsRegistry()
+    set_metrics(metrics)
+    cloud, token, endpoint_id, func_id = rig
+    task_id = cloud.submit(token, "c", func_id, endpoint_id, serialize(((1,), {})))
+    cloud.fetch_tasks(token, endpoint_id, 1, timeout=1.0)
+    cloud.requeue_dispatched(token, endpoint_id)
+    cloud.fetch_tasks(token, endpoint_id, 1, timeout=1.0)  # second execution
+    cloud.report_result(
+        token, endpoint_id, task_id, True, serialize({"success": True, "value": 1})
+    )
+    cloud.report_result(  # the original, slower report arrives last
+        token, endpoint_id, task_id, True, serialize({"success": True, "value": 1})
+    )
+    assert cloud.task(task_id).status is TaskStatus.SUCCESS
+    assert metrics.counter_total("faas.duplicate_results") == 1
+
+
 def test_requeue_unknown_endpoint(rig):
     cloud, token, *_ = rig
     with pytest.raises(EndpointUnavailableError):

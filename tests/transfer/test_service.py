@@ -174,3 +174,132 @@ def test_wait_timeout(rig):
     with pytest.raises(TransferError):
         client.wait(task_id, timeout=0.5)
     service.resume_endpoint("ep-dst")
+
+
+def test_wait_timeout_cancels_the_abandoned_task(rig):
+    """A timed-out wait must not leave the task holding a concurrency slot."""
+    from repro.observe import MetricsRegistry, set_metrics
+
+    metrics = MetricsRegistry()
+    set_metrics(metrics)
+    testbed, service, src, dst, client = rig
+    src.volume.write("f", b"x", nominal_size=1)
+    service.pause_endpoint("ep-dst")
+    task_id = client.submit("ep-src", "ep-dst", [("f", "f")])
+    with pytest.raises(TransferError):
+        client.wait(task_id, timeout=0.5)
+    assert client.status(task_id) is TransferStatus.CANCELLED
+    assert metrics.counter_total("transfer.wait_timeouts") == 1
+    service.resume_endpoint("ep-dst")
+    get_clock().sleep(1.0)  # a cancelled task must never go ACTIVE again
+    assert client.status(task_id) is TransferStatus.CANCELLED
+
+
+def test_wait_timeout_can_leave_the_task_running(rig):
+    testbed, service, src, dst, client = rig
+    src.volume.write("f", b"x", nominal_size=1)
+    service.pause_endpoint("ep-dst")
+    task_id = client.submit("ep-src", "ep-dst", [("f", "f")])
+    with pytest.raises(TransferError):
+        client.wait(task_id, timeout=0.5, cancel_on_timeout=False)
+    assert client.status(task_id) is TransferStatus.QUEUED
+    service.resume_endpoint("ep-dst")
+    assert client.wait(task_id, timeout=60).status is TransferStatus.SUCCEEDED
+
+
+def test_cancel_queued_task_is_immediate(rig):
+    testbed, service, src, dst, client = rig
+    src.volume.write("f", b"x", nominal_size=1)
+    service.pause_endpoint("ep-dst")  # keep it QUEUED
+    task_id = client.submit("ep-src", "ep-dst", [("f", "f")])
+    assert client.cancel(task_id) is True
+    task = service.status(task_id)
+    assert task.status is TransferStatus.CANCELLED
+    assert task.completed_at is not None
+    with pytest.raises(TransferError):
+        client.wait(task_id, timeout=10)
+    # Cancelling a terminal task reports False instead of raising.
+    assert client.cancel(task_id) is False
+    service.resume_endpoint("ep-dst")
+
+
+def test_cancel_active_task_resolves_to_cancelled(testbed):
+    constants = PaperConstants(
+        globus_request_latency=UniformLatency(0.01, 0.02),
+        globus_transfer_base=UniformLatency(5.0, 5.1),  # long enough to catch ACTIVE
+        globus_poll_interval=0.05,
+    )
+    service = TransferService(testbed.globus_cloud, testbed.network, constants).start()
+    src = TransferEndpoint("s", testbed.theta_login, testbed.mounts.volume("theta-lustre"))
+    dst = TransferEndpoint("d", testbed.venti, testbed.mounts.volume("venti-local"))
+    service.register_endpoint(src)
+    service.register_endpoint(dst)
+    client = TransferClient(service, "canceller", site=testbed.theta_login)
+    try:
+        src.volume.write("f", b"payload", nominal_size=1)
+        task_id = client.submit("s", "d", [("f", "f")])
+        deadline = get_clock().now() + 30.0
+        while client.status(task_id) is not TransferStatus.ACTIVE:
+            assert get_clock().now() < deadline, "transfer never went ACTIVE"
+            get_clock().sleep(0.1)
+        assert client.cancel(task_id) is True
+        with pytest.raises(TransferError):
+            client.wait(task_id, timeout=60)
+        assert client.status(task_id) is TransferStatus.CANCELLED
+        # The abandoned copy wrote nothing at the destination.
+        with pytest.raises(Exception):
+            dst.volume.read("f")
+        assert service.active_count("canceller") == 0
+    finally:
+        service.stop()
+
+
+def test_transfer_wrapper_retries_terminal_failures(rig):
+    from repro.chaos.policy import RetryPolicy
+    from repro.observe import MetricsRegistry, set_metrics
+
+    metrics = MetricsRegistry()
+    set_metrics(metrics)
+    testbed, service, src, dst, client = rig
+    retrying = TransferClient(
+        service,
+        "retrier",
+        site=testbed.theta_login,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.1, max_delay=1.0),
+    )
+    src.volume.write("f", b"x", nominal_size=1)
+    # Enough injected failures to kill the first *task* terminally; the
+    # client-level resubmission then finds a healthy service.
+    for _ in range(TransferService.MAX_RETRIES + 1):
+        service.inject_failure("persistent error")
+    task = retrying.transfer("ep-src", "ep-dst", [("f", "f")], timeout=120)
+    assert task.status is TransferStatus.SUCCEEDED
+    assert metrics.counter_total("transfer.client_retries") == 1
+
+
+def test_transfer_wrapper_exhausts_into_retry_exhausted(rig):
+    from repro.chaos.policy import RetryPolicy
+    from repro.exceptions import RetryExhaustedError
+
+    testbed, service, src, dst, client = rig
+    retrying = TransferClient(
+        service,
+        "retrier",
+        site=testbed.theta_login,
+        retry_policy=RetryPolicy(max_attempts=2, base_delay=0.1, max_delay=1.0),
+    )
+    src.volume.write("f", b"x", nominal_size=1)
+    for _ in range(2 * (TransferService.MAX_RETRIES + 1)):
+        service.inject_failure("persistent error")
+    with pytest.raises(RetryExhaustedError) as excinfo:
+        retrying.transfer("ep-src", "ep-dst", [("f", "f")], timeout=120)
+    assert excinfo.value.attempts == 2
+
+
+def test_transfer_wrapper_without_policy_fails_fast(rig):
+    testbed, service, src, dst, client = rig
+    src.volume.write("f", b"x", nominal_size=1)
+    for _ in range(TransferService.MAX_RETRIES + 1):
+        service.inject_failure("persistent error")
+    with pytest.raises(TransferError):
+        client.transfer("ep-src", "ep-dst", [("f", "f")], timeout=120)
