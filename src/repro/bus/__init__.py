@@ -1,0 +1,16 @@
+"""``repro.bus`` — acknowledged push-notification bus for the task fabric.
+
+Event-driven replacement for the client/endpoint busy-poll loops: the cloud
+publishes sequenced envelopes (result notifications, task-available
+doorbells) to per-subscriber streams with explicit cumulative acks, bounded
+redelivery windows, and :class:`~repro.chaos.policy.RetryPolicy`-driven
+redelivery backoff — at-least-once delivery with consumer-side duplicate
+suppression by sequence number.  The pre-existing poll paths remain as a
+degraded fallback that engages automatically when a subscription lapses and
+hands back on resubscribe (replay from the last ack covers the gap).
+"""
+
+from repro.bus.broker import Envelope, NotificationBus, Subscription
+from repro.bus.consumer import BusConsumer
+
+__all__ = ["Envelope", "NotificationBus", "Subscription", "BusConsumer"]

@@ -1,0 +1,107 @@
+"""Consumer-side bus logic shared by the FaaS client and endpoint.
+
+:class:`BusConsumer` wraps a broker :class:`~repro.bus.broker.Subscription`
+with the receiver half of the at-least-once contract:
+
+* **Duplicate suppression by sequence number** — an envelope at or below the
+  contiguous-processed frontier (or already processed ahead of a gap) is
+  dropped and counted in ``bus.duplicates_dropped``.
+* **Cumulative acks** — :meth:`done` marks one envelope processed and acks
+  the highest *contiguous* prefix, so a lost-in-flight envelope keeps every
+  later one unacked-but-processed until its redelivery arrives.
+* **Lapse recovery** — when the subscription is dropped the next
+  :meth:`receive` raises :class:`SubscriptionLapsedError`; the owner engages
+  its poll fallback, then calls :meth:`resubscribe`, which replays from the
+  last ack.
+
+The ``bus.notify_latency_s`` histogram records publish-to-receive latency
+for every fresh (non-duplicate) envelope.
+"""
+
+from __future__ import annotations
+
+from repro.bus.broker import Envelope, NotificationBus, Subscription
+from repro.net.clock import Clock, get_clock
+from repro.observe import counter_inc, observe
+
+__all__ = ["BusConsumer"]
+
+
+class BusConsumer:
+    """One subscriber's receive/dedup/ack state machine."""
+
+    def __init__(
+        self,
+        bus: NotificationBus,
+        topic: str,
+        subscriber_id: str,
+        *,
+        role: str,
+        chaos_label: str | None = None,
+        clock: Clock | None = None,
+        max_batch: int = 32,
+    ) -> None:
+        self._bus = bus
+        self._topic = topic
+        self._subscriber_id = subscriber_id
+        self._role = role
+        self._chaos_label = chaos_label or subscriber_id
+        self._clock = clock or get_clock()
+        self._max_batch = max_batch
+        # Contiguous-processed frontier plus the out-of-order set beyond it.
+        self._contiguous = 0
+        self._done_ahead: set[int] = set()
+        bus.register_subscriber(topic, subscriber_id, chaos_label=self._chaos_label)
+        self._sub: Subscription = bus.subscribe(
+            topic, subscriber_id, chaos_label=self._chaos_label
+        )
+
+    @property
+    def topic(self) -> str:
+        return self._topic
+
+    def receive(self, timeout: float | None) -> list[Envelope]:
+        """Deduplicated envelopes, oldest first; raises
+        :class:`~repro.exceptions.SubscriptionLapsedError` once lapsed."""
+        envelopes = self._sub.receive(self._max_batch, timeout)
+        fresh: list[Envelope] = []
+        seen_now: set[int] = set()
+        for env in envelopes:
+            if (
+                env.seq <= self._contiguous
+                or env.seq in self._done_ahead
+                or env.seq in seen_now
+            ):
+                counter_inc("bus.duplicates_dropped", role=self._role)
+                continue
+            seen_now.add(env.seq)
+            observe(
+                "bus.notify_latency_s",
+                self._clock.now() - env.published_at,
+                role=self._role,
+            )
+            fresh.append(env)
+        return fresh
+
+    def done(self, envelope: Envelope) -> None:
+        """Mark one envelope processed; ack the contiguous prefix."""
+        if envelope.seq <= self._contiguous:
+            return
+        self._done_ahead.add(envelope.seq)
+        advanced = False
+        while self._contiguous + 1 in self._done_ahead:
+            self._contiguous += 1
+            self._done_ahead.remove(self._contiguous)
+            advanced = True
+        if advanced:
+            self._sub.ack(self._contiguous)
+
+    def resubscribe(self) -> None:
+        """Reactivate after a lapse; the broker replays from the last ack."""
+        self._sub = self._bus.subscribe(
+            self._topic, self._subscriber_id, chaos_label=self._chaos_label
+        )
+        counter_inc("bus.resubscribes", role=self._role)
+
+    def close(self) -> None:
+        self._sub.close()

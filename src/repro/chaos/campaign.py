@@ -66,6 +66,9 @@ FAULT_MODES: tuple[str, ...] = (
     "store_corruption",
     "cloud_store_error",
     "transfer_fault",
+    "notification_loss",
+    "notification_duplicate",
+    "subscription_drop",
 )
 
 #: Workflow configurations (FaaS fabric + ProxyStore backend).
@@ -82,6 +85,12 @@ _REPORT_COUNTERS = (
     "faas.lease_expiries",
     "faas.failovers",
     "faas.duplicate_results",
+    "bus.delivered",
+    "bus.redelivered",
+    "bus.duplicates_dropped",
+    "bus.fallback_engaged",
+    "endpoint.polls",
+    "endpoint.polls_empty",
 )
 
 
@@ -110,6 +119,17 @@ def fault_specs(mode: str) -> tuple[FaultSpec, ...]:
         return (FaultSpec("cloud.store.read", mode, rate=0.4),)
     if mode == "transfer_fault":
         return (FaultSpec("transfer.attempt", mode, rate=0.6, match={"attempt": 0}),)
+    if mode == "notification_loss":
+        # First-delivery doorbells vanish in flight; the bus redelivers after
+        # backoff, so tasks complete with zero client-side retries.
+        return (FaultSpec("bus.deliver", mode, rate=0.6, match={"attempt": 0}),)
+    if mode == "notification_duplicate":
+        # Doorbells arrive twice; consumer-side sequence dedup drops the copy.
+        return (FaultSpec("bus.duplicate", mode, rate=0.6, match={"attempt": 0}),)
+    if mode == "subscription_drop":
+        # Subscriptions are force-lapsed at publish time; the subscriber must
+        # notice, engage the poll fallback, and resubscribe (replay from ack).
+        return (FaultSpec("bus.subscription.drop", mode, rate=0.5),)
     raise ValueError(f"unknown fault mode {mode!r}; known: {sorted(FAULT_MODES)}")
 
 
@@ -272,6 +292,36 @@ def _reconcile(
             failures.append("endpoint_crash: no task failed over to the survivor")
         # Failover must be invisible to the client: no client-side retries.
         expect("client.retries", fires - 1)
+    elif mode == "notification_loss":
+        # Every lost doorbell must come back via bus redelivery (never via
+        # client retries — the task queues are untouched by bus loss).
+        if fires < 1:
+            failures.append("notification_loss cell injected no faults")
+        if counters.get("bus.redelivered", 0) < fires:
+            failures.append(
+                f"notification_loss: bus.redelivered is "
+                f"{counters.get('bus.redelivered', 0)}, expected >= {fires}"
+            )
+        expect("client.retries", 0)
+    elif mode == "notification_duplicate":
+        if fires < 1:
+            failures.append("notification_duplicate cell injected no faults")
+        if counters.get("bus.duplicates_dropped", 0) < fires:
+            failures.append(
+                f"notification_duplicate: bus.duplicates_dropped is "
+                f"{counters.get('bus.duplicates_dropped', 0)}, expected >= {fires}"
+            )
+        expect("client.retries", 0)
+    elif mode == "subscription_drop":
+        if fires < 1:
+            failures.append("subscription_drop cell injected no faults")
+        engaged = counters.get("bus.fallback_engaged", 0)
+        if not 1 <= engaged <= fires:
+            failures.append(
+                f"subscription_drop: bus.fallback_engaged is {engaged}, "
+                f"expected within [1, {fires}]"
+            )
+        expect("client.retries", 0)
 
 
 def run_cell(
@@ -280,12 +330,14 @@ def run_cell(
     *,
     seed: int = 0,
     n_tasks: int = 6,
+    use_bus: bool = True,
 ) -> CellResult:
     """Run one campaign cell and audit its invariants.
 
     Invariant violations are collected into ``CellResult.failures`` rather
     than raised, so a sweep reports every broken cell instead of dying on
-    the first one.
+    the first one.  ``use_bus=False`` runs the cell polling-only — the
+    baseline the bus's idle-poll reduction is measured against.
     """
     failures: list[str] = []
     tracer = Tracer()
@@ -310,14 +362,14 @@ def run_cell(
     pool_b = WorkerPool(rig.worker_site, 2, name="chaos-pool-b")
     ep_a = FaasEndpoint(
         "ep-a", cloud, token, rig.agent_site, pool_a,
-        failover_group="chaos-pair", poll_interval=0.25,
+        failover_group="chaos-pair", poll_interval=0.25, use_bus=use_bus,
     ).start()
     ep_b = FaasEndpoint(
         "ep-b", cloud, token, rig.agent_site, pool_b,
-        failover_group="chaos-pair", poll_interval=0.25,
+        failover_group="chaos-pair", poll_interval=0.25, use_bus=use_bus,
     ).start()
     client = FaasClient(
-        cloud, token, site=rig.client_site, retry_policy=policy
+        cloud, token, site=rig.client_site, retry_policy=policy, use_bus=use_bus,
     )
 
     outcomes: list = []

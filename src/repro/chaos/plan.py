@@ -51,6 +51,9 @@ HOOKS = frozenset(
         "worker.execute",  # exception inside the function body
         "store.get",  # ProxyStore backend read corruption
         "transfer.attempt",  # managed transfer failure / stall
+        "bus.deliver",  # NotificationBus: envelope lost in flight
+        "bus.duplicate",  # NotificationBus: envelope delivered twice
+        "bus.subscription.drop",  # NotificationBus: forced disconnect at publish
     }
 )
 

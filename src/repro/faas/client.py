@@ -29,16 +29,18 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.bench.recording import emit
+from repro.bus import BusConsumer
 from repro.chaos.policy import RetryPolicy
 from repro.exceptions import (
     PayloadTooLargeError,
     ReproError,
     RetryExhaustedError,
+    SubscriptionLapsedError,
     TaskError,
     WorkflowError,
 )
 from repro.faas.auth import Token
-from repro.faas.cloud import FaasCloud, TaskStatus
+from repro.faas.cloud import FaasCloud, TaskStatus, result_topic
 from repro.net.clock import Clock, get_clock
 from repro.net.context import SiteThread, current_site
 from repro.net.topology import Site
@@ -80,6 +82,8 @@ class FaasClient:
         site: Site | None = None,
         clock: Clock | None = None,
         retry_policy: RetryPolicy | None = None,
+        use_bus: bool = True,
+        chaos_label: str = "client",
     ) -> None:
         self.cloud = cloud
         self.token = token
@@ -95,6 +99,24 @@ class FaasClient:
         # identity (``is``) stays valid — caching by bare id() would break
         # when CPython reuses a collected object's address.
         self._registered: list[tuple[Callable, str]] = []
+        # Event-driven result delivery: subscribe before the notifier starts
+        # (and before any submit) so no completion can slip past the stream.
+        # ``_fallback`` flips on when the subscription lapses; the notifier
+        # then drains the cloud's completed queue (the poll path) and hands
+        # back on resubscribe, which replays from the last acked sequence.
+        self._consumer = (
+            BusConsumer(
+                cloud.bus,
+                result_topic(self.client_id),
+                self.client_id,
+                role="client",
+                chaos_label=chaos_label,
+                clock=self._clock,
+            )
+            if use_bus
+            else None
+        )
+        self._fallback = False
         self._running = True
         self._notifier = SiteThread(
             self._home_site(), target=self._notify_loop, name="faas-client-notify"
@@ -202,6 +224,25 @@ class FaasClient:
             **kwargs,
         )
 
+    def cancel_pending(self, endpoint_id: str | None = None) -> int:
+        """Cancel in-flight futures (optionally only those targeting one
+        endpoint) and forget them; returns how many were cancelled.
+
+        A cancelled task may still execute remotely — its notification
+        arrives to find no pending entry and is dropped, the same dead-letter
+        path an already-retried task id takes.
+        """
+        cancelled = 0
+        with self._futures_lock:
+            for task_id, pending in list(self._pending.items()):
+                if endpoint_id is not None and pending.endpoint_id != endpoint_id:
+                    continue
+                if pending.future.cancel():
+                    del self._pending[task_id]
+                    cancelled += 1
+                    counter_inc("client.cancelled", endpoint=pending.endpoint_id)
+        return cancelled
+
     def close(self) -> None:
         self._running = False
         self._notifier.join(timeout=10)
@@ -212,32 +253,67 @@ class FaasClient:
                 "close(); it is likely blocked inside the cloud's completed "
                 "queue with a stopped clock"
             )
+        if self._consumer is not None:
+            self._consumer.close()
+        # Nobody is listening for results anymore: fail what is still in
+        # flight so callers blocked on .result() see the close instead of
+        # hanging forever.
+        with self._futures_lock:
+            abandoned = list(self._pending.values())
+            self._pending.clear()
+        for pending in abandoned:
+            if not pending.future.done():
+                counter_inc("client.abandoned", endpoint=pending.endpoint_id)
+                pending.future.set_exception(
+                    WorkflowError("client closed with the task still in flight")
+                )
 
     # -- result delivery -----------------------------------------------------------
     def _notify_loop(self) -> None:
         while self._running:
+            consumer = self._consumer
+            if consumer is not None and not self._fallback:
+                try:
+                    envelopes = consumer.receive(timeout=0.25)
+                except SubscriptionLapsedError:
+                    self._fallback = True
+                    counter_inc("bus.fallback_engaged", role="client")
+                    continue
+                for envelope in envelopes:
+                    self._handle_completion(envelope.payload)
+                    consumer.done(envelope)
+                continue
+            # Poll fallback (and the only path when the bus is disabled):
+            # the completed queue is the ground truth the bus doorbells over.
             task_id = self.cloud.next_completed(self.client_id, timeout=0.25)
-            if task_id is None:
-                continue
-            with self._futures_lock:
-                pending = self._pending.pop(task_id, None)
-            if pending is None:
-                continue  # e.g. a cancelled/unknown task
-            try:
-                status, body = self._download(task_id, pending.trace_ctx)
-            except ReproError as exc:
-                # The download itself failed (e.g. the cloud store returned
-                # corrupt data): consumes an attempt like a remote failure.
-                self._finish_attempt(pending, repr(exc), None)
-                continue
-            if status is TaskStatus.SUCCESS and body.get("success"):
-                pending.future.set_result(body["value"])
-            else:
-                self._finish_attempt(
-                    pending,
-                    body.get("error", "remote task failed"),
-                    body.get("traceback"),
-                )
+            if task_id is not None:
+                self._handle_completion(task_id)
+            if consumer is not None and self._fallback:
+                # Hand back to the bus: resubscription replays every unacked
+                # notification, so nothing published during the gap is lost.
+                consumer.resubscribe()
+                self._fallback = False
+
+    def _handle_completion(self, task_id: str) -> None:
+        with self._futures_lock:
+            pending = self._pending.pop(task_id, None)
+        if pending is None:
+            return  # e.g. a cancelled/unknown/already-handled task
+        try:
+            status, body = self._download(task_id, pending.trace_ctx)
+        except ReproError as exc:
+            # The download itself failed (e.g. the cloud store returned
+            # corrupt data): consumes an attempt like a remote failure.
+            self._finish_attempt(pending, repr(exc), None)
+            return
+        if status is TaskStatus.SUCCESS and body.get("success"):
+            pending.future.set_result(body["value"])
+        else:
+            self._finish_attempt(
+                pending,
+                body.get("error", "remote task failed"),
+                body.get("traceback"),
+            )
 
     def _download(
         self, task_id: str, trace_ctx: TraceContext | None
@@ -335,4 +411,9 @@ class FaasExecutor(Executor):
         return self._client.run(fn, self._endpoint_id, *args, **kwargs)
 
     def shutdown(self, wait: bool = True, *, cancel_futures: bool = False) -> None:
+        """Match ``concurrent.futures.Executor`` semantics:
+        ``cancel_futures=True`` cancels this executor's still-pending
+        futures (and forgets them at the client) instead of ignoring them."""
         self._shutdown = True
+        if cancel_futures:
+            self._client.cancel_pending(self._endpoint_id)

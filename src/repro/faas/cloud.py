@@ -29,7 +29,9 @@ from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
 
+from repro.bus import NotificationBus
 from repro.chaos.plan import attempt_from_key, chaos_check
+from repro.chaos.policy import RetryPolicy
 from repro.exceptions import (
     EndpointUnavailableError,
     LeaseExpiredError,
@@ -43,7 +45,24 @@ from repro.net.topology import Network, Site
 from repro.observe import TraceContext, counter_inc, gauge_set
 from repro.serialize import Payload
 
-__all__ = ["TaskStatus", "TaskRecord", "TaskDispatch", "FaasCloud"]
+__all__ = [
+    "TaskStatus",
+    "TaskRecord",
+    "TaskDispatch",
+    "FaasCloud",
+    "task_topic",
+    "result_topic",
+]
+
+
+def task_topic(endpoint_id: str) -> str:
+    """Bus topic carrying task-available doorbells for one endpoint."""
+    return f"tasks/{endpoint_id}"
+
+
+def result_topic(client_id: str) -> str:
+    """Bus topic carrying result notifications for one client."""
+    return f"results/{client_id}"
 
 
 class TaskStatus(str, Enum):
@@ -192,6 +211,20 @@ class FaasCloud:
         self.constants = constants or PaperConstants()
         self.clock = clock or get_clock()
         self.store = _PayloadStore(self.constants, network, self.clock)
+        # Push-notification bus: result notifications to clients, task-
+        # available doorbells to endpoints.  The queues below stay the
+        # ground truth; the bus only carries acked wakeups, so the poll
+        # paths remain correct as a degraded fallback.
+        self.bus = NotificationBus(
+            clock=self.clock,
+            redelivery=RetryPolicy(
+                max_attempts=6,
+                base_delay=self.constants.bus_redelivery_base,
+                max_delay=self.constants.bus_redelivery_max,
+            ),
+            lease_ttl=self.constants.bus_lease_ttl,
+            window=self.constants.bus_redelivery_window,
+        )
         self._functions: dict[str, Payload] = {}
         self._endpoints: dict[str, Site] = {}
         self._endpoint_online: dict[str, bool] = {}
@@ -241,6 +274,12 @@ class FaasCloud:
             self._endpoint_online[endpoint_id] = False
             self._queues[endpoint_id] = deque()
             self._failover_groups[endpoint_id] = failover_group
+        # Pre-create the bus stream so doorbells published before the agent
+        # first connects are retained and replayed on its subscribe.  The
+        # chaos label is the (stable) endpoint *name*, not the run-local id.
+        self.bus.register_subscriber(
+            task_topic(endpoint_id), endpoint_id, chaos_label=name
+        )
         return endpoint_id
 
     def endpoint_site(self, endpoint_id: str) -> Site:
@@ -278,6 +317,11 @@ class FaasCloud:
         with self._queue_cond:
             self._lease_expiry[endpoint_id] = expiry
             self._endpoint_online[endpoint_id] = True
+            # Liveness checks ride every heartbeat: with bus-driven pickup a
+            # healthy-but-idle endpoint no longer polls, so a peer's
+            # heartbeat (not its long poll) is what reaps a dead member and
+            # triggers failover.
+            self._expire_leases_locked()
         counter_inc("faas.heartbeats", endpoint=endpoint_id)
         return expiry
 
@@ -350,6 +394,15 @@ class FaasCloud:
                     record.requeues += 1
                     queue.appendleft(record.task_id)
                     counter_inc("faas.requeues", endpoint=endpoint_id)
+                # Fresh doorbells: the originals were acked by the dead
+                # agent, so a restarted subscriber would otherwise never
+                # learn its queue is non-empty again.
+                for record in stranded:
+                    self.bus.publish(
+                        task_topic(endpoint_id),
+                        record.task_id,
+                        chaos_key=record.chaos_key or record.task_id,
+                    )
             else:
                 queue = self._queues[target]
                 self._queues[endpoint_id].clear()
@@ -363,6 +416,11 @@ class FaasCloud:
                     queue.append(record.task_id)
                     counter_inc(
                         "faas.failovers", from_endpoint=endpoint_id, to_endpoint=target
+                    )
+                    self.bus.publish(
+                        task_topic(target),
+                        record.task_id,
+                        chaos_key=record.chaos_key or record.task_id,
                     )
                 gauge_set("faas.queue_depth", len(queue), endpoint=target)
             if stranded or queued:
@@ -422,6 +480,11 @@ class FaasCloud:
                 "faas.queue_depth", len(self._queues[endpoint_id]), endpoint=endpoint_id
             )
             self._queue_cond.notify_all()
+        # Doorbell *after* the enqueue so a subscriber that fetches on the
+        # notification always finds the task in its queue.
+        self.bus.publish(
+            task_topic(endpoint_id), task_id, chaos_key=chaos_key or task_id
+        )
         return record.task_id
 
     def task(self, task_id: str) -> TaskRecord:
@@ -441,22 +504,38 @@ class FaasCloud:
         record = self.task(task_id)
         if not record.status.terminal or record.result_locator is None:
             raise WorkflowError(f"task {task_id} has no result yet")
+        # The result is being collected: retire its poll-fallback entry so a
+        # client that was notified over the bus never re-sees it while
+        # draining the completed queue in fallback mode.
+        with self._completed_cond:
+            queue = self._completed.get(record.client_id)
+            if queue is not None:
+                try:
+                    queue.remove(task_id)
+                except ValueError:
+                    pass
         return record.status, self.store.read(record.result_locator)
 
     def next_completed(self, client_id: str, timeout: float | None) -> str | None:
         """Block until some task of ``client_id`` completes; returns its id.
 
-        This models the push channel (websocket/polling hybrid) the client
-        SDK uses for result notification.
+        This is the poll half of the delivery hybrid — the fallback path a
+        client uses while its bus subscription is lapsed (the push half is
+        the ``results/<client_id>`` bus topic).  A spurious or competing
+        wakeup does not consume the budget: the wait loops on a deadline
+        until a completion arrives or the full timeout elapses.
         """
-        wall = self.clock.wall_timeout(timeout)
+        deadline = None if timeout is None else self.clock.now() + timeout
         with self._completed_cond:
             queue = self._completed.setdefault(client_id, deque())
-            if not queue:
-                self._completed_cond.wait(wall)
-            if queue:
-                return queue.popleft()
-            return None
+            while not queue:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - self.clock.now()
+                    if remaining <= 0:
+                        return None
+                self._completed_cond.wait(self.clock.wall_timeout(remaining))
+            return queue.popleft()
 
     # -- endpoint side -------------------------------------------------------------
     def fetch_tasks(
@@ -521,7 +600,13 @@ class FaasCloud:
                 queue.appendleft(record.task_id)
             if stranded:
                 self._queue_cond.notify_all()
-            return [record.task_id for record in stranded]
+        for record in stranded:
+            self.bus.publish(
+                task_topic(endpoint_id),
+                record.task_id,
+                chaos_key=record.chaos_key or record.task_id,
+            )
+        return [record.task_id for record in stranded]
 
     def _check_reporter(self, record: TaskRecord, endpoint_id: str) -> bool:
         """Validate a result report; True means "accept", False "drop".
@@ -580,3 +665,8 @@ class FaasCloud:
             record.completed_at = self.clock.now()
             self._completed.setdefault(record.client_id, deque()).append(task_id)
             self._completed_cond.notify_all()
+        self.bus.publish(
+            result_topic(record.client_id),
+            task_id,
+            chaos_key=record.chaos_key or task_id,
+        )

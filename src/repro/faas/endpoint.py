@@ -1,9 +1,11 @@
 """The user-deployed half of the FaaS platform (the FuncX endpoint).
 
 An endpoint is a lightweight agent a user starts on a resource they can log
-into.  It makes only *outbound* connections: a long-poll loop fetches task
-dispatches from the cloud, workers (provisioned through the local batch
-scheduler via a :class:`~repro.resources.worker.WorkerPool`) execute them,
+into.  It makes only *outbound* connections: the agent blocks on the cloud
+bus's task-available doorbell stream (``repro.bus``) and fetches dispatches
+only when notified, falling back to the original long-poll loop whenever its
+subscription lapses; workers (provisioned through the local batch scheduler
+via a :class:`~repro.resources.worker.WorkerPool`) execute the dispatches,
 and an uplink thread reports results back.  Pausing an endpoint models the
 network blips §IV-A3 talks about: the cloud keeps queueing tasks and the
 endpoint drains them on reconnect — no work is lost.
@@ -17,10 +19,15 @@ import traceback
 from typing import Callable
 
 from repro.bench.recording import emit
+from repro.bus import BusConsumer
 from repro.chaos.plan import attempt_from_key, chaos_check
-from repro.exceptions import LeaseExpiredError, WorkflowError
+from repro.exceptions import (
+    LeaseExpiredError,
+    SubscriptionLapsedError,
+    WorkflowError,
+)
 from repro.faas.auth import Token
-from repro.faas.cloud import FaasCloud, TaskDispatch
+from repro.faas.cloud import FaasCloud, TaskDispatch, task_topic
 from repro.net.clock import Clock, get_clock
 from repro.net.context import SiteThread
 from repro.net.topology import Site
@@ -74,6 +81,7 @@ class FaasEndpoint:
         clock: Clock | None = None,
         failover_group: str | None = None,
         heartbeats: bool = True,
+        use_bus: bool = True,
     ) -> None:
         if poll_interval is not None and poll_interval <= 0:
             raise WorkflowError(
@@ -111,6 +119,27 @@ class FaasEndpoint:
         self._paused = threading.Event()
         self._crashed = threading.Event()
         self._threads: list[SiteThread] = []
+        # Event-driven task pickup: block on the doorbell stream instead of
+        # long-polling the cloud; ``_fallback`` flips on when the
+        # subscription lapses and the long-poll path takes over until the
+        # resubscribe replays the gap.  ``_fetched_tasks`` remembers ids this
+        # agent already pulled so a replayed doorbell for work the fallback
+        # poll caught is acked without an empty fetch.
+        self._consumer = (
+            BusConsumer(
+                cloud.bus,
+                task_topic(self.endpoint_id),
+                self.endpoint_id,
+                role="endpoint",
+                chaos_label=name,
+                clock=self._clock,
+                max_batch=max_tasks_per_poll,
+            )
+            if use_bus
+            else None
+        )
+        self._fallback = False
+        self._fetched_tasks: set[str] = set()
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> "FaasEndpoint":
@@ -149,6 +178,8 @@ class FaasEndpoint:
         if not self._crashed.is_set():
             self.cloud.release_lease(self.token, self.endpoint_id)
             self.cloud.set_endpoint_online(self.endpoint_id, False)
+            if self._consumer is not None:
+                self._consumer.close()
         self._threads.clear()
         if wedged:
             raise WorkflowError(
@@ -183,6 +214,9 @@ class FaasEndpoint:
         """
         if reclaim:
             self._pay_api_call()
+            # Forget what the dead process held *before* the requeue emits
+            # fresh doorbells: those ids must not be skipped as stale.
+            self._fetched_tasks.clear()
             self.cloud.requeue_dispatched(self.token, self.endpoint_id)
         if self._heartbeats:
             self.cloud.heartbeat(self.token, self.endpoint_id)
@@ -223,19 +257,8 @@ class FaasEndpoint:
             if self._paused.is_set():
                 self._clock.sleep(self._poll_interval)
                 continue
-            # One-way request; the fetch long-polls server-side.
-            self._clock.sleep(
-                self.cloud.network.latency(self.site, self.cloud.site)
-            )
-            dispatches = self.cloud.fetch_tasks(
-                self.token, self.endpoint_id, self._max_tasks, self._poll_interval
-            )
-            self._clock.sleep(
-                self.cloud.network.latency(self.cloud.site, self.site)
-            )
-            counter_inc("endpoint.polls", endpoint=self.name)
+            dispatches = self._next_dispatches()
             if not dispatches:
-                counter_inc("endpoint.polls_empty", endpoint=self.name)
                 continue
             # Crash *while holding fetched-but-unfinished tasks* — the case
             # the lease/failover machinery exists for.
@@ -255,6 +278,59 @@ class FaasEndpoint:
                     self._outbox.put(
                         (dispatch.task_id, False, serialize(body), dispatch.trace_ctx)
                     )
+
+    def _next_dispatches(self) -> list[TaskDispatch]:
+        """One delivery round: bus doorbells when subscribed, the long-poll
+        otherwise (bus disabled, or the subscription lapsed)."""
+        consumer = self._consumer
+        if consumer is not None and not self._fallback:
+            try:
+                envelopes = consumer.receive(timeout=self._poll_interval)
+            except SubscriptionLapsedError:
+                # Missed heartbeat or chaos-injected disconnect: degrade to
+                # the poll path so nothing published during the gap waits on
+                # the (now dead) subscription.
+                self._fallback = True
+                counter_inc(
+                    "bus.fallback_engaged", role="endpoint", endpoint=self.name
+                )
+                return []
+            if not envelopes:
+                return []  # idle: no cloud poll at all — the bus is quiet
+            # A replayed doorbell for work this agent already pulled (via an
+            # earlier fetch or a fallback poll) is acked without a fetch.
+            stale = [e for e in envelopes if e.payload in self._fetched_tasks]
+            for envelope in stale:
+                counter_inc("endpoint.doorbells_stale", endpoint=self.name)
+                consumer.done(envelope)
+            if len(stale) == len(envelopes):
+                return []
+            dispatches = self._fetch(timeout=0.0)
+            for envelope in envelopes:
+                if envelope not in stale:
+                    consumer.done(envelope)
+            return dispatches
+        dispatches = self._fetch(timeout=self._poll_interval)
+        if consumer is not None and self._fallback:
+            # Hand back to the bus: resubscription replays every unacked
+            # doorbell, so no notification is lost across the gap.
+            consumer.resubscribe()
+            self._fallback = False
+        return dispatches
+
+    def _fetch(self, timeout: float) -> list[TaskDispatch]:
+        # One-way request; the fetch long-polls server-side.
+        self._clock.sleep(self.cloud.network.latency(self.site, self.cloud.site))
+        dispatches = self.cloud.fetch_tasks(
+            self.token, self.endpoint_id, self._max_tasks, timeout
+        )
+        self._clock.sleep(self.cloud.network.latency(self.cloud.site, self.site))
+        counter_inc("endpoint.polls", endpoint=self.name)
+        if not dispatches:
+            counter_inc("endpoint.polls_empty", endpoint=self.name)
+        for dispatch in dispatches:
+            self._fetched_tasks.add(dispatch.task_id)
+        return dispatches
 
     def _dispatch(self, dispatch: TaskDispatch) -> None:
         # Pull the argument payload down from the cloud store (charged to

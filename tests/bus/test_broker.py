@@ -1,0 +1,172 @@
+"""Unit tests for the notification bus broker and consumer."""
+
+import pytest
+
+from repro.bus import BusConsumer, NotificationBus
+from repro.chaos.policy import RetryPolicy
+from repro.exceptions import SubscriptionLapsedError
+from repro.net.clock import get_clock
+from repro.observe import MetricsRegistry, set_metrics
+
+
+@pytest.fixture
+def metrics():
+    registry = MetricsRegistry()
+    set_metrics(registry)
+    return registry
+
+
+def _bus(**overrides):
+    defaults = dict(
+        redelivery=RetryPolicy(max_attempts=4, base_delay=0.2, max_delay=0.5),
+        lease_ttl=30.0,
+        window=256,
+    )
+    defaults.update(overrides)
+    return NotificationBus(**defaults)
+
+
+def test_sequence_numbers_are_per_subscriber_and_monotonic():
+    bus = _bus()
+    sub_a = bus.subscribe("tasks/ep", "a")
+    sub_b = bus.subscribe("tasks/ep", "b")
+    for payload in ("t1", "t2", "t3"):
+        assert bus.publish("tasks/ep", payload) == 2  # both streams
+    got_a = sub_a.receive(10, timeout=0.0)
+    got_b = sub_b.receive(10, timeout=0.0)
+    assert [e.seq for e in got_a] == [1, 2, 3]
+    assert [e.seq for e in got_b] == [1, 2, 3]
+    assert [e.payload for e in got_a] == ["t1", "t2", "t3"]
+
+
+def test_cumulative_ack_prunes_the_window():
+    bus = _bus()
+    sub = bus.subscribe("tasks/ep", "ep")
+    for payload in ("t1", "t2", "t3"):
+        bus.publish("tasks/ep", payload)
+    sub.receive(10, timeout=0.0)
+    sub.ack(2)
+    assert bus.unacked("tasks/ep", "ep") == [3]
+    assert sub.acked == 2
+
+
+def test_publish_before_first_subscribe_is_retained():
+    bus = _bus()
+    bus.register_subscriber("tasks/ep", "ep")
+    bus.publish("tasks/ep", "early")
+    sub = bus.subscribe("tasks/ep", "ep")
+    assert [e.payload for e in sub.receive(10, timeout=0.0)] == ["early"]
+
+
+def test_unacked_envelope_redelivers_after_backoff(metrics):
+    bus = _bus()
+    sub = bus.subscribe("tasks/ep", "ep")
+    bus.publish("tasks/ep", "t1")
+    first = sub.receive(10, timeout=0.0)
+    assert [e.seq for e in first] == [1]
+    # Not acked: nothing is due until the backoff elapses...
+    assert sub.receive(10, timeout=0.0) == []
+    get_clock().sleep(1.0)
+    # ...then the same envelope comes around again.
+    again = sub.receive(10, timeout=0.0)
+    assert [e.seq for e in again] == [1]
+    assert metrics.counter_total("bus.delivered") == 1
+    assert metrics.counter_total("bus.redelivered") == 1
+
+
+def test_resubscribe_replays_from_the_last_ack():
+    bus = _bus(lease_ttl=5.0)
+    sub = bus.subscribe("tasks/ep", "ep")
+    bus.publish("tasks/ep", "t1")
+    sub.receive(10, timeout=0.0)
+    sub.ack(1)
+    # The subscriber goes quiet past the lease; the next publish lapses it.
+    get_clock().sleep(6.0)
+    bus.publish("tasks/ep", "t2")
+    bus.publish("tasks/ep", "t3")
+    with pytest.raises(SubscriptionLapsedError):
+        sub.receive(10, timeout=0.0)
+    assert not bus.is_active("tasks/ep", "ep")
+    # Resubscribing replays everything after the ack, immediately.
+    sub = bus.subscribe("tasks/ep", "ep")
+    assert [e.payload for e in sub.receive(10, timeout=0.0)] == ["t2", "t3"]
+
+
+def test_window_overflow_lapses_and_trims(metrics):
+    bus = _bus(window=4)
+    bus.subscribe("tasks/ep", "ep")
+    for index in range(6):
+        bus.publish("tasks/ep", f"t{index}")
+    # Two oldest envelopes were trimmed; the subscription was force-lapsed
+    # (the poll path is responsible for the trimmed gap).
+    assert bus.unacked("tasks/ep", "ep") == [3, 4, 5, 6]
+    assert not bus.is_active("tasks/ep", "ep")
+    assert metrics.counter_total("bus.window_trimmed") == 2
+
+
+def test_close_discards_the_window():
+    bus = _bus()
+    sub = bus.subscribe("tasks/ep", "ep")
+    bus.publish("tasks/ep", "t1")
+    sub.close()
+    assert bus.unacked("tasks/ep", "ep") == []
+    with pytest.raises(SubscriptionLapsedError):
+        sub.receive(10, timeout=0.0)
+
+
+def test_consumer_acks_contiguous_prefix_and_drops_duplicates(metrics):
+    bus = _bus()
+    consumer = BusConsumer(bus, "tasks/ep", "ep", role="endpoint")
+    bus.publish("tasks/ep", "t1")
+    bus.publish("tasks/ep", "t2")
+    e1, e2 = consumer.receive(timeout=0.0)
+    # Processing out of order: seq 2 alone cannot be acked (seq 1 is still
+    # outstanding), so the broker redelivers it — and the consumer, which
+    # already processed it, drops the duplicate.
+    consumer.done(e2)
+    assert bus.unacked("tasks/ep", "ep") == [1, 2]
+    get_clock().sleep(1.0)
+    # Both redeliver: seq 1 (never processed) comes back — that is the
+    # at-least-once contract — while processed seq 2 is suppressed.
+    assert [e.seq for e in consumer.receive(timeout=0.0)] == [1]
+    assert metrics.counter_total("bus.duplicates_dropped") == 1
+    consumer.done(e1)  # completes the prefix: cumulative ack covers both
+    assert bus.unacked("tasks/ep", "ep") == []
+
+
+def test_consumer_resubscribe_after_lapse(metrics):
+    bus = _bus(lease_ttl=5.0)
+    consumer = BusConsumer(bus, "results/c", "c", role="client")
+    get_clock().sleep(6.0)
+    bus.publish("results/c", "t1")
+    with pytest.raises(SubscriptionLapsedError):
+        consumer.receive(timeout=0.0)
+    consumer.resubscribe()
+    (envelope,) = consumer.receive(timeout=0.0)
+    assert envelope.payload == "t1"
+    consumer.done(envelope)
+    assert bus.unacked("results/c", "c") == []
+    assert metrics.counter_total("bus.resubscribes") == 1
+
+
+def test_notify_latency_histogram_is_recorded(metrics):
+    bus = _bus()
+    consumer = BusConsumer(bus, "results/c", "c", role="client")
+    bus.publish("results/c", "t1")
+    get_clock().sleep(0.5)
+    (envelope,) = consumer.receive(timeout=0.0)
+    consumer.done(envelope)
+    histograms = [
+        histogram
+        for name, _labels, histogram in metrics.histograms()
+        if name == "bus.notify_latency_s"
+    ]
+    assert len(histograms) == 1 and histograms[0].count == 1
+    assert histograms[0].values()[0] >= 0.5
+
+
+def test_bus_rejects_degenerate_parameters():
+    with pytest.raises(ValueError):
+        NotificationBus(lease_ttl=0.0)
+    with pytest.raises(ValueError):
+        NotificationBus(window=0)

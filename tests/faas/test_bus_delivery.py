@@ -1,0 +1,170 @@
+"""Bus-driven task/result delivery, the poll fallback, and client shutdown.
+
+Covers the event-driven wiring of :mod:`repro.bus` into the FaaS fabric:
+doorbell-driven fetches (no idle polling), polling-only operation when the
+bus is disabled, pause/resume interaction with subscriptions, and the
+executor/client shutdown semantics for still-pending futures.
+"""
+
+import pytest
+
+from repro.exceptions import WorkflowError
+from repro.faas import (
+    SCOPE_COMPUTE,
+    AuthServer,
+    FaasClient,
+    FaasCloud,
+    FaasEndpoint,
+    FaasExecutor,
+)
+from repro.faas.cloud import task_topic
+from repro.net.clock import get_clock
+from repro.net.context import at_site
+from repro.observe import MetricsRegistry, set_metrics
+from repro.resources import WorkerPool
+
+
+def _add(a, b):
+    return a + b
+
+
+@pytest.fixture
+def metrics():
+    registry = MetricsRegistry()
+    set_metrics(registry)
+    return registry
+
+
+def _rig(testbed, *, use_bus=True):
+    auth = AuthServer()
+    identity = auth.register_identity("u", "anl")
+    token = auth.issue_token(identity, {SCOPE_COMPUTE})
+    cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, testbed.constants)
+    pool = WorkerPool(testbed.theta_compute, 3, name="bus-pool")
+    endpoint = FaasEndpoint(
+        "theta", cloud, token, testbed.theta_login, pool, use_bus=use_bus
+    ).start()
+    client = FaasClient(cloud, token, site=testbed.theta_login, use_bus=use_bus)
+    return cloud, endpoint, client
+
+
+def test_bus_delivery_completes_tasks_without_idle_polls(testbed, metrics):
+    cloud, endpoint, client = _rig(testbed)
+    try:
+        with at_site(testbed.theta_login):
+            futures = [
+                client.run(_add, endpoint.endpoint_id, i, b=1) for i in range(4)
+            ]
+        assert [f.result(timeout=60) for f in futures] == [1, 2, 3, 4]
+    finally:
+        client.close()
+        endpoint.stop()
+    # Every fetch was doorbell-driven, so none came back empty; results
+    # arrived as bus notifications, not poll hits.
+    assert metrics.counter_total("endpoint.polls_empty") == 0
+    assert metrics.counter_total("endpoint.polls") >= 1
+    assert metrics.counter_total("bus.delivered") >= 8  # 4 doorbells + 4 results
+    assert metrics.counter_total("bus.fallback_engaged") == 0
+
+
+def test_polling_only_mode_still_works(testbed, metrics):
+    cloud, endpoint, client = _rig(testbed, use_bus=False)
+    try:
+        with at_site(testbed.theta_login):
+            future = client.run(_add, endpoint.endpoint_id, 2, b=3)
+        assert future.result(timeout=60) == 5
+    finally:
+        client.close()
+        endpoint.stop()
+    assert metrics.counter_total("bus.delivered") == 0
+    assert metrics.counter_total("endpoint.polls") >= 1
+
+
+def test_pause_resume_replays_unacked_doorbells(testbed, metrics):
+    """Satellite: doorbells published while the endpoint is paused stay in
+    its unacked window and are replayed on resume — no task event is lost."""
+    cloud, endpoint, client = _rig(testbed)
+    try:
+        endpoint.pause()
+        with at_site(testbed.theta_login):
+            futures = [
+                client.run(_add, endpoint.endpoint_id, i, b=1) for i in range(3)
+            ]
+        get_clock().sleep(1.0)
+        assert not any(f.done() for f in futures)
+        # The doorbells are parked, unacked, in the endpoint's window.
+        assert len(cloud.bus.unacked(task_topic(endpoint.endpoint_id), endpoint.endpoint_id)) == 3
+        endpoint.resume()
+        assert [f.result(timeout=60) for f in futures] == [1, 2, 3]
+    finally:
+        client.close()
+        endpoint.stop()
+
+
+def test_resume_with_reclaim_requeues_and_replays(testbed, metrics):
+    """Satellite: ``resume(reclaim=True)`` republishes doorbells for
+    requeued work and must not skip them as stale."""
+    cloud, endpoint, client = _rig(testbed)
+    try:
+        with at_site(testbed.theta_login):
+            warm = client.run(_add, endpoint.endpoint_id, 1, b=1)
+        assert warm.result(timeout=60) == 2  # endpoint has fetched before
+        endpoint.pause()
+        with at_site(testbed.theta_login):
+            futures = [
+                client.run(_add, endpoint.endpoint_id, i, b=10) for i in range(3)
+            ]
+        get_clock().sleep(1.0)
+        endpoint.resume(reclaim=True)
+        assert [f.result(timeout=60) for f in futures] == [10, 11, 12]
+    finally:
+        client.close()
+        endpoint.stop()
+    # Nothing left pending at the bus for this endpoint once all work is done.
+    assert cloud.bus.unacked(task_topic(endpoint.endpoint_id), endpoint.endpoint_id) == []
+
+
+def test_executor_shutdown_cancels_pending_futures(testbed, metrics):
+    """Satellite: ``shutdown(cancel_futures=True)`` actually cancels pending
+    futures and forgets them at the client."""
+    cloud, endpoint, client = _rig(testbed)
+    executor = FaasExecutor(client, endpoint.endpoint_id)
+    try:
+        endpoint.pause()  # tasks park at the cloud; futures stay pending
+        with at_site(testbed.theta_login):
+            futures = [executor.submit(_add, i, b=1) for i in range(3)]
+        executor.shutdown(cancel_futures=True)
+        assert all(f.cancelled() for f in futures)
+        # The client forgot them: a second sweep finds nothing to cancel.
+        assert client.cancel_pending(endpoint.endpoint_id) == 0
+        assert metrics.counter_total("client.cancelled") == 3
+    finally:
+        client.close()
+        endpoint.stop()
+
+
+def test_client_close_fails_in_flight_futures(testbed, metrics):
+    """Satellite: ``close()`` fails still-pending futures instead of
+    abandoning them to hang forever."""
+    cloud, endpoint, client = _rig(testbed)
+    endpoint.pause()
+    with at_site(testbed.theta_login):
+        future = client.run(_add, endpoint.endpoint_id, 1, b=1)
+    client.close()
+    with pytest.raises(WorkflowError, match="client closed"):
+        future.result(timeout=1)
+    assert metrics.counter_total("client.abandoned") == 1
+    endpoint.stop()
+
+
+def test_next_completed_waits_out_its_full_deadline(testbed):
+    """Satellite: ``next_completed`` loops on a deadline — a timeout with no
+    completion returns ``None`` only after the window genuinely elapses."""
+    auth = AuthServer()
+    identity = auth.register_identity("u", "anl")
+    token = auth.issue_token(identity, {SCOPE_COMPUTE})
+    cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, testbed.constants)
+    clock = get_clock()
+    start = clock.now()
+    assert cloud.next_completed("nobody", timeout=0.5) is None
+    assert clock.now() - start >= 0.5
