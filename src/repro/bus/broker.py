@@ -225,13 +225,21 @@ class NotificationBus:
     def _overflow_locked(self, state: _SubscriberState) -> None:
         """A subscriber fell more than ``window`` envelopes behind: lapse it
         and trim the oldest overflow (the poll fallback covers the trim —
-        envelopes are doorbells, the queues hold the actual work)."""
+        envelopes are doorbells, the queues hold the actual work).
+
+        Trimmed sequence numbers will never be delivered, so the cumulative
+        ack is advanced past them; otherwise the consumer's contiguous
+        frontier could never cross the gap and the window would stay wedged
+        at capacity forever (every later publish re-trimming and the
+        surviving envelopes redelivering without end)."""
         if state.active:
             self._drop_locked(state, "overflow")
         for seq in sorted(state.window)[: len(state.window) - self._window]:
             del state.window[seq]
             del state.attempts[seq]
             del state.next_attempt_at[seq]
+            if seq > state.acked:
+                state.acked = seq
             counter_inc("bus.window_trimmed", role=_role(state.topic))
 
     # -- consume ----------------------------------------------------------------
@@ -244,7 +252,7 @@ class NotificationBus:
                 if not state.active:
                     raise SubscriptionLapsedError(
                         f"subscription to {state.topic!r} lapsed; poll and "
-                        "resubscribe to replay from ack {0}".format(state.acked)
+                        f"resubscribe to replay from ack {state.acked}"
                     )
                 now = self._clock.now()
                 state.lease_expiry = now + self._lease_ttl

@@ -55,6 +55,7 @@ class BusConsumer:
         self._sub: Subscription = bus.subscribe(
             topic, subscriber_id, chaos_label=self._chaos_label
         )
+        self._sync_frontier()
 
     @property
     def topic(self) -> str:
@@ -96,12 +97,32 @@ class BusConsumer:
         if advanced:
             self._sub.ack(self._contiguous)
 
+    def trim_gap(self) -> bool:
+        """True when the broker's cumulative ack has advanced past this
+        consumer's contiguous frontier — the signature of a window-overflow
+        trim.  The doorbells in that gap are gone for good, so the owner's
+        poll fallback must drain the queue to empty before trusting the bus
+        for wakeups again."""
+        return self._sub.acked > self._contiguous
+
     def resubscribe(self) -> None:
         """Reactivate after a lapse; the broker replays from the last ack."""
         self._sub = self._bus.subscribe(
             self._topic, self._subscriber_id, chaos_label=self._chaos_label
         )
+        self._sync_frontier()
         counter_inc("bus.resubscribes", role=self._role)
+
+    def _sync_frontier(self) -> None:
+        """Adopt the broker's cumulative ack as the contiguous frontier.
+
+        A window-overflow trim advances the broker-side ack past sequence
+        numbers that will never be delivered; without this sync, ``done``
+        would wait forever for the trimmed seqs and never ack again."""
+        floor = self._sub.acked
+        if floor > self._contiguous:
+            self._contiguous = floor
+            self._done_ahead = {seq for seq in self._done_ahead if seq > floor}
 
     def close(self) -> None:
         self._sub.close()

@@ -288,9 +288,13 @@ class FaasClient:
             task_id = self.cloud.next_completed(self.client_id, timeout=0.25)
             if task_id is not None:
                 self._handle_completion(task_id)
+                continue  # keep draining until the queue is confirmed empty
             if consumer is not None and self._fallback:
-                # Hand back to the bus: resubscription replays every unacked
-                # notification, so nothing published during the gap is lost.
+                # Hand back to the bus only after an empty drain: completions
+                # whose notifications were trimmed from the redelivery window
+                # have no doorbell left, so the fallback must empty the queue
+                # before resubscribing.  Resubscription then replays every
+                # unacked notification — nothing from the gap is lost.
                 consumer.resubscribe()
                 self._fallback = False
 

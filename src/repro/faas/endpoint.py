@@ -139,6 +139,10 @@ class FaasEndpoint:
             else None
         )
         self._fallback = False
+        # Guarded by ``_fetched_lock``: the poll thread adds/reads, the
+        # uplink thread prunes reported ids, and ``resume(reclaim=True)``
+        # clears from whichever thread drives the restart.
+        self._fetched_lock = threading.Lock()
         self._fetched_tasks: set[str] = set()
 
     # -- lifecycle -----------------------------------------------------------
@@ -216,7 +220,8 @@ class FaasEndpoint:
             self._pay_api_call()
             # Forget what the dead process held *before* the requeue emits
             # fresh doorbells: those ids must not be skipped as stale.
-            self._fetched_tasks.clear()
+            with self._fetched_lock:
+                self._fetched_tasks.clear()
             self.cloud.requeue_dispatched(self.token, self.endpoint_id)
         if self._heartbeats:
             self.cloud.heartbeat(self.token, self.endpoint_id)
@@ -299,7 +304,8 @@ class FaasEndpoint:
                 return []  # idle: no cloud poll at all — the bus is quiet
             # A replayed doorbell for work this agent already pulled (via an
             # earlier fetch or a fallback poll) is acked without a fetch.
-            stale = [e for e in envelopes if e.payload in self._fetched_tasks]
+            with self._fetched_lock:
+                stale = [e for e in envelopes if e.payload in self._fetched_tasks]
             for envelope in stale:
                 counter_inc("endpoint.doorbells_stale", endpoint=self.name)
                 consumer.done(envelope)
@@ -312,8 +318,15 @@ class FaasEndpoint:
             return dispatches
         dispatches = self._fetch(timeout=self._poll_interval)
         if consumer is not None and self._fallback:
+            if dispatches and consumer.trim_gap():
+                # Doorbells trimmed by window overflow have no wakeup left,
+                # so the backlog they covered must be polled out: stay on
+                # the poll path until an empty fetch confirms the drain.
+                return dispatches
             # Hand back to the bus: resubscription replays every unacked
-            # doorbell, so no notification is lost across the gap.
+            # doorbell, so no notification is lost across the gap (and when
+            # a trim gap was crossed, the empty fetch above just confirmed
+            # nothing is stranded behind it).
             consumer.resubscribe()
             self._fallback = False
         return dispatches
@@ -328,8 +341,9 @@ class FaasEndpoint:
         counter_inc("endpoint.polls", endpoint=self.name)
         if not dispatches:
             counter_inc("endpoint.polls_empty", endpoint=self.name)
-        for dispatch in dispatches:
-            self._fetched_tasks.add(dispatch.task_id)
+        with self._fetched_lock:
+            for dispatch in dispatches:
+                self._fetched_tasks.add(dispatch.task_id)
         return dispatches
 
     def _dispatch(self, dispatch: TaskDispatch) -> None:
@@ -428,6 +442,11 @@ class FaasEndpoint:
             if item is None:
                 return
             task_id, success, payload, trace_ctx = item
+            # The task is leaving this agent: its id no longer needs to
+            # shadow replayed doorbells, and keeping it would grow the
+            # stale-set without bound over the endpoint's life.
+            with self._fetched_lock:
+                self._fetched_tasks.discard(task_id)
             if self._crashed.is_set():
                 # The dead process takes its unsent results with it; the
                 # cloud re-dispatches the task once the lease lapses.

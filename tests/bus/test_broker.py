@@ -104,6 +104,42 @@ def test_window_overflow_lapses_and_trims(metrics):
     assert metrics.counter_total("bus.window_trimmed") == 2
 
 
+def test_overflow_trim_does_not_wedge_cumulative_acks(metrics):
+    """A window trim advances the broker-side ack past the discarded seqs,
+    and the consumer adopts that frontier on resubscribe — so acks keep
+    flowing, the window drains, and overflow does not recur forever."""
+    bus = _bus(window=4)
+    consumer = BusConsumer(bus, "tasks/ep", "ep", role="endpoint", max_batch=10)
+    for index in range(6):
+        bus.publish("tasks/ep", f"t{index}")
+    # Seqs 1-2 were trimmed and the subscription force-lapsed.
+    with pytest.raises(SubscriptionLapsedError):
+        consumer.receive(timeout=0.0)
+    consumer.resubscribe()
+    for envelope in consumer.receive(timeout=0.0):
+        consumer.done(envelope)
+    # The contiguous frontier crossed the trimmed gap: everything is acked.
+    assert bus.unacked("tasks/ep", "ep") == []
+    # The window is empty again, so further publishes do not re-trim.
+    bus.publish("tasks/ep", "t6")
+    assert metrics.counter_total("bus.window_trimmed") == 2
+    (envelope,) = consumer.receive(timeout=0.0)
+    assert envelope.payload == "t6"
+
+
+def test_fresh_consumer_adopts_broker_ack_after_trim():
+    """A consumer built over pre-existing subscriber state (agent restart)
+    starts its frontier at the broker's cumulative ack, not at zero."""
+    bus = _bus(window=2)
+    bus.register_subscriber("tasks/ep", "ep")
+    for index in range(5):
+        bus.publish("tasks/ep", f"t{index}")
+    consumer = BusConsumer(bus, "tasks/ep", "ep", role="endpoint", max_batch=10)
+    for envelope in consumer.receive(timeout=0.0):
+        consumer.done(envelope)
+    assert bus.unacked("tasks/ep", "ep") == []
+
+
 def test_close_discards_the_window():
     bus = _bus()
     sub = bus.subscribe("tasks/ep", "ep")

@@ -6,6 +6,8 @@ bus is disabled, pause/resume interaction with subscriptions, and the
 executor/client shutdown semantics for still-pending futures.
 """
 
+from dataclasses import replace
+
 import pytest
 
 from repro.exceptions import WorkflowError
@@ -122,6 +124,48 @@ def test_resume_with_reclaim_requeues_and_replays(testbed, metrics):
         endpoint.stop()
     # Nothing left pending at the bus for this endpoint once all work is done.
     assert cloud.bus.unacked(task_topic(endpoint.endpoint_id), endpoint.endpoint_id) == []
+
+
+def test_trimmed_doorbell_backlog_is_drained_and_acks_recover(testbed, metrics):
+    """A backlog deeper than the redelivery window trims doorbells for good.
+    The poll fallback must drain the queue to empty before handing back to
+    the bus (no task stranded without a wakeup), and the ack frontier must
+    cross the trimmed gap instead of wedging into perpetual redelivery."""
+    auth = AuthServer()
+    identity = auth.register_identity("u", "anl")
+    token = auth.issue_token(identity, {SCOPE_COMPUTE})
+    constants = replace(testbed.constants, bus_redelivery_window=4)
+    cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, constants)
+    pool = WorkerPool(testbed.theta_compute, 3, name="trim-pool")
+    endpoint = FaasEndpoint(
+        "theta", cloud, token, testbed.theta_login, pool, max_tasks_per_poll=2
+    ).start()
+    client = FaasClient(cloud, token, site=testbed.theta_login)
+    topic = task_topic(endpoint.endpoint_id)
+    try:
+        endpoint.pause()
+        with at_site(testbed.theta_login):
+            futures = [
+                client.run(_add, endpoint.endpoint_id, i, b=1) for i in range(8)
+            ]
+        get_clock().sleep(1.0)
+        # More doorbells than the window fit: the oldest were trimmed and
+        # the subscription force-lapsed.
+        assert metrics.counter_total("bus.window_trimmed") >= 4
+        endpoint.resume()
+        assert [f.result(timeout=120) for f in futures] == list(range(1, 9))
+        # Replayed doorbells must all get acked (the frontier crossed the
+        # trimmed gap) within a bounded nominal window — a wedged frontier
+        # would redeliver the surviving envelopes forever.
+        clock = get_clock()
+        deadline = clock.now() + 30.0
+        while cloud.bus.unacked(topic, endpoint.endpoint_id) and clock.now() < deadline:
+            clock.sleep(0.5)
+        assert cloud.bus.unacked(topic, endpoint.endpoint_id) == []
+    finally:
+        client.close()
+        endpoint.stop()
+    assert metrics.counter_total("bus.fallback_engaged") >= 1
 
 
 def test_executor_shutdown_cancels_pending_futures(testbed, metrics):
