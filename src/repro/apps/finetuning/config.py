@@ -59,6 +59,12 @@ class FineTuneConfig:
     # -- resource split (CPU slots shared by simulate+sample) ----------------------------
     initial_sample_slots: int = 2
 
+    #: Attach :class:`~repro.proxystore.prefetch.PrefetchHint`s for proxied
+    #: model weights to sampling/inference submissions so the executing
+    #: site's proxy cache warms ahead of the workers.  Off reproduces the
+    #: seed behavior (first resolve pays the wire) for ablations.
+    prefetch_hints: bool = True
+
     def __post_init__(self) -> None:
         if self.target_new_structures <= 0 or self.retrain_after <= 0:
             raise ValueError("target_new_structures and retrain_after must be positive")

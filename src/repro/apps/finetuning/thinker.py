@@ -39,6 +39,7 @@ from repro.core.thinker import (
 from repro.ml.schnet import SchnetSurrogate
 from repro.net.clock import get_clock
 from repro.net.topology import Site
+from repro.proxystore.prefetch import hints_for_proxies
 from repro.proxystore.store import Store
 from repro.sim.water import Structure, make_water_cluster
 
@@ -148,9 +149,10 @@ class FineTuneThinker(BaseThinker):
             )
         )
         member = self._pick_member()
+        ref = self._model_for_submission(member)
         self.queues.send_request(
             "run_sampling",
-            args=(self._model_for_submission(member), self._fresh_cluster()),
+            args=(ref, self._fresh_cluster()),
             kwargs={
                 "n_steps": n_steps,
                 "temperature": cfg.sampling_temperature,
@@ -159,6 +161,9 @@ class FineTuneThinker(BaseThinker):
                 "payload_bytes": cfg.sampling_payload,
             },
             topic="sample",
+            # Proxied weights are shared by every sampler using this member;
+            # the hint lets the sampling site pull them ahead of the task.
+            prefetch=hints_for_proxies([ref], pin=True) if cfg.prefetch_hints else (),
         )
 
     # -- result processors ------------------------------------------------------------
@@ -233,10 +238,12 @@ class FineTuneThinker(BaseThinker):
             self._round_pending = len(chunks) * cfg.n_ensemble
         for member in range(cfg.n_ensemble):
             ref = self._model_for_submission(member)
+            hints = hints_for_proxies([ref], pin=True) if cfg.prefetch_hints else ()
             for chunk_id, chunk in enumerate(chunks):
                 self.queues.send_request(
                     "infer_energies",
                     args=(ref, chunk),
+                    prefetch=hints,
                     kwargs={
                         "duration": cfg.inference_duration
                         * len(chunk)

@@ -59,6 +59,12 @@ class MolDesignConfig:
     train_epochs: int = 40
     hidden_layers: tuple[int, ...] = (48, 48)
 
+    #: Attach :class:`~repro.proxystore.prefetch.PrefetchHint`s for the
+    #: proxied model weights to inference submissions, so the executing
+    #: site's proxy cache warms ahead of the workers.  Off reproduces the
+    #: seed behavior (first resolve pays the wire) for ablations.
+    prefetch_hints: bool = True
+
     @property
     def inference_chunk_duration(self) -> float:
         return self.inference_duration_per_model / self.inference_chunks

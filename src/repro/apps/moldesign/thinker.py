@@ -40,6 +40,7 @@ from repro.core.thinker import (
 from repro.ml.mpnn import MpnnSurrogate
 from repro.net.clock import get_clock
 from repro.net.topology import Site
+from repro.proxystore.prefetch import hints_for_proxies
 from repro.proxystore.store import Store
 from repro.serialize import Blob
 from repro.sim.chemistry import MoleculeLibrary
@@ -234,8 +235,14 @@ class MolDesignThinker(BaseThinker):
                 continue
             # Manual ahead-of-time proxying: one store entry per model,
             # shared by every chunk task, so the weights cross sites once.
+            hints: tuple = ()
             if self.cross_store is not None:
                 model = self.cross_store.proxy(model)
+                # Every chunk task carries the weights' prefetch hint
+                # (pinned: the whole wave shares them), so the executing
+                # site starts pulling the model before workers resolve it.
+                if self.config.prefetch_hints:
+                    hints = hints_for_proxies([model], pin=True)
             chunks = np.array_split(
                 np.arange(len(self.library)), self.config.inference_chunks
             )
@@ -257,6 +264,7 @@ class MolDesignThinker(BaseThinker):
                         "member": task_info["member"],
                         "chunk": chunk_id,
                     },
+                    prefetch=hints,
                 )
 
     @result_processor(topic="infer")

@@ -91,6 +91,9 @@ _REPORT_COUNTERS = (
     "bus.fallback_engaged",
     "endpoint.polls",
     "endpoint.polls_empty",
+    "endpoint.fallback_polls",
+    "endpoint.fallback_polls_empty",
+    "endpoint.doorbell_fetches_empty",
 )
 
 

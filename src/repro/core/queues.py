@@ -28,6 +28,7 @@ from repro.observe import (
 from repro.net.context import current_site
 from repro.net.kvstore import KVClient, KVServer
 from repro.net.topology import Network
+from repro.proxystore.prefetch import normalize_hints
 from repro.proxystore.store import Store
 from repro.serialize import (
     deserialize,
@@ -131,8 +132,15 @@ class ColmenaQueues:
         kwargs: dict | None = None,
         topic: str = "default",
         task_info: dict | None = None,
+        prefetch: "object | None" = None,
     ) -> Result:
-        """Create, proxy, serialize, and enqueue a task request."""
+        """Create, proxy, serialize, and enqueue a task request.
+
+        ``prefetch`` is an optional :class:`PrefetchHint` (or sequence of
+        them) naming the store keys this task will resolve; the hint rides
+        the envelope so the execution site can warm its proxy cache before
+        the task lands (see :mod:`repro.proxystore.prefetch`).
+        """
         spec = self.spec(topic)
         result = Result(
             method=method,
@@ -140,6 +148,7 @@ class ColmenaQueues:
             kwargs=kwargs or {},
             topic=topic,
             task_info=task_info or {},
+            prefetch=normalize_hints(prefetch),
         )
         result.mark_created()
         result.trace_ctx = new_task_trace(result.task_id)

@@ -52,6 +52,10 @@ class Result:
     #: :mod:`repro.observe` tracing; rides the envelope so every hop can
     #: parent its spans to this task's trace.  ``None`` when tracing is off.
     trace_ctx: tuple[str, str] | None = None
+    #: Advisory :class:`~repro.proxystore.prefetch.PrefetchHint` tuple: the
+    #: store keys this task will resolve, so whichever agent fronts the
+    #: execution site can warm its cache while the task is still in flight.
+    prefetch: tuple = ()
 
     # -- outcome -----------------------------------------------------------
     value: Any = None

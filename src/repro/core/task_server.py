@@ -33,6 +33,7 @@ from repro.net.context import SiteThread, at_site
 from repro.net.topology import Site
 from repro.observe import counter_inc, current_span, record_span, trace_span
 from repro.parsl.dataflow import DataFlowKernel
+from repro.proxystore.prefetch import apply_prefetch_hints
 from repro.proxystore.proxy import extract, is_proxy
 from repro.proxystore.store import get_store
 from repro.serialize import deserialize_cost, nominal_size, serialize_cost
@@ -311,6 +312,9 @@ class LocalTaskServer(TaskServer):
     def _dispatch(self, result: Result) -> None:
         assert self._pool is not None
         task = self._tasks[result.method]
+        # Workers share the server's site; warm its cache while the task
+        # sits in the pool queue.
+        apply_prefetch_hints(result.prefetch, self.site, via="local")
 
         def run(result: Result = result) -> Result:
             from repro.net.context import set_current_site
@@ -350,7 +354,11 @@ class ParslTaskServer(TaskServer):
         spec = self.methods[result.method]
         task = self._tasks[result.method]
         future = self.dfk.submit(
-            task, result, executor=spec.target, _trace_ctx=result.trace_ctx
+            task,
+            result,
+            executor=spec.target,
+            _trace_ctx=result.trace_ctx,
+            _prefetch_hints=result.prefetch,
         )
         future.add_done_callback(lambda f, r=result: self._on_fabric_done(r, f))
 
@@ -392,5 +400,6 @@ class FuncXTaskServer(TaskServer):
             spec.target,
             result,
             _trace_ctx=result.trace_ctx,
+            _prefetch_hints=result.prefetch,
         )
         future.add_done_callback(lambda f, r=result: self._on_fabric_done(r, f))

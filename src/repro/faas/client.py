@@ -69,6 +69,9 @@ class _PendingTask:
     #: Content digest of the argument payload — the stable base for chaos
     #: keys and retry jitter (task ids are allocation-order dependent).
     chaos_base: str
+    #: Advisory prefetch hints re-attached on every resubmission, so a
+    #: retried task still warms (or re-warms) its target endpoint.
+    prefetch: tuple = ()
 
 
 class FaasClient:
@@ -152,6 +155,7 @@ class FaasClient:
         /,
         *args: object,
         _trace_ctx: TraceContext | None = None,
+        _prefetch_hints: tuple = (),
         **kwargs: object,
     ) -> Future:
         """Invoke a registered function on an endpoint; returns a future.
@@ -160,6 +164,8 @@ class FaasClient:
         to the function) joins this invocation to an observe trace; the
         context also rides the cloud dispatch record so the endpoint and
         worker side can parent their spans to the same trace.
+        ``_prefetch_hints`` (same convention) ride the dispatch record so
+        the endpoint can warm its site's proxy cache before the task runs.
         """
         with trace_span("cloud.submit", parent=_trace_ctx, endpoint=endpoint_id) as span:
             # Direct SDK use has no task-level context; root the task's
@@ -181,6 +187,7 @@ class FaasClient:
                         args_payload,
                         trace_ctx=ctx,
                         chaos_key=f"{chaos_base}#a{attempt}",
+                        prefetch=tuple(_prefetch_hints),
                     )
                     break
                 except PayloadTooLargeError:
@@ -201,6 +208,7 @@ class FaasClient:
             args_payload=args_payload,
             attempt=attempt,
             chaos_base=chaos_base,
+            prefetch=tuple(_prefetch_hints),
         )
         with self._futures_lock:
             self._pending[task_id] = pending
@@ -213,6 +221,7 @@ class FaasClient:
         /,
         *args: object,
         _trace_ctx: TraceContext | None = None,
+        _prefetch_hints: tuple = (),
         **kwargs: object,
     ) -> Future:
         """Register-if-needed and submit in one call."""
@@ -221,6 +230,7 @@ class FaasClient:
             endpoint_id,
             *args,
             _trace_ctx=_trace_ctx,
+            _prefetch_hints=_prefetch_hints,
             **kwargs,
         )
 
@@ -387,6 +397,7 @@ class FaasClient:
                 pending.args_payload,
                 trace_ctx=pending.trace_ctx,
                 chaos_key=f"{pending.chaos_base}#a{attempt}",
+                prefetch=pending.prefetch,
             )
         counter_inc("faas.api_calls", op="submit")
         pending.attempt = attempt

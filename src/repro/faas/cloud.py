@@ -98,6 +98,9 @@ class TaskRecord:
     #: Endpoints this task was reassigned *away from*; a result reported by
     #: one of them is a stale lease, not a protocol error.
     previous_endpoints: list[str] = field(default_factory=list)
+    #: Advisory prefetch hints from the client, forwarded on dispatch so the
+    #: executing endpoint can warm its site's proxy cache.
+    prefetch: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -110,6 +113,7 @@ class TaskDispatch:
     args_locator: str
     trace_ctx: TraceContext | None = None
     chaos_key: str | None = None
+    prefetch: tuple = ()
 
 
 @dataclass
@@ -438,6 +442,7 @@ class FaasCloud:
         *,
         trace_ctx: TraceContext | None = None,
         chaos_key: str | None = None,
+        prefetch: tuple = (),
     ) -> str:
         self.auth.validate(token, SCOPE_COMPUTE)
         self.endpoint_site(endpoint_id)
@@ -472,6 +477,7 @@ class FaasCloud:
             submitted_at=self.clock.now(),
             trace_ctx=trace_ctx,
             chaos_key=chaos_key,
+            prefetch=tuple(prefetch),
         )
         with self._queue_cond:
             self._tasks[task_id] = record
@@ -567,6 +573,7 @@ class FaasCloud:
                         record.args_locator,
                         record.trace_ctx,
                         record.chaos_key,
+                        record.prefetch,
                     )
                 )
             gauge_set("faas.queue_depth", len(queue), endpoint=endpoint_id)

@@ -32,6 +32,7 @@ from repro.net.clock import Clock, get_clock
 from repro.net.context import SiteThread
 from repro.net.topology import Site
 from repro.observe import TraceContext, counter_inc, trace_span
+from repro.proxystore.prefetch import apply_prefetch_hints
 from repro.resources.worker import WorkerPool
 from repro.serialize import (
     Payload,
@@ -311,13 +312,16 @@ class FaasEndpoint:
                 consumer.done(envelope)
             if len(stale) == len(envelopes):
                 return []
-            dispatches = self._fetch(timeout=0.0)
+            dispatches = self._fetch(timeout=0.0, kind="doorbell")
             for envelope in envelopes:
                 if envelope not in stale:
                     consumer.done(envelope)
             return dispatches
-        dispatches = self._fetch(timeout=self._poll_interval)
-        if consumer is not None and self._fallback:
+        in_fallback = consumer is not None and self._fallback
+        dispatches = self._fetch(
+            timeout=self._poll_interval, kind="fallback" if in_fallback else "poll"
+        )
+        if in_fallback:
             if dispatches and consumer.trim_gap():
                 # Doorbells trimmed by window overflow have no wakeup left,
                 # so the backlog they covered must be polled out: stay on
@@ -331,22 +335,44 @@ class FaasEndpoint:
             self._fallback = False
         return dispatches
 
-    def _fetch(self, timeout: float) -> list[TaskDispatch]:
+    def _fetch(self, timeout: float, *, kind: str = "poll") -> list[TaskDispatch]:
         # One-way request; the fetch long-polls server-side.
         self._clock.sleep(self.cloud.network.latency(self.site, self.cloud.site))
         dispatches = self.cloud.fetch_tasks(
             self.token, self.endpoint_id, self._max_tasks, timeout
         )
         self._clock.sleep(self.cloud.network.latency(self.cloud.site, self.site))
-        counter_inc("endpoint.polls", endpoint=self.name)
-        if not dispatches:
-            counter_inc("endpoint.polls_empty", endpoint=self.name)
+        # ``endpoint.polls_empty / endpoint.polls`` is the *idle-spin*
+        # fraction, so only the long-poll loop feeds it.  Fetches mandated
+        # by the bus protocol (a doorbell's pull, the fallback's gap drain —
+        # whose final fetch is empty *by design*, confirming the drain) are
+        # counted separately: bounded per gap, they are work, not idling.
+        if kind == "fallback":
+            counter_inc("endpoint.fallback_polls", endpoint=self.name)
+            if not dispatches:
+                counter_inc("endpoint.fallback_polls_empty", endpoint=self.name)
+        else:
+            counter_inc("endpoint.polls", endpoint=self.name)
+            if not dispatches:
+                if kind == "doorbell":
+                    counter_inc("endpoint.doorbell_fetches_empty", endpoint=self.name)
+                else:
+                    counter_inc("endpoint.polls_empty", endpoint=self.name)
         with self._fetched_lock:
             for dispatch in dispatches:
                 self._fetched_tasks.add(dispatch.task_id)
         return dispatches
 
     def _dispatch(self, dispatch: TaskDispatch) -> None:
+        # Fire the advisory cache warm first: the weights transfer toward
+        # the *worker* site overlaps the argument download and the pool's
+        # queueing delay, so the task's first proxy resolve lands hot.
+        if dispatch.prefetch:
+            fired = apply_prefetch_hints(
+                dispatch.prefetch, self.pool.site, via=f"endpoint:{self.name}"
+            )
+            if fired:
+                counter_inc("endpoint.prefetches", endpoint=self.name)
         # Pull the argument payload down from the cloud store (charged to
         # this thread: the endpoint is the one blocked on the download).
         with trace_span(

@@ -23,6 +23,7 @@ from repro.net.context import SiteThread
 from repro.net.topology import Network, Site
 from repro.observe import TraceContext, counter_inc, trace_span
 from repro.parsl.channels import Channel, DirectChannel
+from repro.proxystore.prefetch import apply_prefetch_hints
 from repro.resources.worker import WorkerPool
 from repro.serialize import (
     Payload,
@@ -71,7 +72,7 @@ class HtexExecutor(Executor):
         self.channel.validate(network, pool.site, controller_site)
         self._clock = clock or get_clock()
         self._tasks: queue.Queue[
-            tuple[Future, Payload, Callable, TraceContext | None] | None
+            tuple[Future, Payload, Callable, TraceContext | None, tuple] | None
         ] = queue.Queue()
         self._running = False
         self._interchange: SiteThread | None = None
@@ -119,6 +120,7 @@ class HtexExecutor(Executor):
         /,
         *args: object,
         _trace_ctx: TraceContext | None = None,
+        _prefetch_hints: tuple = (),
         **kwargs: object,
     ) -> Future:
         if not self._running:
@@ -127,7 +129,7 @@ class HtexExecutor(Executor):
             payload = serialize((args, kwargs))
             self._clock.sleep(serialize_cost(payload.nominal_size))
         future: Future = Future()
-        self._tasks.put((future, payload, fn, _trace_ctx))
+        self._tasks.put((future, payload, fn, _trace_ctx, tuple(_prefetch_hints)))
         return future
 
     # -- interchange + worker glue ---------------------------------------------------
@@ -136,7 +138,14 @@ class HtexExecutor(Executor):
             item = self._tasks.get()
             if item is None:
                 return
-            future, payload, fn, trace_ctx = item
+            future, payload, fn, trace_ctx, prefetch_hints = item
+            # Warm the worker site's proxy cache while the argument payload
+            # is still crossing the channel, so first resolves land on hot
+            # replicas instead of paying the wire per worker.
+            if prefetch_hints:
+                apply_prefetch_hints(
+                    prefetch_hints, self.pool.site, via=f"htex:{self.label}"
+                )
             # Interchange -> worker: the whole argument payload rides the
             # channel (tunnels cap throughput and add latency).
             with trace_span("htex.dispatch", parent=trace_ctx, executor=self.label):

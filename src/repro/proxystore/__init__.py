@@ -7,11 +7,17 @@ Quick use::
     # `p` pickles to ~256 bytes; first use anywhere materializes the target.
 """
 
+from repro.proxystore.cache import CacheStats, EvictionPolicy, SiteCache
 from repro.proxystore.connectors import (
     Connector,
     FileConnector,
     GlobusConnector,
     RedisConnector,
+)
+from repro.proxystore.prefetch import (
+    PrefetchHint,
+    apply_prefetch_hints,
+    hints_for_proxies,
 )
 from repro.proxystore.proxy import (
     Factory,
@@ -24,6 +30,7 @@ from repro.proxystore.proxy import (
     resolve_seconds,
 )
 from repro.proxystore.store import (
+    PrefetchHandle,
     Store,
     StoreFactory,
     StoreMetrics,
@@ -34,6 +41,13 @@ from repro.proxystore.store import (
 )
 
 __all__ = [
+    "CacheStats",
+    "EvictionPolicy",
+    "SiteCache",
+    "PrefetchHint",
+    "PrefetchHandle",
+    "apply_prefetch_hints",
+    "hints_for_proxies",
     "Connector",
     "FileConnector",
     "GlobusConnector",

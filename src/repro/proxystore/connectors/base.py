@@ -51,5 +51,17 @@ class Connector(ABC):
         for key, payload in items.items():
             self.put(key, payload)
 
+    def get_batch(
+        self, keys: "list[str] | tuple[str, ...]", timeout: float | None = None
+    ) -> dict[str, Payload]:
+        """Fetch several payloads at once (the read-side twin of
+        :meth:`put_batch`, used by cache prefetch).
+
+        The default is a loop of :meth:`get`; backends whose reads block on
+        per-task waits (managed transfers) override this to wait each
+        underlying transfer task once instead of once per key.
+        """
+        return {key: self.get(key, timeout=timeout) for key in keys}
+
     def close(self) -> None:
         """Release resources; default no-op."""

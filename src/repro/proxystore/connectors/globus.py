@@ -147,6 +147,26 @@ class GlobusConnector(Connector):
                     ) from None
                 clock.sleep(0.01)
 
+    def get_batch(
+        self, keys: "list[str] | tuple[str, ...]", timeout: float | None = None
+    ) -> dict[str, Payload]:
+        """Fetch many keys, waiting each inbound transfer *task* only once.
+
+        Keys staged together by :meth:`put_batch` share one transfer task;
+        a prefetch of a whole model-weight batch therefore blocks on one
+        managed-transfer wait instead of one per key.
+        """
+        local = self._local_endpoint()
+        site_name = local.site.name
+        with self._lock:
+            task_ids = {self._pending.get((key, site_name)) for key in keys}
+        for task_id in task_ids - {None}:
+            try:
+                self._client.wait(task_id, timeout=timeout)
+            except TransferError as exc:
+                raise StoreError(f"globus connector: transfer failed: {exc}") from exc
+        return {key: self.get(key, timeout=timeout) for key in keys}
+
     def exists(self, key: str) -> bool:
         local = self._local_endpoint()
         if local.volume.exists(self._path(key)):

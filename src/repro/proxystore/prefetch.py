@@ -1,0 +1,113 @@
+"""Ahead-of-time prefetch hints: warm a site's proxy cache before workers land.
+
+The paper's sub-100 ms proxy resolutions come from model weights reaching a
+site *once*, ahead of the inference wave that uses them.  A
+:class:`PrefetchHint` names the store keys a batch of tasks is about to
+touch; it rides the task envelope (``Result.prefetch``) through the task
+server and compute fabric, and whichever agent fronts the target resource
+(FaaS endpoint, HTEX interchange, local pool) fires
+:func:`apply_prefetch_hints` so the site cache is warming while the task is
+still in flight.  Hints are advisory: an unknown store or a failed warm
+never fails the task — it only shows up in the ``store.prefetch_errors``
+counter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.observe import counter_inc
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.topology import Site
+
+__all__ = ["PrefetchHint", "hints_for_proxies", "apply_prefetch_hints"]
+
+
+@dataclass(frozen=True)
+class PrefetchHint:
+    """Keys of one store that upcoming tasks will resolve.
+
+    ``pin=True`` marks the objects as pressure-immune once cached (model
+    weights shared by a whole inference fan-out); one-shot inputs should
+    leave it False so they age out normally.
+    """
+
+    store_name: str
+    keys: tuple[str, ...]
+    pin: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "keys", tuple(self.keys))
+
+
+def hints_for_proxies(
+    proxies: Iterable[object], *, pin: bool = False
+) -> tuple[PrefetchHint, ...]:
+    """Build hints for every store-backed proxy in ``proxies``.
+
+    Non-proxies and proxies whose factory does not reference a registered
+    store (e.g. :class:`~repro.proxystore.proxy.SimpleFactory`) are skipped,
+    so callers can pass their raw argument list.
+    """
+    from repro.proxystore.proxy import is_proxy
+
+    keys_by_store: dict[str, list[str]] = {}
+    for obj in proxies:
+        if not is_proxy(obj):
+            continue
+        factory = object.__getattribute__(obj, "__proxy_factory__")
+        store_name = getattr(factory, "store_name", None)
+        key = getattr(factory, "key", None)
+        if store_name is None or key is None:
+            continue
+        bucket = keys_by_store.setdefault(store_name, [])
+        if key not in bucket:
+            bucket.append(key)
+    return tuple(
+        PrefetchHint(store_name, tuple(keys), pin=pin)
+        for store_name, keys in keys_by_store.items()
+    )
+
+
+def normalize_hints(
+    prefetch: "PrefetchHint | Sequence[PrefetchHint] | None",
+) -> tuple[PrefetchHint, ...]:
+    """Accept one hint, a sequence, or None; return a tuple."""
+    if prefetch is None:
+        return ()
+    if isinstance(prefetch, PrefetchHint):
+        return (prefetch,)
+    return tuple(prefetch)
+
+
+def apply_prefetch_hints(
+    hints: Sequence[PrefetchHint] | None,
+    site: "Site | str | None",
+    *,
+    via: str = "unknown",
+) -> int:
+    """Fire asynchronous cache warms for ``hints`` at ``site``.
+
+    Returns the number of hints dispatched.  Never raises: the warm is an
+    optimization layered on a correct cold path, so an unknown store (the
+    hint outlived the campaign) or a closed connector only increments
+    ``store.prefetch_errors``.
+    """
+    if not hints:
+        return 0
+    from repro.proxystore.store import get_store
+
+    fired = 0
+    for hint in hints:
+        try:
+            store = get_store(hint.store_name)
+            store.prefetch(hint.keys, site=site, pin=hint.pin)
+        except Exception:  # noqa: BLE001 - advisory path, never fatal
+            counter_inc("store.prefetch_errors", store=hint.store_name, via=via)
+            continue
+        fired += 1
+        counter_inc("store.prefetch_hints_applied", store=hint.store_name, via=via)
+    return fired

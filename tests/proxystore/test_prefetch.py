@@ -1,0 +1,325 @@
+"""Tests for the proxy data plane: ahead-of-time prefetch, single-flight
+resolution, and prefetch hints riding task envelopes end to end."""
+
+import statistics
+import threading
+
+import pytest
+
+from repro.faas.auth import AuthServer
+from repro.faas.client import FaasClient
+from repro.faas.cloud import SCOPE_COMPUTE, FaasCloud
+from repro.faas.endpoint import FaasEndpoint
+from repro.net.clock import get_clock
+from repro.net.context import at_site
+from repro.net.kvstore import KVServer
+from repro.observe import MetricsRegistry, set_metrics
+from repro.proxystore import (
+    PrefetchHint,
+    RedisConnector,
+    Store,
+    apply_prefetch_hints,
+    hints_for_proxies,
+)
+from repro.proxystore.prefetch import normalize_hints
+from repro.resources.worker import WorkerPool
+from repro.serialize import Blob
+
+
+class CountingConnector(RedisConnector):
+    """RedisConnector that counts backend fetches (the wire transfers)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.fetches = 0
+        self._count_lock = threading.Lock()
+
+    def get(self, key, timeout=None):
+        with self._count_lock:
+            self.fetches += 1
+        return super().get(key, timeout=timeout)
+
+
+@pytest.fixture
+def metrics():
+    registry = MetricsRegistry()
+    set_metrics(registry)
+    yield registry
+    set_metrics(None)
+
+
+@pytest.fixture
+def rig(testbed):
+    server = KVServer(testbed.theta_login)
+    connector = CountingConnector(server, testbed.network)
+    store = Store("dataplane", connector, cache_bytes=500_000_000)
+    yield store, connector, testbed
+    store.close()
+
+
+def _put_weights(store, testbed, n=4, nbytes=2_000_000):
+    with at_site(testbed.theta_login):
+        return [store.put(Blob(nbytes, tag=f"weights-{i}")) for i in range(n)]
+
+
+# -- prefetch ---------------------------------------------------------------------
+
+
+def test_prefetch_warms_remote_site_cache(rig, metrics):
+    store, connector, testbed = rig
+    keys = _put_weights(store, testbed)
+    handle = store.prefetch(keys, site=testbed.theta_compute, wait=True)
+    assert handle.done
+    assert handle.fetched == len(keys)
+    assert handle.errors == 0
+    stats = store.cache_stats(testbed.theta_compute)
+    assert set(stats.residents) == set(keys)
+    # Every subsequent first-touch resolve at the warm site is a hit.
+    with at_site(testbed.theta_compute):
+        for key in keys:
+            store.get(key)
+    assert store.metrics.cache_hits == len(keys)
+    assert store.metrics.cache_misses == 0
+    assert metrics.counter_total("store.prefetched") == len(keys)
+
+
+def test_warm_first_resolve_p50_is_10x_faster_than_cold(testbed):
+    """The acceptance criterion: under the virtual clock, the first resolve
+    of hinted model weights on a warm site is >= 10x faster than the
+    unhinted (seed) cold path.
+
+    Model-weight-sized payloads (200 MB nominal, as in the paper's ~GB-scale
+    inference inputs) make the cold wire cost dominate the scaled-wall-clock
+    noise a cache hit still pays for its few microseconds of Python."""
+    server = KVServer(testbed.theta_login)
+    store = Store(
+        "latency-store", RedisConnector(server, testbed.network), cache_bytes=3_000_000_000
+    )
+    try:
+        cold_keys = _put_weights(store, testbed, n=5, nbytes=200_000_000)
+        warm_keys = _put_weights(store, testbed, n=5, nbytes=200_000_000)
+        store.prefetch(warm_keys, site=testbed.theta_compute, pin=True, wait=True)
+        clock = get_clock()
+
+        def first_resolve(key):
+            start = clock.now()
+            store.get(key)
+            return clock.now() - start
+
+        with at_site(testbed.theta_compute):
+            cold_p50 = statistics.median(first_resolve(k) for k in cold_keys)
+            warm_p50 = statistics.median(first_resolve(k) for k in warm_keys)
+        assert cold_p50 > 0
+        assert cold_p50 >= 10 * max(warm_p50, 1e-9)
+    finally:
+        store.close()
+
+
+def test_prefetch_already_cached_keys_is_skipped(rig, metrics):
+    store, connector, testbed = rig
+    keys = _put_weights(store, testbed, n=2)
+    store.prefetch(keys, site=testbed.theta_compute, wait=True)
+    before = connector.fetches
+    handle = store.prefetch(keys, site=testbed.theta_compute, pin=True, wait=True)
+    assert handle.fetched == 0
+    assert handle.skipped == len(keys)
+    assert connector.fetches == before  # no redundant wire transfer
+    # pin=True on a re-warm upgrades the resident entries.
+    assert store.cache_stats(testbed.theta_compute).pinned == len(keys)
+
+
+def test_prefetch_pinned_weights_survive_cache_pressure(testbed):
+    server = KVServer(testbed.theta_login)
+    store = Store(
+        "pinned-store", RedisConnector(server, testbed.network), cache_bytes=5_000_000
+    )
+    try:
+        with at_site(testbed.theta_login):
+            weights_key = store.put(Blob(2_000_000, tag="weights"))
+            input_keys = [store.put(Blob(1_500_000, tag=f"in{i}")) for i in range(6)]
+        store.prefetch([weights_key], site=testbed.theta_compute, pin=True, wait=True)
+        with at_site(testbed.theta_compute):
+            for key in input_keys:  # one-shot inputs churn the cache
+                store.get(key)
+            stats = store.cache_stats()
+            assert stats.bytes_used <= stats.bytes_budget
+            assert weights_key in stats.residents
+    finally:
+        store.close()
+
+
+def test_prefetch_unknown_key_is_advisory(rig, metrics):
+    store, connector, testbed = rig
+    handle = store.prefetch(["no-such-key"], site=testbed.theta_compute, wait=True)
+    assert handle.done
+    assert handle.errors == 1
+    assert metrics.counter_total("store.prefetch_errors") >= 1
+    # The failed warm never poisons the cold path for real keys.
+    keys = _put_weights(store, testbed, n=1)
+    with at_site(testbed.theta_compute):
+        store.get(keys[0])
+
+
+def test_apply_hints_unknown_store_never_raises(metrics):
+    hint = PrefetchHint("no-such-store", ("k",))
+    assert apply_prefetch_hints([hint], None, via="test") == 0
+    assert metrics.counter_total("store.prefetch_errors") == 1
+    assert apply_prefetch_hints((), None) == 0
+    assert apply_prefetch_hints(None, None) == 0
+
+
+# -- single-flight ----------------------------------------------------------------
+
+
+def test_concurrent_gets_coalesce_to_exactly_one_fetch(rig):
+    """The acceptance criterion: an N-worker fan-out on one key pays exactly
+    one connector fetch."""
+    store, connector, testbed = rig
+    with at_site(testbed.theta_login):
+        key = store.put(Blob(20_000_000, tag="weights"))
+    n = 8
+    barrier = threading.Barrier(n)
+    results, errors = [], []
+
+    def resolve():
+        try:
+            barrier.wait(timeout=30)
+            with at_site(testbed.theta_compute):
+                results.append(store.get(key))
+        except Exception as exc:  # noqa: BLE001 - surfaced via assert
+            errors.append(exc)
+
+    threads = [threading.Thread(target=resolve, daemon=True) for _ in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors
+    assert len(results) == n
+    assert connector.fetches == 1
+    m = store.metrics
+    assert m.cache_misses == 1  # one leader paid the wire
+    assert m.cache_hits == n - 1  # everyone else coalesced or hit the replica
+
+
+def test_singleflight_counts_coalesced_waiters(rig, metrics):
+    store, connector, testbed = rig
+    with at_site(testbed.theta_login):
+        key = store.put(Blob(50_000_000, tag="big"))
+    n = 6
+    barrier = threading.Barrier(n)
+
+    def resolve():
+        barrier.wait(timeout=30)
+        with at_site(testbed.theta_compute):
+            store.get(key)
+
+    threads = [threading.Thread(target=resolve, daemon=True) for _ in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert connector.fetches == 1
+    assert (
+        store.metrics.coalesced
+        + metrics.counter_total("store.singleflight_coalesced")
+        >= 0
+    )  # counters exist; exact split depends on arrival timing
+    assert store.metrics.cache_hits + store.metrics.cache_misses == n
+
+
+def test_resolve_mid_prefetch_latches_onto_the_warm(rig):
+    store, connector, testbed = rig
+    keys = _put_weights(store, testbed, n=1, nbytes=50_000_000)
+    handle = store.prefetch(keys, site=testbed.theta_compute)  # async warm
+    with at_site(testbed.theta_compute):
+        store.get(keys[0])  # may latch mid-warm or hit the fresh replica
+    handle.wait()
+    assert connector.fetches == 1
+
+
+# -- hints ------------------------------------------------------------------------
+
+
+def test_hints_for_proxies_collects_store_backed_proxies(rig):
+    store, connector, testbed = rig
+    with at_site(testbed.theta_login):
+        p1 = store.proxy(Blob(1000, tag="a"))
+        p2 = store.proxy(Blob(1000, tag="b"))
+    hints = hints_for_proxies([p1, "not-a-proxy", 42, p2, p1], pin=True)
+    assert len(hints) == 1
+    hint = hints[0]
+    assert hint.store_name == "dataplane"
+    assert len(hint.keys) == 2  # deduplicated
+    assert hint.pin
+
+
+def test_hints_for_proxies_skips_simple_factories():
+    from repro.proxystore.proxy import Proxy, SimpleFactory
+
+    proxy = Proxy(SimpleFactory([1, 2, 3]))
+    assert hints_for_proxies([proxy]) == ()
+
+
+def test_normalize_hints_accepts_one_or_many():
+    hint = PrefetchHint("s", ("k",))
+    assert normalize_hints(None) == ()
+    assert normalize_hints(hint) == (hint,)
+    assert normalize_hints([hint, hint]) == (hint, hint)
+
+
+def test_prefetch_hint_pickles_by_value():
+    import pickle
+
+    hint = PrefetchHint("s", ("k1", "k2"), pin=True)
+    clone = pickle.loads(pickle.dumps(hint))
+    assert clone == hint
+
+
+# -- end to end through the FaaS fabric -------------------------------------------
+
+
+def _resolve_weights(weights):
+    # Touching the proxy materializes it at the worker's site.
+    return weights.nbytes
+
+
+def test_endpoint_prefetch_warms_worker_site_end_to_end(rig, metrics):
+    """A hinted FaaS submission warms the worker site's cache while the task
+    is in flight; the weights cross the wire exactly once."""
+    store, connector, testbed = rig
+    with at_site(testbed.theta_login):
+        weights = store.proxy(Blob(5_000_000, tag="weights"))
+    hints = hints_for_proxies([weights], pin=True)
+    assert hints
+
+    auth = AuthServer()
+    token = auth.issue_token(auth.register_identity("u", "anl"), {SCOPE_COMPUTE})
+    cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, testbed.constants)
+    pool = WorkerPool(testbed.theta_compute, 3, name="prefetch-pool")
+    endpoint = FaasEndpoint(
+        "theta", cloud, token, testbed.theta_login, pool, use_bus=False
+    ).start()
+    client = FaasClient(
+        cloud, token, site=testbed.theta_login, use_bus=False
+    )
+    try:
+        with at_site(testbed.theta_login):
+            futures = [
+                client.run(
+                    _resolve_weights, endpoint.endpoint_id, weights,
+                    _prefetch_hints=hints,
+                )
+                for _ in range(3)
+            ]
+        assert [f.result(timeout=60) for f in futures] == [5_000_000] * 3
+    finally:
+        client.close()
+        endpoint.stop()
+        pool.stop()
+    assert metrics.counter_total("endpoint.prefetches") >= 1
+    assert metrics.counter_total("store.prefetch_hints_applied") >= 1
+    # The weights key crossed the wire to the worker site exactly once,
+    # no matter how tasks and the warm interleaved.
+    assert connector.fetches == 1
+    assert store.cache_stats(testbed.theta_compute).pinned == 1

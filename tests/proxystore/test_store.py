@@ -176,3 +176,101 @@ def test_store_factory_unknown_store_errors():
     proxy = Proxy(StoreFactory("no-such-store", "key"))
     with pytest.raises(ProxyResolutionError):
         len(proxy)
+
+
+# -- data-plane satellites ------------------------------------------------------
+
+
+def test_put_batch_key_object_length_mismatch(store, testbed):
+    with at_site(testbed.theta_login):
+        with pytest.raises(StoreError):
+            store.put_batch([1, 2, 3], keys=["only-one"])
+
+
+def test_proxy_from_key_missing_key_raises_clearly(store, testbed):
+    from repro.exceptions import ProxyResolutionError
+
+    proxy = store.proxy_from_key("never-stored")
+    with at_site(testbed.theta_login):
+        with pytest.raises(ProxyResolutionError):
+            len(proxy)
+
+
+def test_metrics_reservoirs_are_bounded():
+    from repro.proxystore.store import _RESERVOIR_SIZE, StoreMetrics
+
+    metrics = StoreMetrics()
+    n = _RESERVOIR_SIZE + 250
+    for i in range(n):
+        metrics.record_put(0.5, 10)
+        metrics.record_get(0.25, 10, cache_hit=(i % 2 == 0))
+    # Totals stay exact while the sample lists stay bounded.
+    assert metrics.puts == n
+    assert metrics.gets == n
+    assert metrics.put_bytes_total == 10 * n
+    assert len(metrics.put_times) == _RESERVOIR_SIZE
+    assert len(metrics.get_times) == _RESERVOIR_SIZE
+    assert len(metrics.put_bytes) == _RESERVOIR_SIZE
+    summary = metrics.summary()
+    assert summary["puts"] == n
+    assert summary["put_median_s"] == 0.5
+    assert summary["get_median_s"] == 0.25
+    assert summary["cache_hit_rate"] == 0.5
+
+
+def test_evict_after_resolve_is_once_per_campaign(store, testbed):
+    """StoreFactory(evict=True): the backend copy is dropped exactly once;
+    re-resolves on a site that cached the object stay hits, and a backend
+    miss on a released key explains itself."""
+    with at_site(testbed.theta_login):
+        proxy = store.proxy("payload", evict=True)
+        key = object.__getattribute__(proxy, "__proxy_factory__").key
+        assert proxy == "payload"  # first resolve releases the backend copy
+        assert not store.exists(key)
+        # A retry / duplicate delivery on the same site hits the cache.
+        clone = store.proxy_from_key(key, evict=True)
+        assert clone == "payload"
+    # A site that never cached it gets the targeted explanation.
+    with at_site(testbed.theta_compute):
+        with pytest.raises(StoreError, match="evict-after-resolve"):
+            store.get(key)
+
+
+def test_release_is_idempotent(store, testbed):
+    with at_site(testbed.theta_login):
+        key = store.put("x")
+        assert store.release(key)
+        assert not store.release(key)
+
+
+def test_put_records_write_side_observability(store, testbed):
+    from repro.observe import MetricsRegistry, Tracer, set_metrics, set_tracer
+
+    registry = MetricsRegistry()
+    set_metrics(registry)
+    tracer = Tracer()
+    set_tracer(tracer)
+    try:
+        with at_site(testbed.theta_login):
+            key = store.put(b"x" * 2000)
+            store.put_batch([b"a" * 500, b"b" * 500])
+            store.get(key)
+        # Write side is symmetric with the read side: a proxy.put span per
+        # put/put_batch alongside the existing proxy.resolve span.
+        span_names = [s.name for s in tracer.spans()]
+        assert span_names.count("proxy.put") == 2
+        assert "proxy.resolve" in span_names
+        hists = {name for name, _, _ in registry.histograms()}
+        assert "store.put_s" in hists
+        assert "store.get_s" in hists
+        assert registry.counter_total("store.puts") == 3  # 1 put + 2 batched
+        # Hit/miss counters carry a site label for per-site hit rates.
+        hit_labels = [
+            labels
+            for name, labels, _ in registry.counters()
+            if name in ("store.cache_hits", "store.cache_misses")
+        ]
+        assert hit_labels and all("site" in labels for labels in hit_labels)
+    finally:
+        set_metrics(None)
+        set_tracer(None)
