@@ -147,6 +147,8 @@ def build_workflow(
     use_batch_scheduler: bool = False,
     batch_queue_delay: object | None = None,
     faas_retry_policy: object | None = None,
+    faas_cloud: object | None = None,
+    tenant: str = "default",
 ) -> WorkflowHandle:
     """Assemble one of the three §V-B workflow stacks on ``testbed``.
 
@@ -158,9 +160,19 @@ def build_workflow(
     ``faas_retry_policy`` (a :class:`repro.chaos.RetryPolicy`) makes the
     FuncX stack's client retry failed tasks with backoff; the default None
     keeps the historical fail-fast behavior.
+
+    ``faas_cloud`` lets several campaigns share one cloud (typically a
+    :class:`repro.tenancy.CloudRouter`) instead of each building its own;
+    ``tenant`` is the tenant this campaign acts as on that shared cloud —
+    it must already exist there, and the issued token carries its scope.
+    Only meaningful for the ``funcx+globus`` configuration.
     """
     if config not in WORKFLOW_CONFIGS:
         raise WorkflowError(f"unknown workflow config {config!r}; pick from {WORKFLOW_CONFIGS}")
+    if faas_cloud is not None and config != "funcx+globus":
+        raise WorkflowError(
+            f"faas_cloud is only meaningful for 'funcx+globus', not {config!r}"
+        )
     run_id = run_id or uuid.uuid4().hex[:8]
     constants = testbed.constants
     n_cpu = n_cpu_workers if n_cpu_workers is not None else constants.n_cpu_workers
@@ -294,10 +306,21 @@ def build_workflow(
             dfk,
         )
     else:
-        auth = AuthServer()
+        from repro.tenancy import DEFAULT_TENANT, tenant_scope
+
+        if faas_cloud is not None:
+            # Shared (typically sharded) cloud: campaigns are tenants of the
+            # same control plane, authenticating against its auth server.
+            cloud = faas_cloud
+            auth = cloud.auth
+        else:
+            auth = AuthServer()
+            cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, constants)
         identity = auth.register_identity(run_id, "anl.gov")
-        token = auth.issue_token(identity, {SCOPE_COMPUTE, SCOPE_TRANSFER})
-        cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, constants)
+        scopes = {SCOPE_COMPUTE, SCOPE_TRANSFER}
+        if tenant != DEFAULT_TENANT:
+            scopes.add(tenant_scope(tenant))
+        token = auth.issue_token(identity, scopes)
         ep_cpu = FaasEndpoint(
             f"{run_id}-theta", cloud, token, testbed.theta_login, cpu_pool
         ).start()
@@ -306,7 +329,11 @@ def build_workflow(
         ).start()
         endpoints = [ep_cpu, ep_gpu]
         faas_client = FaasClient(
-            cloud, token, site=testbed.theta_login, retry_policy=faas_retry_policy
+            cloud,
+            token,
+            site=testbed.theta_login,
+            retry_policy=faas_retry_policy,
+            tenant=tenant,
         )
         targets = {"cpu": ep_cpu.endpoint_id, "gpu": ep_gpu.endpoint_id}
         task_server = FuncXTaskServer(

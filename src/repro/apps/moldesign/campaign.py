@@ -67,8 +67,14 @@ def run_moldesign_campaign(
     n_cpu_workers: int | None = None,
     n_gpu_workers: int | None = None,
     join_timeout: float | None = 600.0,
+    faas_cloud: object | None = None,
+    tenant: str = "default",
 ) -> MolDesignOutcome:
-    """Run one campaign; ``join_timeout`` is wall seconds (safety net)."""
+    """Run one campaign; ``join_timeout`` is wall seconds (safety net).
+
+    ``faas_cloud``/``tenant`` let the campaign run as one tenant of a
+    shared (sharded) cloud instead of building its own — see
+    :func:`repro.apps.common.build_workflow`."""
     config = config or MolDesignConfig()
     testbed = testbed or build_paper_testbed(seed=seed, constants=constants)
     n_cpu = n_cpu_workers if n_cpu_workers is not None else testbed.constants.n_cpu_workers
@@ -102,6 +108,8 @@ def run_moldesign_campaign(
         policies,
         n_cpu_workers=n_cpu,
         n_gpu_workers=n_gpu_workers,
+        faas_cloud=faas_cloud,
+        tenant=tenant,
     )
     thinker = MolDesignThinker(
         handle.queues,

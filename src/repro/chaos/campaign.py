@@ -69,6 +69,7 @@ FAULT_MODES: tuple[str, ...] = (
     "notification_loss",
     "notification_duplicate",
     "subscription_drop",
+    "shard_outage",
 )
 
 #: Workflow configurations (FaaS fabric + ProxyStore backend).
@@ -94,6 +95,8 @@ _REPORT_COUNTERS = (
     "endpoint.fallback_polls",
     "endpoint.fallback_polls_empty",
     "endpoint.doorbell_fetches_empty",
+    "cloud.shard_outages",
+    "client.throttled",
 )
 
 
@@ -133,6 +136,12 @@ def fault_specs(mode: str) -> tuple[FaultSpec, ...]:
         # Subscriptions are force-lapsed at publish time; the subscriber must
         # notice, engage the poll fallback, and resubscribe (replay from ack).
         return (FaultSpec("bus.subscription.drop", mode, rate=0.5),)
+    if mode == "shard_outage":
+        # The owning shard restarts at admission.  Keyed on the submission's
+        # content digest (attempt suffix stripped at the hook site), with
+        # only the first check of each key eligible, so the client's
+        # throttle-retry loop can never re-fire the fault.
+        return (FaultSpec("cloud.shard.drop", mode, rate=0.5, max_fires=2),)
     raise ValueError(f"unknown fault mode {mode!r}; known: {sorted(FAULT_MODES)}")
 
 
@@ -325,6 +334,19 @@ def _reconcile(
                 f"expected within [1, {fires}]"
             )
         expect("client.retries", 0)
+    elif mode == "shard_outage":
+        # A shard restart is recovered entirely inside the submit path: the
+        # client backs off on the throttle (at least once per fire) and the
+        # task-level retry machinery is never engaged.
+        if fires < 1:
+            failures.append("shard_outage cell injected no faults")
+        expect("cloud.shard_outages", fires)
+        if counters.get("client.throttled", 0) < fires:
+            failures.append(
+                f"shard_outage: client.throttled is "
+                f"{counters.get('client.throttled', 0)}, expected >= {fires}"
+            )
+        expect("client.retries", 0)
 
 
 def run_cell(
@@ -359,7 +381,17 @@ def run_cell(
     auth = AuthServer()
     identity = auth.register_identity("chaos-user", "anl")
     token = auth.issue_token(identity, {SCOPE_COMPUTE})
-    cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, constants)
+    if mode == "shard_outage":
+        # This mode exercises the sharded control plane: the hook fires at
+        # the router's admission tier, and recovery must keep the shard's
+        # durable queues intact.
+        from repro.tenancy import CloudRouter
+
+        cloud = CloudRouter(
+            testbed.faas_cloud, testbed.network, auth, constants, n_shards=2
+        )
+    else:
+        cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, constants)
     rig = _build_rig(config, testbed, policy)
     pool_a = WorkerPool(rig.worker_site, 2, name="chaos-pool-a")
     pool_b = WorkerPool(rig.worker_site, 2, name="chaos-pool-b")

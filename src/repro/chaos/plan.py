@@ -47,6 +47,7 @@ HOOKS = frozenset(
     {
         "cloud.submit",  # FaasCloud.submit: payload-cap rejection
         "cloud.store.read",  # cloud payload store: read error / corruption
+        "cloud.shard.drop",  # CloudRouter: owning shard restarts at admission
         "endpoint.crash",  # FaasEndpoint: process loss mid-lease
         "worker.execute",  # exception inside the function body
         "store.get",  # ProxyStore backend read corruption

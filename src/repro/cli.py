@@ -17,9 +17,13 @@ Commands
     path of a chosen task.
 ``chaos``
     Sweep the fault-injection matrix (worker exceptions, endpoint crashes
-    mid-lease, payload-cap rejections, store corruption, transfer faults)
-    over the workflow configurations and audit the no-lost-tasks,
-    no-orphan-spans, and retry-reconciliation invariants per cell.
+    mid-lease, payload-cap rejections, store corruption, transfer faults,
+    shard outages) over the workflow configurations and audit the
+    no-lost-tasks, no-orphan-spans, and retry-reconciliation invariants
+    per cell.
+``tenants``
+    Run a short multi-tenant storm on a sharded cloud and print the
+    per-tenant usage/quota table (weights, rate limits, throttles).
 """
 
 from __future__ import annotations
@@ -260,6 +264,78 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if all(result.passed for result in results) else 1
 
 
+def _noop_task(index):
+    """Module-level so the FuncX-like registry can pickle it."""
+    return index
+
+
+def cmd_tenants(args: argparse.Namespace) -> int:
+    from repro.exceptions import ThrottledError
+    from repro.faas import SCOPE_COMPUTE, AuthServer, FaasClient, FaasEndpoint
+    from repro.net.context import at_site
+    from repro.resources import WorkerPool
+    from repro.tenancy import (
+        CloudRouter,
+        TenantQuota,
+        render_tenant_table,
+        tenant_scope,
+    )
+
+    reset_clock(args.time_scale)
+    testbed = build_paper_testbed(seed=args.seed)
+    auth = AuthServer()
+    identity = auth.register_identity("operator", "anl")
+    router = CloudRouter(
+        testbed.faas_cloud,
+        testbed.network,
+        auth,
+        testbed.constants,
+        n_shards=args.shards,
+    )
+    # Three representative tenants: a heavyweight campaign, a rate-limited
+    # one, and one with a small in-flight quota that will throttle.
+    router.create_tenant("moldesign", weight=3)
+    router.create_tenant("finetune", rate=20.0)
+    router.create_tenant("guest", quota=TenantQuota(max_in_flight=4))
+    endpoint_token = auth.issue_token(identity, {SCOPE_COMPUTE})
+    pool = WorkerPool(testbed.theta_compute, 4, name="tenants-pool")
+    endpoint = FaasEndpoint(
+        "theta", router, endpoint_token, testbed.theta_login, pool
+    ).start()
+    clients = {
+        name: FaasClient(
+            router,
+            auth.issue_token(identity, {SCOPE_COMPUTE, tenant_scope(name)}),
+            site=testbed.theta_login,
+            tenant=name,
+        )
+        for name in ("moldesign", "finetune", "guest")
+    }
+
+    futures = []
+    try:
+        with at_site(testbed.theta_login):
+            for index in range(args.tasks):
+                for client in clients.values():
+                    try:
+                        futures.append(
+                            client.run(_noop_task, endpoint.endpoint_id, index)
+                        )
+                    except ThrottledError:
+                        pass  # budget exhausted even after backoff: skip
+        done = sum(1 for f in futures if f.result(timeout=120) is not None)
+    finally:
+        for client in clients.values():
+            client.close()
+        endpoint.stop()
+    print(
+        f"{done}/{len(futures)} tasks completed on {args.shards} shard(s), "
+        f"{len(clients)} tenants\n"
+    )
+    print(render_tenant_table(router.registry))
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro import observe
 
@@ -354,6 +430,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every cell twice and require identical ledger digests",
     )
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "tenants", help="print a per-tenant usage/quota table from a short storm"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--time-scale", type=float, default=0.002,
+        help="wall seconds per nominal second (smaller = faster run)",
+    )
+    p.add_argument("--shards", type=int, default=2, help="control-plane shards")
+    p.add_argument("--tasks", type=int, default=8, help="tasks per tenant")
+    p.set_defaults(func=cmd_tenants)
 
     p = sub.add_parser(
         "trace", help="reconstruct a recorded campaign from a span JSONL file"

@@ -82,6 +82,42 @@ class RetryExhaustedError(ReproError):
         self.last_error = last_error
 
 
+class InvalidTenantError(ReproError):
+    """A tenant name failed validation (charset/length) or is unknown to the
+    control plane; raised at registration/submission time so the mistake
+    surfaces where it was made rather than as a later ``KeyError``."""
+
+
+class InvalidFunctionError(ReproError):
+    """A function name failed validation (charset/length) at registration
+    time, or a function id does not resolve within the caller's tenant."""
+
+
+class ThrottledError(ReproError):
+    """The control plane rejected a request with a *retryable* throttle
+    response (HTTP-429-shaped).  ``retry_after`` is the server's hint, in
+    nominal seconds, for when the client should try again; clients are
+    expected to back off and resubmit rather than fail the task."""
+
+    def __init__(self, message: str, *, retry_after: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class TenantQuotaExceededError(ThrottledError):
+    """A tenant hit one of its quotas (in-flight tasks, registered
+    functions, queued bytes) or its submit rate limit.  Retryable: quota
+    headroom returns as in-flight work completes or the token bucket
+    refills."""
+
+
+class ShardUnavailableError(ThrottledError):
+    """The shard that owns the request's partition is restarting or
+    otherwise briefly unavailable.  Retryable: the shard's durable state
+    (queues, payload store) survives the restart, so a resubmission after
+    ``retry_after`` succeeds without losing work."""
+
+
 class LeaseExpiredError(ReproError):
     """An endpoint acted on a task after its heartbeat lease expired and the
     task was handed to another endpoint (the action must be discarded)."""

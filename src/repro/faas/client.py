@@ -32,15 +32,18 @@ from repro.bench.recording import emit
 from repro.bus import BusConsumer
 from repro.chaos.policy import RetryPolicy
 from repro.exceptions import (
+    InvalidFunctionError,
     PayloadTooLargeError,
     ReproError,
     RetryExhaustedError,
     SubscriptionLapsedError,
     TaskError,
+    ThrottledError,
     WorkflowError,
 )
 from repro.faas.auth import Token
 from repro.faas.cloud import FaasCloud, TaskStatus, result_topic
+from repro.tenancy.tenant import DEFAULT_TENANT, validate_function_name
 from repro.net.clock import Clock, get_clock
 from repro.net.context import SiteThread, current_site
 from repro.net.topology import Site
@@ -85,15 +88,25 @@ class FaasClient:
         site: Site | None = None,
         clock: Clock | None = None,
         retry_policy: RetryPolicy | None = None,
+        throttle_policy: RetryPolicy | None = None,
+        tenant: str = DEFAULT_TENANT,
         use_bus: bool = True,
         chaos_label: str = "client",
     ) -> None:
         self.cloud = cloud
         self.token = token
+        self.tenant = tenant
         self.client_id = f"client-{uuid.uuid4().hex[:8]}"
         self._site = site
         self._clock = clock or get_clock()
         self._retry_policy = retry_policy
+        # Throttle responses (429-shaped ThrottledError) are *always*
+        # retried with backoff — the funcX SDK's ThrottledBaseClient
+        # behavior — independent of the failure retry policy: a throttle is
+        # the service asking the client to wait, not a failed task.
+        self._throttle_policy = throttle_policy or RetryPolicy(
+            max_attempts=10, base_delay=0.1, max_delay=4.0
+        )
         # In-flight work by task id; a retried attempt re-registers the same
         # _PendingTask (same future) under the new task id.
         self._pending: dict[str, _PendingTask] = {}
@@ -135,16 +148,72 @@ class FaasClient:
         cost += self.cloud.network._sample(self.cloud.constants.faas_api_latency)
         self._clock.sleep(cost)
 
+    def _cloud_submit(
+        self,
+        func_id: str,
+        endpoint_id: str,
+        args_payload: Payload,
+        *,
+        trace_ctx: TraceContext | None,
+        chaos_key: str | None,
+        prefetch: tuple,
+    ) -> str:
+        """One cloud submit with transparent throttle backoff.
+
+        A throttle retry re-sends the *same* chaos key (it is the same
+        logical submission — the attempt counter is reserved for failure
+        retries), waiting at least the server's ``retry_after`` hint."""
+        throttle_attempt = 0
+        while True:
+            self._pay_api_call()
+            try:
+                return self.cloud.submit(
+                    self.token,
+                    self.client_id,
+                    func_id,
+                    endpoint_id,
+                    args_payload,
+                    tenant=self.tenant,
+                    trace_ctx=trace_ctx,
+                    chaos_key=chaos_key,
+                    prefetch=prefetch,
+                )
+            except ThrottledError as exc:
+                policy = self._throttle_policy
+                if not policy.retries_left(throttle_attempt):
+                    raise
+                counter_inc(
+                    "client.throttled", tenant=self.tenant, endpoint=endpoint_id
+                )
+                self._clock.sleep(
+                    max(
+                        exc.retry_after,
+                        policy.delay_for(throttle_attempt, key=chaos_key or func_id),
+                    )
+                )
+                throttle_attempt += 1
+
     # -- API ------------------------------------------------------------------
-    def register_function(self, fn: Callable) -> str:
-        """Register a function body with the cloud; idempotent per object."""
+    def register_function(self, fn: Callable, *, name: str | None = None) -> str:
+        """Register a function body with the cloud; idempotent per object.
+
+        The registered name defaults to ``fn.__name__`` when that is a
+        valid function name (lambdas and exotic callables register
+        anonymously)."""
         for known, func_id in self._registered:
             if known is fn:
                 return func_id
+        if name is None:
+            try:
+                name = validate_function_name(getattr(fn, "__name__", None))
+            except InvalidFunctionError:
+                name = None
         payload = serialize(fn)
         self._clock.sleep(serialize_cost(payload.nominal_size))
         self._pay_api_call()
-        func_id = self.cloud.register_function(self.token, payload)
+        func_id = self.cloud.register_function(
+            self.token, payload, tenant=self.tenant, name=name
+        )
         self._registered.append((fn, func_id))
         return func_id
 
@@ -167,7 +236,9 @@ class FaasClient:
         ``_prefetch_hints`` (same convention) ride the dispatch record so
         the endpoint can warm its site's proxy cache before the task runs.
         """
-        with trace_span("cloud.submit", parent=_trace_ctx, endpoint=endpoint_id) as span:
+        with trace_span(
+            "cloud.submit", parent=_trace_ctx, endpoint=endpoint_id, tenant=self.tenant
+        ) as span:
             # Direct SDK use has no task-level context; root the task's
             # trace at this submit span so the endpoint/worker/download
             # spans still join up into one trace.
@@ -177,11 +248,8 @@ class FaasClient:
             chaos_base = hashlib.sha256(args_payload.data).hexdigest()[:16]
             attempt = 0
             while True:
-                self._pay_api_call()
                 try:
-                    task_id = self.cloud.submit(
-                        self.token,
-                        self.client_id,
+                    task_id = self._cloud_submit(
                         func_id,
                         endpoint_id,
                         args_payload,
@@ -386,12 +454,12 @@ class FaasClient:
     def _resubmit(self, pending: _PendingTask, attempt: int) -> None:
         """Re-enter the already-serialized payload under a fresh task id."""
         with trace_span(
-            "cloud.submit", parent=pending.trace_ctx, endpoint=pending.endpoint_id
+            "cloud.submit",
+            parent=pending.trace_ctx,
+            endpoint=pending.endpoint_id,
+            tenant=self.tenant,
         ):
-            self._pay_api_call()
-            task_id = self.cloud.submit(
-                self.token,
-                self.client_id,
+            task_id = self._cloud_submit(
                 pending.func_id,
                 pending.endpoint_id,
                 pending.args_payload,

@@ -17,6 +17,16 @@ Responsibilities reproduced from §IV-B and §V-C1:
 Latency accounting: the cloud's own compute is charged on the *calling*
 thread (client or endpoint), which is where those costs land in reality —
 the caller is blocked on the HTTPS response.
+
+Multi-tenancy (``repro.tenancy``): a :class:`FaasCloud` doubles as the
+**shard engine** behind :class:`repro.tenancy.CloudRouter`.  The hooks that
+make one instance shardable are all constructor keywords with single-node
+defaults — a shared :class:`~repro.bus.NotificationBus`, a shared
+:class:`_CompletedFeed`, a locator prefix on the payload store, a task-id
+namespace, a serialized per-shard admission cost, and a
+:class:`~repro.tenancy.TenantRegistry` that usage events are reported to.
+Task queues are per ``(endpoint, tenant)`` and drained weighted-round-robin
+so one hot tenant cannot starve the rest of an endpoint's feed.
 """
 
 from __future__ import annotations
@@ -44,6 +54,12 @@ from repro.net.defaults import PaperConstants
 from repro.net.topology import Network, Site
 from repro.observe import TraceContext, counter_inc, gauge_set
 from repro.serialize import Payload
+from repro.tenancy.tenant import (
+    DEFAULT_TENANT,
+    tenant_scope,
+    validate_function_name,
+    validate_tenant_name,
+)
 
 __all__ = [
     "TaskStatus",
@@ -101,6 +117,10 @@ class TaskRecord:
     #: Advisory prefetch hints from the client, forwarded on dispatch so the
     #: executing endpoint can warm its site's proxy cache.
     prefetch: tuple = ()
+    #: The tenant the task was submitted under (fair dequeue + quotas).
+    tenant: str = DEFAULT_TENANT
+    #: Size of the argument payload, kept for queued-bytes quota release.
+    args_nbytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -114,6 +134,7 @@ class TaskDispatch:
     trace_ctx: TraceContext | None = None
     chaos_key: str | None = None
     prefetch: tuple = ()
+    tenant: str = DEFAULT_TENANT
 
 
 @dataclass
@@ -127,11 +148,19 @@ class _PayloadStore:
     """The ElastiCache/S3 split store for args and results."""
 
     def __init__(
-        self, constants: PaperConstants, network: Network, clock: Clock
+        self,
+        constants: PaperConstants,
+        network: Network,
+        clock: Clock,
+        prefix: str = "",
     ) -> None:
         self._constants = constants
         self._network = network
         self._clock = clock
+        # Shards prefix their locators (``s0/redis:...``) so a router can
+        # resolve any locator to its owning shard; standalone clouds keep
+        # the bare ``<tier>:<id>`` form.
+        self._prefix = prefix
         self._objects: dict[str, _StoredObject] = {}
         self._lock = threading.Lock()
 
@@ -162,7 +191,7 @@ class _PayloadStore:
         tier = self._tier(payload.nominal_size)
         self._charge(tier, payload.nominal_size)
         counter_inc("faas.store_writes", tier=tier)
-        locator = f"{tier}:{uuid.uuid4().hex}"
+        locator = f"{self._prefix}{tier}:{uuid.uuid4().hex}"
         with self._lock:
             self._objects[locator] = _StoredObject(payload, tier, chaos_exempt)
         return locator
@@ -198,6 +227,49 @@ class _PayloadStore:
             self._objects.pop(locator, None)
 
 
+class _CompletedFeed:
+    """Per-client completed-task queues (the poll half of result delivery).
+
+    Extracted from :class:`FaasCloud` so a router can hand every shard the
+    *same* feed: a client long-polling ``next_completed`` then sees results
+    from all shards through one wait, exactly as if the cloud were one
+    service.  ``cond`` doubles as the terminal-transition lock shards use
+    for their exactly-once ``report_result`` dance."""
+
+    def __init__(self, clock: Clock) -> None:
+        self._clock = clock
+        self.cond = threading.Condition()
+        self._queues: dict[str, deque[str]] = {}
+
+    def push_locked(self, client_id: str, task_id: str) -> None:
+        """Append a completion; caller must hold :attr:`cond`."""
+        self._queues.setdefault(client_id, deque()).append(task_id)
+        self.cond.notify_all()
+
+    def retire(self, client_id: str, task_id: str) -> None:
+        """Drop a completion that was collected through another path."""
+        with self.cond:
+            queue = self._queues.get(client_id)
+            if queue is not None:
+                try:
+                    queue.remove(task_id)
+                except ValueError:
+                    pass
+
+    def next_completed(self, client_id: str, timeout: float | None) -> str | None:
+        deadline = None if timeout is None else self._clock.now() + timeout
+        with self.cond:
+            queue = self._queues.setdefault(client_id, deque())
+            while not queue:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - self._clock.now()
+                    if remaining <= 0:
+                        return None
+                self.cond.wait(self._clock.wall_timeout(remaining))
+            return queue.popleft()
+
+
 class FaasCloud:
     """The hosted service: registry, queues, payload store, delivery."""
 
@@ -208,18 +280,54 @@ class FaasCloud:
         auth: AuthServer,
         constants: PaperConstants | None = None,
         clock: Clock | None = None,
+        *,
+        bus: NotificationBus | None = None,
+        completed: "_CompletedFeed | None" = None,
+        usage: object | None = None,
+        shard_id: str = "",
+        service_time: float = 0.0,
+        store_prefix: str = "",
+        task_namespace: str = "",
+        on_enqueue: object | None = None,
     ) -> None:
+        """Single-node cloud by default; the keyword block turns one
+        instance into a shard behind :class:`repro.tenancy.CloudRouter`:
+
+        ``bus`` / ``completed``
+            Shared delivery fabric — all shards publish doorbells and
+            completions into the same streams, so endpoints and clients
+            subscribe once no matter how many shards exist.
+        ``usage``
+            A :class:`repro.tenancy.TenantRegistry`; dispatch / requeue /
+            terminal transitions release the reservations the router made
+            at admission (``None`` skips all usage accounting).
+        ``service_time``
+            Serialized per-submit admission cost in nominal seconds — the
+            shard's finite control-plane capacity.  Aggregate admission
+            throughput therefore scales with the number of shards.
+        ``store_prefix`` / ``task_namespace``
+            Disambiguate locators and task ids across shards so a router
+            can route any id back to its owner.
+        """
         self.site = site
         self.network = network
         self.auth = auth
         self.constants = constants or PaperConstants()
         self.clock = clock or get_clock()
-        self.store = _PayloadStore(self.constants, network, self.clock)
+        self.shard_id = shard_id
+        self._shard_label = shard_id or "solo"
+        self.usage = usage
+        self._service_time = service_time
+        self._admission_lock = threading.Lock()
+        self._on_enqueue = on_enqueue
+        self.store = _PayloadStore(
+            self.constants, network, self.clock, prefix=store_prefix
+        )
         # Push-notification bus: result notifications to clients, task-
         # available doorbells to endpoints.  The queues below stay the
         # ground truth; the bus only carries acked wakeups, so the poll
         # paths remain correct as a degraded fallback.
-        self.bus = NotificationBus(
+        self.bus = bus if bus is not None else NotificationBus(
             clock=self.clock,
             redelivery=RetryPolicy(
                 max_attempts=6,
@@ -230,35 +338,83 @@ class FaasCloud:
             window=self.constants.bus_redelivery_window,
         )
         self._functions: dict[str, Payload] = {}
+        self._function_tenants: dict[str, str] = {}
         self._endpoints: dict[str, Site] = {}
         self._endpoint_online: dict[str, bool] = {}
         self._tasks: dict[str, TaskRecord] = {}
-        self._queues: dict[str, deque[str]] = {}
+        # endpoint id -> tenant -> FIFO of waiting task ids.  Draining is
+        # weighted round-robin across the tenant queues (see
+        # ``_pop_next_locked``), the per-endpoint fair-dequeue guarantee.
+        self._queues: dict[str, dict[str, deque[str]]] = {}
+        self._wrr_tenant: dict[str, str] = {}
+        self._wrr_credit: dict[str, int] = {}
         self._queue_cond = threading.Condition()
-        self._completed: dict[str, deque[str]] = {}
-        self._completed_cond = threading.Condition()
+        self._completed = completed if completed is not None else _CompletedFeed(
+            self.clock
+        )
         self._lock = threading.Lock()
         self._ids = itertools.count()
+        self._task_namespace = task_namespace
         # Heartbeat leases: only endpoints that ever heartbeat hold a lease,
         # so direct-API test rigs without an agent process are never reaped.
         self._lease_expiry: dict[str, float] = {}
         self._failover_groups: dict[str, str | None] = {}
 
     # -- registry ------------------------------------------------------------
-    def register_function(self, token: Token, payload: Payload) -> str:
+    def register_function(
+        self,
+        token: Token,
+        payload: Payload,
+        *,
+        tenant: str = DEFAULT_TENANT,
+        name: str | None = None,
+        func_id: str | None = None,
+    ) -> str:
+        """Register a function body for ``tenant``.
+
+        ``name`` (optional) is validated for charset/length and embedded in
+        the function id for readability; ``func_id`` lets a router assign
+        the id up front (it must, to consistent-hash the registration to
+        the owning shard before the id exists anywhere)."""
         self.auth.validate(token, SCOPE_COMPUTE)
-        func_id = f"fn-{uuid.uuid4().hex[:12]}"
+        validate_tenant_name(tenant)
+        if tenant != DEFAULT_TENANT:
+            self.auth.validate(token, tenant_scope(tenant))
+        if name is not None:
+            validate_function_name(name)
+        if self.usage is not None:
+            self.usage.admit_function(tenant)
+        if func_id is None:
+            stem = f"fn-{name}-" if name else "fn-"
+            func_id = f"{stem}{uuid.uuid4().hex[:12]}"
         with self._lock:
             self._functions[func_id] = payload
+            self._function_tenants[func_id] = tenant
         return func_id
 
-    def get_function(self, token: Token, func_id: str) -> Payload:
+    def adopt_function(self, func_id: str, tenant: str, payload: Payload) -> None:
+        """Install an already-admitted registration (shard rebalancing).
+
+        Skips validation and quota accounting: the registration was
+        admitted when the tenant first registered it; moving it to the
+        partition's new owner must not charge the quota twice."""
+        with self._lock:
+            self._functions[func_id] = payload
+            self._function_tenants[func_id] = tenant
+
+    def get_function(
+        self, token: Token, func_id: str, tenant: str = DEFAULT_TENANT
+    ) -> Payload:
+        """Fetch a function body.  Only :data:`SCOPE_COMPUTE` is required —
+        endpoints execute for every tenant, so their tokens carry no tenant
+        scopes — but the function must be visible to ``tenant``."""
         self.auth.validate(token, SCOPE_COMPUTE)
         with self._lock:
-            try:
-                return self._functions[func_id]
-            except KeyError:
-                raise WorkflowError(f"unknown function {func_id!r}") from None
+            payload = self._functions.get(func_id)
+            owner = self._function_tenants.get(func_id, DEFAULT_TENANT)
+        if payload is None or owner != tenant:
+            raise WorkflowError(f"unknown function {func_id!r}")
+        return payload
 
     def register_endpoint(
         self,
@@ -273,11 +429,7 @@ class FaasCloud:
         expires are re-dispatched to a surviving member of the group."""
         self.auth.validate(token, SCOPE_COMPUTE)
         endpoint_id = f"ep-{name}-{uuid.uuid4().hex[:8]}"
-        with self._lock:
-            self._endpoints[endpoint_id] = site
-            self._endpoint_online[endpoint_id] = False
-            self._queues[endpoint_id] = deque()
-            self._failover_groups[endpoint_id] = failover_group
+        self.adopt_endpoint(endpoint_id, site, failover_group=failover_group)
         # Pre-create the bus stream so doorbells published before the agent
         # first connects are retained and replayed on its subscribe.  The
         # chaos label is the (stable) endpoint *name*, not the run-local id.
@@ -285,6 +437,23 @@ class FaasCloud:
             task_topic(endpoint_id), endpoint_id, chaos_label=name
         )
         return endpoint_id
+
+    def adopt_endpoint(
+        self,
+        endpoint_id: str,
+        site: Site,
+        *,
+        failover_group: str | None = None,
+    ) -> None:
+        """Create queue/lease structures for an endpoint id assigned
+        elsewhere.  A router adopts each endpoint into *every* shard (any
+        partition may dispatch to any endpoint) while registering the bus
+        subscriber exactly once itself."""
+        with self._lock:
+            self._endpoints[endpoint_id] = site
+            self._endpoint_online[endpoint_id] = False
+            self._queues[endpoint_id] = {}
+            self._failover_groups[endpoint_id] = failover_group
 
     def endpoint_site(self, endpoint_id: str) -> Site:
         with self._lock:
@@ -364,6 +533,71 @@ class FaasCloud:
                 return other_id
         return None
 
+    # -- per-tenant queue helpers ---------------------------------------------
+    def _tenant_queue_locked(self, endpoint_id: str, tenant: str) -> deque[str]:
+        return self._queues[endpoint_id].setdefault(tenant, deque())
+
+    def _backlog_locked(self, endpoint_id: str) -> bool:
+        return any(self._queues[endpoint_id].values())
+
+    def _depth_locked(self, endpoint_id: str) -> int:
+        return sum(len(q) for q in self._queues[endpoint_id].values())
+
+    def _queued_records_locked(self, endpoint_id: str) -> list[TaskRecord]:
+        """Every WAITING record queued at an endpoint, per-tenant FIFO
+        order, tenants in sorted order."""
+        records: list[TaskRecord] = []
+        for tenant in sorted(self._queues[endpoint_id]):
+            records.extend(
+                self._tasks[tid] for tid in self._queues[endpoint_id][tenant]
+            )
+        return records
+
+    def _tenant_weight(self, tenant: str) -> int:
+        if self.usage is None:
+            return 1
+        return self.usage.weight(tenant)
+
+    def _pop_next_locked(self, endpoint_id: str) -> str | None:
+        """Weighted-round-robin pop across an endpoint's tenant queues.
+
+        Each tenant gets up to ``weight`` consecutive tasks per turn of the
+        rotation, so over any drain window a backlogged tenant receives at
+        most ``weight / sum(weights of backlogged tenants)`` of the feed —
+        the starvation bound the noisy-neighbor benchmark asserts."""
+        queues = self._queues[endpoint_id]
+        backlogged = sorted(tenant for tenant, q in queues.items() if q)
+        if not backlogged:
+            return None
+        current = self._wrr_tenant.get(endpoint_id)
+        credit = self._wrr_credit.get(endpoint_id, 0)
+        if current is not None and credit > 0 and queues.get(current):
+            self._wrr_credit[endpoint_id] = credit - 1
+            return queues[current].popleft()
+        # Advance the rotation: the first backlogged tenant strictly after
+        # the current one in sorted order (wrapping), so a tenant whose
+        # queue empties forfeits the rest of its turn.
+        nxt = next(
+            (t for t in backlogged if current is None or t > current),
+            backlogged[0],
+        )
+        self._wrr_tenant[endpoint_id] = nxt
+        self._wrr_credit[endpoint_id] = max(self._tenant_weight(nxt), 1) - 1
+        return queues[nxt].popleft()
+
+    def _publish_depth_locked(self, endpoint_id: str) -> None:
+        gauge_set(
+            "faas.queue_depth", self._depth_locked(endpoint_id), endpoint=endpoint_id
+        )
+        for tenant, queue in self._queues[endpoint_id].items():
+            gauge_set(
+                "cloud.tenant_queue_depth",
+                len(queue),
+                tenant=tenant,
+                endpoint=endpoint_id,
+                shard=self._shard_label,
+            )
+
     def _expire_leases_locked(self) -> list[str]:
         now = self.clock.now()
         reaped = [
@@ -387,16 +621,19 @@ class FaasCloud:
                 ),
                 key=lambda record: record.submitted_at,
             )
-            queued = [self._tasks[tid] for tid in self._queues[endpoint_id]]
+            queued = self._queued_records_locked(endpoint_id)
             if target is None:
                 # No survivor: put fetched work back on the dead endpoint's
                 # own queue (store-and-forward across a restart, as before).
-                queue = self._queues[endpoint_id]
                 for record in reversed(stranded):
                     record.status = TaskStatus.WAITING
                     record.fetched_at = None
                     record.requeues += 1
-                    queue.appendleft(record.task_id)
+                    if self.usage is not None:
+                        self.usage.task_requeued(record.tenant, record.args_nbytes)
+                    self._tenant_queue_locked(endpoint_id, record.tenant).appendleft(
+                        record.task_id
+                    )
                     counter_inc("faas.requeues", endpoint=endpoint_id)
                 # Fresh doorbells: the originals were acked by the dead
                 # agent, so a restarted subscriber would otherwise never
@@ -408,16 +645,23 @@ class FaasCloud:
                         chaos_key=record.chaos_key or record.task_id,
                     )
             else:
-                queue = self._queues[target]
-                self._queues[endpoint_id].clear()
+                for queue in self._queues[endpoint_id].values():
+                    queue.clear()
+                stranded_ids = {record.task_id for record in stranded}
                 for record in stranded + queued:
                     record.status = TaskStatus.WAITING
                     record.fetched_at = None
                     record.requeues += 1
+                    # Only dispatched work re-enters the queued-bytes quota;
+                    # still-queued records never left it.
+                    if self.usage is not None and record.task_id in stranded_ids:
+                        self.usage.task_requeued(record.tenant, record.args_nbytes)
                     if endpoint_id not in record.previous_endpoints:
                         record.previous_endpoints.append(endpoint_id)
                     record.endpoint_id = target
-                    queue.append(record.task_id)
+                    self._tenant_queue_locked(target, record.tenant).append(
+                        record.task_id
+                    )
                     counter_inc(
                         "faas.failovers", from_endpoint=endpoint_id, to_endpoint=target
                     )
@@ -426,7 +670,7 @@ class FaasCloud:
                         record.task_id,
                         chaos_key=record.chaos_key or record.task_id,
                     )
-                gauge_set("faas.queue_depth", len(queue), endpoint=target)
+                self._publish_depth_locked(target)
             if stranded or queued:
                 self._queue_cond.notify_all()
         return reaped
@@ -440,16 +684,24 @@ class FaasCloud:
         endpoint_id: str,
         args_payload: Payload,
         *,
+        tenant: str = DEFAULT_TENANT,
         trace_ctx: TraceContext | None = None,
         chaos_key: str | None = None,
         prefetch: tuple = (),
     ) -> str:
         self.auth.validate(token, SCOPE_COMPUTE)
+        validate_tenant_name(tenant)
+        if tenant != DEFAULT_TENANT:
+            self.auth.validate(token, tenant_scope(tenant))
         self.endpoint_site(endpoint_id)
         self.expire_leases()
         with self._lock:
-            if func_id not in self._functions:
-                raise WorkflowError(f"unknown function {func_id!r}")
+            known = (
+                func_id in self._functions
+                and self._function_tenants.get(func_id, DEFAULT_TENANT) == tenant
+            )
+        if not known:
+            raise WorkflowError(f"unknown function {func_id!r}")
         spec = chaos_check(
             "cloud.submit",
             chaos_key or f"{client_id}|{func_id}",
@@ -466,8 +718,14 @@ class FaasCloud:
                 f"arguments are {args_payload.nominal_size} bytes; the service "
                 f"caps payloads at {self.constants.faas_payload_cap} ({reason})"
             )
+        # The shard's control plane admits one submission at a time: this
+        # serialized charge is the finite capacity that makes aggregate
+        # admission throughput scale with the shard count.
+        if self._service_time > 0.0:
+            with self._admission_lock:
+                self.clock.sleep(self._service_time)
         args_locator = self.store.write(args_payload)
-        task_id = f"task-{next(self._ids):08d}"
+        task_id = f"task-{self._task_namespace}{next(self._ids):08d}"
         record = TaskRecord(
             task_id=task_id,
             func_id=func_id,
@@ -478,19 +736,22 @@ class FaasCloud:
             trace_ctx=trace_ctx,
             chaos_key=chaos_key,
             prefetch=tuple(prefetch),
+            tenant=tenant,
+            args_nbytes=args_payload.nominal_size,
         )
         with self._queue_cond:
             self._tasks[task_id] = record
-            self._queues[endpoint_id].append(task_id)
-            gauge_set(
-                "faas.queue_depth", len(self._queues[endpoint_id]), endpoint=endpoint_id
-            )
+            self._tenant_queue_locked(endpoint_id, tenant).append(task_id)
+            self._publish_depth_locked(endpoint_id)
             self._queue_cond.notify_all()
+        counter_inc("cloud.submits", tenant=tenant, shard=self._shard_label)
         # Doorbell *after* the enqueue so a subscriber that fetches on the
         # notification always finds the task in its queue.
         self.bus.publish(
             task_topic(endpoint_id), task_id, chaos_key=chaos_key or task_id
         )
+        if self._on_enqueue is not None:
+            self._on_enqueue()
         return record.task_id
 
     def task(self, task_id: str) -> TaskRecord:
@@ -513,13 +774,7 @@ class FaasCloud:
         # The result is being collected: retire its poll-fallback entry so a
         # client that was notified over the bus never re-sees it while
         # draining the completed queue in fallback mode.
-        with self._completed_cond:
-            queue = self._completed.get(record.client_id)
-            if queue is not None:
-                try:
-                    queue.remove(task_id)
-                except ValueError:
-                    pass
+        self._completed.retire(record.client_id, task_id)
         return record.status, self.store.read(record.result_locator)
 
     def next_completed(self, client_id: str, timeout: float | None) -> str | None:
@@ -529,19 +784,10 @@ class FaasCloud:
         client uses while its bus subscription is lapsed (the push half is
         the ``results/<client_id>`` bus topic).  A spurious or competing
         wakeup does not consume the budget: the wait loops on a deadline
-        until a completion arrives or the full timeout elapses.
+        until a completion arrives or the full timeout elapses.  When the
+        feed is shared across shards, one wait covers all of them.
         """
-        deadline = None if timeout is None else self.clock.now() + timeout
-        with self._completed_cond:
-            queue = self._completed.setdefault(client_id, deque())
-            while not queue:
-                remaining = None
-                if deadline is not None:
-                    remaining = deadline - self.clock.now()
-                    if remaining <= 0:
-                        return None
-                self._completed_cond.wait(self.clock.wall_timeout(remaining))
-            return queue.popleft()
+        return self._completed.next_completed(client_id, timeout)
 
     # -- endpoint side -------------------------------------------------------------
     def fetch_tasks(
@@ -551,21 +797,28 @@ class FaasCloud:
         max_tasks: int,
         timeout: float | None,
     ) -> list[TaskDispatch]:
-        """Long-poll for work (models the AMQP delivery to the endpoint)."""
+        """Long-poll for work (models the AMQP delivery to the endpoint).
+
+        Draining is weighted round-robin across the endpoint's tenant
+        queues, so a tenant flooding the feed gets at most its weight share
+        of every delivery round while backlogs compete."""
         self.auth.validate(token, SCOPE_COMPUTE)
         wall = self.clock.wall_timeout(timeout)
         out: list[TaskDispatch] = []
         with self._queue_cond:
             self._expire_leases_locked()
-            queue = self._queues[endpoint_id]
             self._endpoint_online[endpoint_id] = True
-            if not queue:
+            if not self._backlog_locked(endpoint_id):
                 self._queue_cond.wait(wall)
-            while queue and len(out) < max_tasks:
-                task_id = queue.popleft()
+            while len(out) < max_tasks:
+                task_id = self._pop_next_locked(endpoint_id)
+                if task_id is None:
+                    break
                 record = self._tasks[task_id]
                 record.status = TaskStatus.DISPATCHED
                 record.fetched_at = self.clock.now()
+                if self.usage is not None:
+                    self.usage.task_dispatched(record.tenant, record.args_nbytes)
                 out.append(
                     TaskDispatch(
                         record.task_id,
@@ -574,10 +827,34 @@ class FaasCloud:
                         record.trace_ctx,
                         record.chaos_key,
                         record.prefetch,
+                        record.tenant,
                     )
                 )
-            gauge_set("faas.queue_depth", len(queue), endpoint=endpoint_id)
+            self._publish_depth_locked(endpoint_id)
         return out
+
+    def republish_doorbells(self) -> int:
+        """Re-ring the doorbell for every task still queued at this shard.
+
+        Used after a shard outage: doorbells delivered while the admission
+        tier was down were acked against empty fetches (the router skipped
+        the dark shard), so the queued backlog has no wakeup left.  Returns
+        the number of doorbells published."""
+        with self._queue_cond:
+            queued = [
+                (record.endpoint_id, record.task_id, record.chaos_key)
+                for endpoint_id in self._queues
+                for record in self._queued_records_locked(endpoint_id)
+            ]
+            if queued:
+                self._queue_cond.notify_all()
+        for endpoint_id, task_id, chaos_key in queued:
+            self.bus.publish(
+                task_topic(endpoint_id), task_id, chaos_key=chaos_key or task_id
+            )
+        if queued and self._on_enqueue is not None:
+            self._on_enqueue()
+        return len(queued)
 
     def requeue_dispatched(self, token: Token, endpoint_id: str) -> list[str]:
         """Re-queue tasks an endpoint fetched but never finished.
@@ -600,12 +877,16 @@ class FaasCloud:
                 ),
                 key=lambda record: record.submitted_at,
             )
-            queue = self._queues[endpoint_id]
             for record in reversed(stranded):
                 record.status = TaskStatus.WAITING
                 record.fetched_at = None
-                queue.appendleft(record.task_id)
+                self._tenant_queue_locked(endpoint_id, record.tenant).appendleft(
+                    record.task_id
+                )
+                if self.usage is not None:
+                    self.usage.task_requeued(record.tenant, record.args_nbytes)
             if stranded:
+                self._publish_depth_locked(endpoint_id)
                 self._queue_cond.notify_all()
         for record in stranded:
             self.bus.publish(
@@ -651,18 +932,27 @@ class FaasCloud:
     ) -> None:
         self.auth.validate(token, SCOPE_COMPUTE)
         record = self.task(task_id)
-        with self._completed_cond:
+        with self._completed.cond:
             if not self._check_reporter(record, endpoint_id):
                 return
         locator = self.store.write(result_payload, chaos_exempt=not success)
         # A requeued copy of this task may still sit in a queue (report
         # racing a reclaim): drop it so the work is not executed again.
         with self._queue_cond:
-            try:
-                self._queues[record.endpoint_id].remove(task_id)
-            except ValueError:
-                pass
-        with self._completed_cond:
+            queue = self._queues.get(record.endpoint_id, {}).get(record.tenant)
+            removed = False
+            if queue is not None:
+                try:
+                    queue.remove(task_id)
+                    removed = True
+                except ValueError:
+                    pass
+            if removed:
+                self._publish_depth_locked(record.endpoint_id)
+        if removed and self.usage is not None:
+            # The queued copy's argument bytes no longer wait in a queue.
+            self.usage.task_dispatched(record.tenant, record.args_nbytes)
+        with self._completed.cond:
             # Re-check: another copy of the task may have completed while
             # this thread was paying the store write.
             if not self._check_reporter(record, endpoint_id):
@@ -670,8 +960,9 @@ class FaasCloud:
             record.result_locator = locator
             record.status = TaskStatus.SUCCESS if success else TaskStatus.FAILED
             record.completed_at = self.clock.now()
-            self._completed.setdefault(record.client_id, deque()).append(task_id)
-            self._completed_cond.notify_all()
+            self._completed.push_locked(record.client_id, task_id)
+        if self.usage is not None:
+            self.usage.task_finished(record.tenant)
         self.bus.publish(
             result_topic(record.client_id),
             task_id,

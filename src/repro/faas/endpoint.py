@@ -235,11 +235,11 @@ class FaasEndpoint:
         cost += self.cloud.network._sample(self.cloud.constants.faas_api_latency)
         self._clock.sleep(cost)
 
-    def _function(self, func_id: str) -> Callable:
+    def _function(self, func_id: str, tenant: str) -> Callable:
         fn = self._functions.get(func_id)
         if fn is None:
             self._pay_api_call()
-            payload = self.cloud.get_function(self.token, func_id)
+            payload = self.cloud.get_function(self.token, func_id, tenant)
             self._clock.sleep(deserialize_cost(payload.nominal_size))
             fn = deserialize(payload)
             self._functions[func_id] = fn
@@ -390,7 +390,7 @@ class FaasEndpoint:
                 bytes=args_payload.nominal_size,
                 via="faas-cloud",
             )
-            fn = self._function(dispatch.func_id)
+            fn = self._function(dispatch.func_id, dispatch.tenant)
         self.pool.submit(
             self._make_work(
                 dispatch.task_id,

@@ -84,6 +84,15 @@ class PaperConstants:
     # is reaped (tasks fail over to surviving group members).
     endpoint_lease_ttl: float = 15.0
 
+    # -- sharded control plane (repro.tenancy) ---------------------------------
+    # Serialized per-submit admission cost of one shard: the finite capacity
+    # of its web tier, which is what makes aggregate admission throughput
+    # scale with the shard count.
+    faas_shard_service_time: float = 0.008
+    # How long a dropped shard stays dark before its durable state comes
+    # back; admission throttles (retryable) for the duration.
+    shard_outage_window: float = 1.0
+
     # -- push-notification bus -------------------------------------------------
     # A subscriber that neither receives nor acks for this long is presumed
     # disconnected; its subscription lapses and the poll fallback takes over

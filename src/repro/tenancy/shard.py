@@ -1,0 +1,68 @@
+"""One partition of the sharded control plane.
+
+A :class:`CloudShard` *is* a :class:`repro.faas.cloud.FaasCloud` — the whole
+single-node engine (registry, queues, payload store, leases, exactly-once
+result reporting) — wired into the fabric the router shares across shards:
+
+* the common :class:`~repro.bus.NotificationBus`, so doorbells and result
+  notifications from every shard reach the same subscribers;
+* the common ``_CompletedFeed``, so one client long-poll observes
+  completions from all shards;
+* the router's :class:`~repro.tenancy.TenantRegistry`, so dispatches and
+  terminal transitions inside the shard release the usage the router
+  reserved at admission;
+* a shard-local task-id namespace (``task-s2-00000042``) and payload-store
+  locator prefix (``s2/redis:...``), which is how the router routes any id
+  back to its owning shard without a lookup table.
+
+The shard also charges a *serialized* per-submit admission cost
+(``faas_shard_service_time``): each shard is a service with finite
+control-plane capacity, so aggregate admission throughput grows with the
+shard count — the scaling property the tenancy benchmark measures.
+"""
+
+from __future__ import annotations
+
+from repro.bus import NotificationBus
+from repro.faas.auth import AuthServer
+from repro.faas.cloud import FaasCloud, _CompletedFeed
+from repro.net.clock import Clock
+from repro.net.defaults import PaperConstants
+from repro.net.topology import Network, Site
+from repro.tenancy.tenant import TenantRegistry
+
+__all__ = ["CloudShard"]
+
+
+class CloudShard(FaasCloud):
+    """One shard: a ``FaasCloud`` scoped to a partition of the keyspace."""
+
+    def __init__(
+        self,
+        shard_id: str,
+        site: Site,
+        network: Network,
+        auth: AuthServer,
+        constants: PaperConstants,
+        clock: Clock,
+        *,
+        bus: NotificationBus,
+        completed: _CompletedFeed,
+        registry: TenantRegistry,
+        on_enqueue: object | None = None,
+    ) -> None:
+        super().__init__(
+            site,
+            network,
+            auth,
+            constants,
+            clock,
+            bus=bus,
+            completed=completed,
+            usage=registry,
+            shard_id=shard_id,
+            service_time=constants.faas_shard_service_time,
+            store_prefix=f"{shard_id}/",
+            task_namespace=f"{shard_id}-",
+            on_enqueue=on_enqueue,
+        )

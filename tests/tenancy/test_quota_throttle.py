@@ -1,0 +1,128 @@
+"""Quota exhaustion: retryable throttles, client backoff, eventual success."""
+
+import pytest
+
+from repro.chaos.policy import RetryPolicy
+from repro.exceptions import TenantQuotaExceededError, ThrottledError
+from repro.faas import SCOPE_COMPUTE, AuthServer, FaasClient, FaasEndpoint
+from repro.net.context import at_site
+from repro.observe import MetricsRegistry, set_metrics
+from repro.resources import WorkerPool
+from repro.serialize import serialize
+from repro.tenancy import CloudRouter, TenantQuota, tenant_scope
+
+
+def _double(x):
+    return 2 * x
+
+
+@pytest.fixture
+def metrics():
+    registry = MetricsRegistry()
+    set_metrics(registry)
+    yield registry
+    set_metrics(None)
+
+
+def _make_router(testbed, auth, **tenant_kwargs):
+    router = CloudRouter(
+        testbed.faas_cloud, testbed.network, auth, testbed.constants, n_shards=2
+    )
+    router.create_tenant("alice", **tenant_kwargs)
+    return router
+
+
+def test_rate_limited_client_backs_off_and_every_task_succeeds(testbed, metrics):
+    auth = AuthServer()
+    identity = auth.register_identity("u", "anl")
+    # Tight bucket: one token per 5 nominal seconds, far below the storm's
+    # submit rate, so throttles are guaranteed; the client absorbs them.
+    router = _make_router(testbed, auth, rate=0.2, burst=1.0)
+    token = auth.issue_token(identity, {SCOPE_COMPUTE, tenant_scope("alice")})
+    pool = WorkerPool(testbed.theta_compute, 4, name="throttle-pool")
+    endpoint = FaasEndpoint(
+        "theta", router, auth.issue_token(identity, {SCOPE_COMPUTE}),
+        testbed.theta_login, pool,
+    ).start()
+    client = FaasClient(router, token, site=testbed.theta_login, tenant="alice")
+    try:
+        with at_site(testbed.theta_login):
+            futures = [
+                client.run(_double, endpoint.endpoint_id, i) for i in range(10)
+            ]
+        assert [f.result(timeout=120) for f in futures] == [2 * i for i in range(10)]
+    finally:
+        client.close()
+        endpoint.stop()
+    usage = router.registry.get("alice").usage
+    assert usage.throttled >= 1, "the storm never hit the rate limit"
+    assert metrics.counter_total("client.throttled") >= 1
+    assert metrics.counter_total("cloud.throttled") >= 1
+    # Throttle recovery must not engage the task-retry machinery.
+    assert metrics.counter_total("client.retries") == 0
+    assert metrics.counter_total("client.submit_retries") == 0
+
+
+def test_in_flight_quota_exhaustion_is_retryable(testbed, metrics):
+    auth = AuthServer()
+    identity = auth.register_identity("u", "anl")
+    router = _make_router(testbed, auth, quota=TenantQuota(max_in_flight=2))
+    token = auth.issue_token(identity, {SCOPE_COMPUTE, tenant_scope("alice")})
+    pool = WorkerPool(testbed.theta_compute, 2, name="quota-pool")
+    endpoint = FaasEndpoint(
+        "theta", router, auth.issue_token(identity, {SCOPE_COMPUTE}),
+        testbed.theta_login, pool,
+    ).start()
+    client = FaasClient(router, token, site=testbed.theta_login, tenant="alice")
+    try:
+        with at_site(testbed.theta_login):
+            # 8 tasks through a 2-in-flight quota: submits must block-and-
+            # retry behind completions, and all of them succeed.
+            futures = [
+                client.run(_double, endpoint.endpoint_id, i) for i in range(8)
+            ]
+        assert [f.result(timeout=120) for f in futures] == [2 * i for i in range(8)]
+    finally:
+        client.close()
+        endpoint.stop()
+    assert router.registry.get("alice").usage.throttled >= 1
+    assert router.registry.get("alice").usage.in_flight == 0
+
+
+def test_throttle_budget_exhaustion_surfaces_the_throttle(testbed):
+    auth = AuthServer()
+    identity = auth.register_identity("u", "anl")
+    router = _make_router(testbed, auth, quota=TenantQuota(max_in_flight=0))
+    token = auth.issue_token(identity, {SCOPE_COMPUTE, tenant_scope("alice")})
+    pool = WorkerPool(testbed.theta_compute, 1, name="zero-pool")
+    endpoint = FaasEndpoint(
+        "theta", router, auth.issue_token(identity, {SCOPE_COMPUTE}),
+        testbed.theta_login, pool,
+    ).start()
+    # A zero quota never opens up: once the (small) throttle budget is
+    # spent the ThrottledError reaches the caller.
+    client = FaasClient(
+        router,
+        token,
+        site=testbed.theta_login,
+        tenant="alice",
+        throttle_policy=RetryPolicy(max_attempts=2, base_delay=0.05, max_delay=0.1),
+    )
+    try:
+        with at_site(testbed.theta_login):
+            with pytest.raises(ThrottledError):
+                client.run(_double, endpoint.endpoint_id, 1)
+    finally:
+        client.close()
+        endpoint.stop()
+
+
+def test_function_quota_exhaustion_raises_immediately(testbed):
+    auth = AuthServer()
+    identity = auth.register_identity("u", "anl")
+    router = _make_router(testbed, auth, quota=TenantQuota(max_functions=1))
+    token = auth.issue_token(identity, {SCOPE_COMPUTE, tenant_scope("alice")})
+    with at_site(testbed.theta_login):
+        router.register_function(token, serialize(_double), tenant="alice")
+        with pytest.raises(TenantQuotaExceededError):
+            router.register_function(token, serialize(_double), tenant="alice")

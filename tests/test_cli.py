@@ -60,6 +60,17 @@ def test_compare_command(capsys):
         assert config in out
 
 
+def test_tenants_command(capsys):
+    code = main(["tenants", "--tasks", "3", "--shards", "2", "--time-scale", "0.002"])
+    assert code == 0
+    out = capsys.readouterr().out
+    for tenant in ("moldesign", "finetune", "guest"):
+        assert tenant in out
+    assert "weight" in out
+    assert "throttled" in out
+    assert "tasks completed on 2 shard(s)" in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["launch-rockets"])
