@@ -149,6 +149,7 @@ def build_workflow(
     faas_retry_policy: object | None = None,
     faas_cloud: object | None = None,
     tenant: str = "default",
+    elastic: bool = False,
 ) -> WorkflowHandle:
     """Assemble one of the three §V-B workflow stacks on ``testbed``.
 
@@ -166,6 +167,11 @@ def build_workflow(
     ``tenant`` is the tenant this campaign acts as on that shared cloud —
     it must already exist there, and the issued token carries its scope.
     Only meaningful for the ``funcx+globus`` configuration.
+
+    ``elastic`` builds both pilots as
+    :class:`~repro.elastic.ElasticWorkerPool`\\ s (same initial sizes), so a
+    :class:`~repro.elastic.SteeringPolicy` or :class:`~repro.elastic.Autoscaler`
+    can resize them mid-campaign.
     """
     if config not in WORKFLOW_CONFIGS:
         raise WorkflowError(f"unknown workflow config {config!r}; pick from {WORKFLOW_CONFIGS}")
@@ -189,10 +195,20 @@ def build_workflow(
             queue_delay=batch_queue_delay or LogNormalLatency(30.0, 0.5, cap=300.0),
             network=testbed.network,
         )
-    cpu_pool = WorkerPool(
-        testbed.theta_compute, n_cpu, name=f"{run_id}-cpu", scheduler=cpu_scheduler
-    )
-    gpu_pool = WorkerPool(testbed.venti, n_gpu, name=f"{run_id}-gpu")
+    if elastic:
+        from repro.elastic import ElasticWorkerPool
+
+        cpu_pool: WorkerPool = ElasticWorkerPool(
+            testbed.theta_compute, n_cpu, name=f"{run_id}-cpu", scheduler=cpu_scheduler
+        )
+        gpu_pool: WorkerPool = ElasticWorkerPool(
+            testbed.venti, n_gpu, name=f"{run_id}-gpu"
+        )
+    else:
+        cpu_pool = WorkerPool(
+            testbed.theta_compute, n_cpu, name=f"{run_id}-cpu", scheduler=cpu_scheduler
+        )
+        gpu_pool = WorkerPool(testbed.venti, n_gpu, name=f"{run_id}-gpu")
 
     # Thinker <-> Task Server queue fabric: a Redis on the login node.
     queue_server = KVServer(testbed.theta_login, name=f"{run_id}-queues")

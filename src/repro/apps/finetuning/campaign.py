@@ -51,6 +51,9 @@ class FineTuneOutcome:
     gpu_idle_gaps: list[float] = field(default_factory=list)
     n_failures: int = 0
     store_metrics: dict[str, dict] = field(default_factory=dict)
+    #: Runtime capacity moves when ``config.elastic_steering`` is on
+    #: (:class:`repro.elastic.SteeringEvent` records, in order).
+    steering_events: list = field(default_factory=list)
 
 
 def pretrain_ensemble(
@@ -113,12 +116,14 @@ def run_finetuning_campaign(
     join_timeout: float | None = 600.0,
     faas_cloud: object | None = None,
     tenant: str = "default",
+    run_id: str | None = None,
 ) -> FineTuneOutcome:
     """Run one fine-tuning campaign; ``join_timeout`` is wall seconds.
 
     ``faas_cloud``/``tenant`` let the campaign run as one tenant of a
     shared (sharded) cloud instead of building its own — see
-    :func:`repro.apps.common.build_workflow`."""
+    :func:`repro.apps.common.build_workflow`.  ``run_id`` pins the
+    workflow's resource names (pool/endpoint/store prefixes)."""
     config = config or FineTuneConfig()
     testbed = testbed or build_paper_testbed(seed=seed, constants=constants)
     n_cpu = n_cpu_workers if n_cpu_workers is not None else testbed.constants.n_cpu_workers
@@ -153,9 +158,24 @@ def run_finetuning_campaign(
         policies,
         n_cpu_workers=n_cpu,
         n_gpu_workers=n_gpu_workers,
+        run_id=run_id,
         faas_cloud=faas_cloud,
         tenant=tenant,
+        elastic=config.elastic_steering,
     )
+    steering = None
+    if config.elastic_steering:
+        from repro.elastic import SteeringPolicy
+
+        n_gpu = (
+            n_gpu_workers
+            if n_gpu_workers is not None
+            else testbed.constants.n_gpu_workers
+        )
+        steering = SteeringPolicy(
+            {"cpu": handle.cpu_pool, "gpu": handle.gpu_pool},
+            total_workers=n_cpu + n_gpu,
+        )
     thinker = FineTuneThinker(
         handle.queues,
         testbed.theta_login,
@@ -164,6 +184,7 @@ def run_finetuning_campaign(
         n_cpu_slots=n_cpu,
         cross_store=handle.stores.get("cross"),
         rng_seed=seed,
+        steering=steering,
     )
     with handle:
         with at_site(testbed.theta_login):
@@ -189,4 +210,5 @@ def run_finetuning_campaign(
         gpu_idle_gaps=list(handle.gpu_pool.idle_gaps),
         n_failures=len(thinker.task_failures),
         store_metrics=store_metrics,
+        steering_events=list(steering.events) if steering is not None else [],
     )

@@ -65,6 +65,15 @@ class FineTuneConfig:
     #: seed behavior (first resolve pays the wire) for ablations.
     prefetch_hints: bool = True
 
+    #: Task-ratio steering (the bragg.py move): build elastic pilots and let
+    #: the Thinker shift workers toward the GPU lane while an ensemble
+    #: retrain is in flight, back toward CPU (DFT/sampling) once the new
+    #: models land.  Off reproduces the static-pool seed behavior.
+    elastic_steering: bool = False
+    #: (cpu, gpu) worker weights at the retrain trigger / after the batch.
+    steer_train_weights: tuple[float, float] = (1.0, 2.0)
+    steer_sim_weights: tuple[float, float] = (3.0, 1.0)
+
     def __post_init__(self) -> None:
         if self.target_new_structures <= 0 or self.retrain_after <= 0:
             raise ValueError("target_new_structures and retrain_after must be positive")

@@ -25,7 +25,10 @@ from collections import deque
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.apps.finetuning.config import FineTuneConfig
+from repro.bench.recording import emit
 from repro.core.queues import ColmenaQueues
 from repro.core.result import Result
 from repro.core.thinker import (
@@ -43,6 +46,9 @@ from repro.proxystore.prefetch import hints_for_proxies
 from repro.proxystore.store import Store
 from repro.sim.water import Structure, make_water_cluster
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.elastic import SteeringPolicy
+
 __all__ = ["FineTuneThinker"]
 
 
@@ -59,6 +65,7 @@ class FineTuneThinker(BaseThinker):
         n_cpu_slots: int,
         cross_store: Store | None = None,
         rng_seed: int = 0,
+        steering: "SteeringPolicy | None" = None,
     ) -> None:
         if len(initial_models) != config.n_ensemble:
             raise ValueError("need one initial model per ensemble member")
@@ -69,6 +76,9 @@ class FineTuneThinker(BaseThinker):
         super().__init__(queues, site, counter)
         self.config = config
         self.cross_store = cross_store
+        #: Optional runtime capacity lever over the elastic pools ("cpu" /
+        #: "gpu"); None (the default) keeps the static-pool behavior.
+        self.steering = steering
         self._rng = np.random.default_rng(rng_seed)
 
         self._lock = threading.Lock()
@@ -191,10 +201,16 @@ class FineTuneThinker(BaseThinker):
                 self._retraining = True
                 self._since_retrain = 0
                 self._train_batch += 1
+            batch = self._train_batch
             finished = count >= self.config.target_new_structures
         self.resources.release("simulate", 1)
         if trigger:
             self.set_event("retrain")
+            # The learning threshold is hit: shift workers to the GPU lane
+            # while the ensemble retrains (per bragg.py's steering move).
+            self._steer(
+                self.config.steer_train_weights, reason=f"retrain batch {batch}"
+            )
         if finished:
             self.done.set()
 
@@ -322,12 +338,14 @@ class FineTuneThinker(BaseThinker):
             self.task_failures.append(result)
             with self._lock:
                 self._retraining = False
+            self._steer(self.config.steer_sim_weights, reason="train failure")
             return
         model = result.access_value()
         member = result.task_info["member"]
         with self._lock:
             self.models[member] = model
             self._model_refs[member] = None  # next submission re-proxies
+            batch = result.task_info["batch"]
             batch_done = all(
                 r.task_info.get("batch") == result.task_info["batch"]
                 for r in self.results["train"][-self.config.n_ensemble :]
@@ -338,6 +356,20 @@ class FineTuneThinker(BaseThinker):
             ) >= self.config.n_ensemble
             if batch_done:
                 self._retraining = False
+        if batch_done:
+            # New models landed: return capacity to the DFT/sampling lane.
+            self._steer(self.config.steer_sim_weights, reason=f"batch {batch} done")
+
+    def _steer(self, weights: tuple[float, float], *, reason: str) -> None:
+        """Re-divide worker capacity between the cpu/gpu pools.  Advisory:
+        a steering failure must never take down a result processor."""
+        if self.steering is None:
+            return
+        cpu_w, gpu_w = weights
+        try:
+            self.steering.set_ratio({"cpu": cpu_w, "gpu": gpu_w}, reason=reason)
+        except Exception as exc:  # noqa: BLE001 - capacity hints are best-effort
+            emit("steering_error", thinker="finetuning", reason=reason, error=repr(exc))
 
     # -- resource balancing -----------------------------------------------------------------
     @agent(critical=False)

@@ -65,6 +65,17 @@ class MolDesignConfig:
     #: seed behavior (first resolve pays the wire) for ablations.
     prefetch_hints: bool = True
 
+    #: Task-ratio steering (the bragg.py move): build the pilots as elastic
+    #: pools and let the Thinker re-divide workers between the CPU
+    #: (simulate) and GPU (train/infer) lanes at runtime — GPU-heavy while
+    #: an ML batch is in flight, CPU-heavy once the queue is re-ranked.
+    #: Off reproduces the static-pool seed behavior.
+    elastic_steering: bool = False
+    #: (cpu, gpu) worker weights applied at the learning threshold
+    #: (retrain triggered) and after the batch completes, respectively.
+    steer_train_weights: tuple[float, float] = (1.0, 2.0)
+    steer_sim_weights: tuple[float, float] = (3.0, 1.0)
+
     @property
     def inference_chunk_duration(self) -> float:
         return self.inference_duration_per_model / self.inference_chunks

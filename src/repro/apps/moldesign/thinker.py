@@ -26,7 +26,10 @@ import threading
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.apps.moldesign.config import MolDesignConfig
+from repro.bench.recording import emit
 from repro.core.queues import ColmenaQueues
 from repro.core.result import Result
 from repro.core.thinker import (
@@ -45,6 +48,9 @@ from repro.proxystore.store import Store
 from repro.serialize import Blob
 from repro.sim.chemistry import MoleculeLibrary
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.elastic import SteeringPolicy
+
 __all__ = ["MolDesignThinker"]
 
 
@@ -61,6 +67,7 @@ class MolDesignThinker(BaseThinker):
         n_cpu_slots: int,
         cross_store: Store | None = None,
         rng_seed: int = 0,
+        steering: "SteeringPolicy | None" = None,
     ) -> None:
         super().__init__(
             queues,
@@ -72,6 +79,9 @@ class MolDesignThinker(BaseThinker):
         self.config = config
         self.library = library
         self.cross_store = cross_store
+        #: Optional runtime capacity lever over the elastic pools ("cpu" /
+        #: "gpu"); None (the default) keeps the static-pool behavior.
+        self.steering = steering
         self.threshold = library.top_quantile_threshold(config.threshold_quantile)
 
         rng = np.random.default_rng(rng_seed)
@@ -167,12 +177,18 @@ class MolDesignThinker(BaseThinker):
                     (self.config.n_ensemble, len(self.library)), np.nan
                 )
                 self._batch_chunks_received = 0
+            batch = self._batch_id
             finished = self._sims_completed >= self.config.max_simulations
         # The next simulation can start immediately; the data-independent
         # decision is just a slot release (the paper's 5 ms decision time).
         self.resources.release("simulation", 1)
         if trigger_retrain:
             self.set_event("retrain")
+            # The learning threshold is hit: give the GPU lane the workers
+            # (kill sim capacity to make room for training, per bragg.py).
+            self._steer(
+                self.config.steer_train_weights, reason=f"retrain batch {batch}"
+            )
         if finished:
             self.done.set()
 
@@ -297,6 +313,9 @@ class MolDesignThinker(BaseThinker):
             if self._ml_start is not None:
                 self.ml_makespans.append(get_clock().now() - self._ml_start)
                 self._ml_start = None
+            batch = self._batch_id
+        # Queue re-ranked, GPU wave done: hand the workers back to sims.
+        self._steer(self.config.steer_sim_weights, reason=f"batch {batch} complete")
 
     def _abort_batch_if_dead(self) -> None:
         """If an AI task failed, give up on the batch rather than hang."""
@@ -304,3 +323,15 @@ class MolDesignThinker(BaseThinker):
             self._retraining = False
             self._batch_scores = None
             self._ml_start = None
+        self._steer(self.config.steer_sim_weights, reason="batch aborted")
+
+    def _steer(self, weights: tuple[float, float], *, reason: str) -> None:
+        """Re-divide worker capacity between the cpu/gpu pools.  Advisory:
+        a steering failure must never take down a result processor."""
+        if self.steering is None:
+            return
+        cpu_w, gpu_w = weights
+        try:
+            self.steering.set_ratio({"cpu": cpu_w, "gpu": gpu_w}, reason=reason)
+        except Exception as exc:  # noqa: BLE001 - capacity hints are best-effort
+            emit("steering_error", thinker="moldesign", reason=reason, error=repr(exc))

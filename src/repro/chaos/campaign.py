@@ -70,6 +70,7 @@ FAULT_MODES: tuple[str, ...] = (
     "notification_duplicate",
     "subscription_drop",
     "shard_outage",
+    "provision_delay",
 )
 
 #: Workflow configurations (FaaS fabric + ProxyStore backend).
@@ -97,6 +98,8 @@ _REPORT_COUNTERS = (
     "endpoint.doorbell_fetches_empty",
     "cloud.shard_outages",
     "client.throttled",
+    "autoscale.provision_retries",
+    "autoscale.provision_abandoned",
 )
 
 
@@ -142,6 +145,15 @@ def fault_specs(mode: str) -> tuple[FaultSpec, ...]:
         # only the first check of each key eligible, so the client's
         # throttle-retry loop can never re-fire the fault.
         return (FaultSpec("cloud.shard.drop", mode, rate=0.5, max_fires=2),)
+    if mode == "provision_delay":
+        # Scale-up requests stall for a nominal second and then fail; the
+        # elastic pool must retry with backoff and no queued task may be
+        # lost to the missing capacity.  Keyed per (pool, worker index).
+        return (
+            FaultSpec(
+                "scheduler.provision", mode, rate=0.5, delay=1.0, match={"attempt": 0}
+            ),
+        )
     raise ValueError(f"unknown fault mode {mode!r}; known: {sorted(FAULT_MODES)}")
 
 
@@ -347,6 +359,15 @@ def _reconcile(
                 f"{counters.get('client.throttled', 0)}, expected >= {fires}"
             )
         expect("client.retries", 0)
+    elif mode == "provision_delay":
+        # Stalled scale-ups are retried by the pool itself: one retry per
+        # fire (the attempt-0 match guarantees the second try lands), no
+        # worker is abandoned, and the task layer never notices.
+        if fires < 1:
+            failures.append("provision_delay cell injected no faults")
+        expect("autoscale.provision_retries", fires)
+        expect("autoscale.provision_abandoned", 0)
+        expect("client.retries", 0)
 
 
 def run_cell(
@@ -393,8 +414,21 @@ def run_cell(
     else:
         cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, constants)
     rig = _build_rig(config, testbed, policy)
-    pool_a = WorkerPool(rig.worker_site, 2, name="chaos-pool-a")
-    pool_b = WorkerPool(rig.worker_site, 2, name="chaos-pool-b")
+    if mode == "provision_delay":
+        # Elastic pools so scale-up passes through the chaos-hooked
+        # provisioning path; worker indices give deterministic fault keys.
+        from repro.elastic import ElasticWorkerPool
+
+        provision_retry = RetryPolicy(max_attempts=4, base_delay=0.2, max_delay=1.0)
+        pool_a: WorkerPool = ElasticWorkerPool(
+            rig.worker_site, 2, name="chaos-pool-a", provision_retry=provision_retry
+        )
+        pool_b: WorkerPool = ElasticWorkerPool(
+            rig.worker_site, 2, name="chaos-pool-b", provision_retry=provision_retry
+        )
+    else:
+        pool_a = WorkerPool(rig.worker_site, 2, name="chaos-pool-a")
+        pool_b = WorkerPool(rig.worker_site, 2, name="chaos-pool-b")
     ep_a = FaasEndpoint(
         "ep-a", cloud, token, rig.agent_site, pool_a,
         failover_group="chaos-pair", poll_interval=0.25, use_bus=use_bus,

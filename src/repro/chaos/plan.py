@@ -55,6 +55,7 @@ HOOKS = frozenset(
         "bus.deliver",  # NotificationBus: envelope lost in flight
         "bus.duplicate",  # NotificationBus: envelope delivered twice
         "bus.subscription.drop",  # NotificationBus: forced disconnect at publish
+        "scheduler.provision",  # ElasticWorkerPool: scale-up stalls then fails
     }
 )
 

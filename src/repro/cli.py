@@ -24,6 +24,9 @@ Commands
 ``tenants``
     Run a short multi-tenant storm on a sharded cloud and print the
     per-tenant usage/quota table (weights, rate limits, throttles).
+``pools``
+    Run a short bursty workload against autoscaled elastic endpoints and
+    print the per-pool worker/decision table (grow, shrink, scale-to-zero).
 """
 
 from __future__ import annotations
@@ -336,6 +339,65 @@ def cmd_tenants(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_pools(args: argparse.Namespace) -> int:
+    from repro.elastic import AutoscalePolicy, Autoscaler, ElasticWorkerPool
+    from repro.faas import SCOPE_COMPUTE, AuthServer, FaasClient, FaasCloud, FaasEndpoint
+    from repro.net.context import at_site
+
+    reset_clock(args.time_scale)
+    testbed = build_paper_testbed(seed=args.seed)
+    auth = AuthServer()
+    identity = auth.register_identity("operator", "anl")
+    token = auth.issue_token(identity, {SCOPE_COMPUTE})
+    cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, testbed.constants)
+    policy = AutoscalePolicy(
+        min_workers=0,
+        max_workers=args.max_workers,
+        target_tasks_per_worker=1.0,
+        interval=1.0,
+        cooldown=1.0,
+        idle_grace=4.0,
+        zero_grace=8.0,
+    )
+    pools = {
+        "cpu": ElasticWorkerPool(testbed.theta_compute, 0, name="pools-cpu"),
+        "gpu": ElasticWorkerPool(testbed.venti, 0, name="pools-gpu"),
+    }
+    sites = {"cpu": testbed.theta_login, "gpu": testbed.venti}
+    endpoints = {
+        name: FaasEndpoint(name, cloud, token, sites[name], pool).start()
+        for name, pool in pools.items()
+    }
+    autoscalers = [
+        Autoscaler(endpoint, policy=policy).start()
+        for endpoint in endpoints.values()
+    ]
+    client = FaasClient(cloud, token, site=testbed.theta_login)
+    from repro.net.clock import get_clock
+
+    clock = get_clock()
+    try:
+        with at_site(testbed.theta_login):
+            futures = [
+                client.run(_noop_task, endpoints[name].endpoint_id, index)
+                for index in range(args.tasks)
+                for name in endpoints
+            ]
+        done = sum(1 for f in futures if f.result(timeout=120) is not None)
+        clock.sleep(2.0)  # let the autoscalers observe the drained queues
+    finally:
+        client.close()
+        for scaler in autoscalers:
+            scaler.stop()
+        for endpoint in endpoints.values():
+            endpoint.stop()
+    from repro.elastic import render_pool_table
+
+    print(f"{done}/{len(futures)} tasks completed on scale-from-zero pools\n")
+    print(render_pool_table(autoscalers))
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro import observe
 
@@ -442,6 +504,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=2, help="control-plane shards")
     p.add_argument("--tasks", type=int, default=8, help="tasks per tenant")
     p.set_defaults(func=cmd_tenants)
+
+    p = sub.add_parser(
+        "pools", help="print a per-pool autoscaling table from a short burst"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--time-scale", type=float, default=0.002,
+        help="wall seconds per nominal second (smaller = faster run)",
+    )
+    p.add_argument("--tasks", type=int, default=8, help="tasks per endpoint")
+    p.add_argument("--max-workers", type=int, default=4, help="autoscaler ceiling")
+    p.set_defaults(func=cmd_pools)
 
     p = sub.add_parser(
         "trace", help="reconstruct a recorded campaign from a span JSONL file"

@@ -1,0 +1,28 @@
+"""repro.elastic — autoscaling pilot-job endpoints.
+
+Elastic worker pools (:class:`ElasticWorkerPool`) that grow, shrink, and
+scale to zero at runtime; an :class:`Autoscaler` loop that drives them from
+queue-depth/utilization/backlog signals with event-driven scale-from-zero
+over the notification bus; and a :class:`SteeringPolicy` that lets Thinkers
+re-divide worker capacity between task types mid-campaign.
+"""
+
+from repro.elastic.autoscaler import (
+    AutoscaleDecision,
+    AutoscalePolicy,
+    Autoscaler,
+    render_pool_table,
+)
+from repro.elastic.pool import ElasticWorkerPool
+from repro.elastic.steering import SteeringEvent, SteeringPolicy, apportion
+
+__all__ = [
+    "AutoscaleDecision",
+    "AutoscalePolicy",
+    "Autoscaler",
+    "ElasticWorkerPool",
+    "SteeringEvent",
+    "SteeringPolicy",
+    "apportion",
+    "render_pool_table",
+]

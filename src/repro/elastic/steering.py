@@ -1,0 +1,119 @@
+"""Task-ratio steering: Thinkers re-divide worker capacity at runtime.
+
+radical.pilot's ``bragg.py`` exemplar kills simulation workers the moment
+the learning threshold is reached so training can have their nodes.  The
+:class:`SteeringPolicy` here is that lever made first-class: it owns a set
+of named :class:`~repro.elastic.pool.ElasticWorkerPool`\\ s sharing one
+worker budget, and :meth:`set_ratio` re-apportions the budget to a new
+weight vector — draining over-target pools first (freeing their nodes
+gracefully: in-flight tasks finish, queued tasks wait for the survivors)
+and then growing the under-target ones into the freed room.
+
+Apportionment is largest-remainder with a deterministic name-order
+tie-break, so identical weight vectors always produce identical worker
+moves — a requirement for chaos-campaign ledger digests to stay
+bit-identical.  Every call is recorded as a :class:`SteeringEvent` for the
+benchmarks and the CLI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.net.clock import Clock, get_clock
+from repro.observe import counter_inc, gauge_set
+from repro.elastic.pool import ElasticWorkerPool
+
+__all__ = ["SteeringEvent", "SteeringPolicy", "apportion"]
+
+
+def apportion(weights: Mapping[str, float], total: int) -> dict[str, int]:
+    """Split ``total`` integer slots over ``weights`` by largest remainder.
+
+    Deterministic: exact quotas are floored, then leftover slots go to the
+    largest fractional parts, ties broken by name order.  Zero-weight
+    entries get zero slots.
+    """
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if any(w < 0 for w in weights.values()):
+        raise ValueError("weights must be non-negative")
+    weight_sum = sum(weights.values())
+    if weight_sum <= 0:
+        raise ValueError("at least one weight must be positive")
+    quotas = {name: total * w / weight_sum for name, w in weights.items()}
+    shares = {name: math.floor(q) for name, q in quotas.items()}
+    leftover = total - sum(shares.values())
+    by_remainder = sorted(
+        weights, key=lambda name: (-(quotas[name] - shares[name]), name)
+    )
+    for name in by_remainder[:leftover]:
+        shares[name] += 1
+    return shares
+
+
+@dataclass
+class SteeringEvent:
+    at: float
+    weights: dict[str, float]
+    targets: dict[str, int]
+    moved: int  # workers drained (== grown) by this re-balance
+    reason: str = ""
+
+
+@dataclass
+class SteeringPolicy:
+    """Runtime re-balancing of one worker budget across task-type pools."""
+
+    pools: dict[str, ElasticWorkerPool]
+    total_workers: int
+    clock: Clock = field(default_factory=get_clock)
+    events: list[SteeringEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.pools:
+            raise ValueError("steering needs at least one pool")
+        if self.total_workers <= 0:
+            raise ValueError("total_workers must be positive")
+
+    def sizes(self) -> dict[str, int]:
+        return {name: pool.size for name, pool in self.pools.items()}
+
+    def set_ratio(
+        self, weights: Mapping[str, float], *, reason: str = ""
+    ) -> dict[str, int]:
+        """Re-apportion the worker budget to ``weights`` and apply it.
+
+        Shrinks run before grows so the freed nodes are what the growing
+        pools provision into.  Draining is graceful (no task is lost), and
+        the whole call is synchronous bookkeeping — the actual worker exits
+        and node provisioning proceed in the pools' own threads.
+        """
+        unknown = set(weights) - set(self.pools)
+        if unknown:
+            raise KeyError(f"unknown steering pools: {sorted(unknown)}")
+        full = {name: float(weights.get(name, 0.0)) for name in self.pools}
+        targets = apportion(full, self.total_workers)
+        moved = 0
+        for name in sorted(self.pools):  # shrink first: free the budget
+            delta = targets[name] - self.pools[name].size
+            if delta < 0:
+                moved += self.pools[name].drain(-delta)
+        for name in sorted(self.pools):
+            delta = targets[name] - self.pools[name].size
+            if delta > 0:
+                self.pools[name].grow(delta)
+        for name, target in targets.items():
+            gauge_set("steer.target_workers", target, pool=self.pools[name].name)
+        event = SteeringEvent(
+            at=self.clock.now(),
+            weights=dict(full),
+            targets=dict(targets),
+            moved=moved,
+            reason=reason,
+        )
+        self.events.append(event)
+        counter_inc("autoscale.steering_events")
+        return targets

@@ -585,6 +585,21 @@ class FaasCloud:
         self._wrr_credit[endpoint_id] = max(self._tenant_weight(nxt), 1) - 1
         return queues[nxt].popleft()
 
+    def queue_depth(self, endpoint_id: str) -> int:
+        """Tasks waiting in this cloud's queues for ``endpoint_id``, summed
+        over tenants — the cloud half of the autoscaler's demand signal."""
+        with self._queue_cond:
+            if endpoint_id not in self._queues:
+                return 0
+            return self._depth_locked(endpoint_id)
+
+    def tenant_backlog(self, endpoint_id: str) -> dict[str, int]:
+        """Per-tenant waiting-task counts for ``endpoint_id`` (backlogged
+        tenants only)."""
+        with self._queue_cond:
+            queues = self._queues.get(endpoint_id, {})
+            return {tenant: len(q) for tenant, q in queues.items() if q}
+
     def _publish_depth_locked(self, endpoint_id: str) -> None:
         gauge_set(
             "faas.queue_depth", self._depth_locked(endpoint_id), endpoint=endpoint_id

@@ -16,6 +16,7 @@ from __future__ import annotations
 import queue
 import threading
 import traceback
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.bench.recording import emit
@@ -31,7 +32,7 @@ from repro.faas.cloud import FaasCloud, TaskDispatch, task_topic
 from repro.net.clock import Clock, get_clock
 from repro.net.context import SiteThread
 from repro.net.topology import Site
-from repro.observe import TraceContext, counter_inc, trace_span
+from repro.observe import TraceContext, counter_inc, gauge_set, trace_span
 from repro.proxystore.prefetch import apply_prefetch_hints
 from repro.resources.worker import WorkerPool
 from repro.serialize import (
@@ -42,7 +43,22 @@ from repro.serialize import (
     serialize_cost,
 )
 
-__all__ = ["FaasEndpoint"]
+__all__ = ["EndpointUtilization", "FaasEndpoint"]
+
+
+@dataclass(frozen=True)
+class EndpointUtilization:
+    """One endpoint's worker/queue state at a point in time.
+
+    This is *the* canonical utilization signal: the autoscaler, the CLI,
+    and the benchmarks all read this snapshot instead of each recomputing
+    it from pool internals.
+    """
+
+    workers: int
+    active: int
+    idle: int
+    queue_depth: int
 
 
 class FaasEndpoint:
@@ -120,6 +136,7 @@ class FaasEndpoint:
         self._paused = threading.Event()
         self._crashed = threading.Event()
         self._threads: list[SiteThread] = []
+        self._uplink_thread: SiteThread | None = None
         # Event-driven task pickup: block on the doorbell stream instead of
         # long-polling the cloud; ``_fallback`` flips on when the
         # subscription lapses and the long-poll path takes over until the
@@ -165,6 +182,8 @@ class FaasEndpoint:
             )
             thread.start()
             self._threads.append(thread)
+            if label == "uplink":
+                self._uplink_thread = thread
         return self
 
     def stop(self) -> None:
@@ -172,14 +191,28 @@ class FaasEndpoint:
             return
         self._running = False
         self._paused.clear()
-        self._outbox.put(None)
         wedged = []
+        # Order matters for a graceful drain: silence the poll/heartbeat
+        # loops first (no new dispatches), then let the pool run its queue
+        # dry *while the uplink is still alive* so every drained result is
+        # reported, and only then close the outbox.  A crashed endpoint
+        # skips the drain: its backlog is the failover group's problem.
         for thread in self._threads:
+            if thread is self._uplink_thread:
+                continue
             thread.join(timeout=10)
             if thread.is_alive():
                 wedged.append(thread.name)
                 counter_inc("endpoint.wedged_threads", endpoint=self.name)
-        self.pool.stop()
+        dropped = self.pool.stop(drain=not self._crashed.is_set())
+        if dropped:
+            counter_inc("endpoint.closures_dropped", len(dropped), endpoint=self.name)
+        self._outbox.put(None)
+        if self._uplink_thread is not None:
+            self._uplink_thread.join(timeout=10)
+            if self._uplink_thread.is_alive():
+                wedged.append(self._uplink_thread.name)
+                counter_inc("endpoint.wedged_threads", endpoint=self.name)
         if not self._crashed.is_set():
             self.cloud.release_lease(self.token, self.endpoint_id)
             self.cloud.set_endpoint_online(self.endpoint_id, False)
@@ -228,6 +261,21 @@ class FaasEndpoint:
             self.cloud.heartbeat(self.token, self.endpoint_id)
         self._paused.clear()
         self.cloud.set_endpoint_online(self.endpoint_id, True)
+
+    def utilization(self) -> EndpointUtilization:
+        """Snapshot worker/queue state and export it as the canonical
+        ``endpoint.workers{state=}`` / ``endpoint.queue_depth`` gauges."""
+        pool = self.pool
+        workers = getattr(pool, "online_count", pool.n_workers)
+        active = min(pool.active_count, workers)
+        idle = max(0, workers - active)
+        depth = pool.queue_depth
+        gauge_set("endpoint.workers", active, endpoint=self.name, state="active")
+        gauge_set("endpoint.workers", idle, endpoint=self.name, state="idle")
+        gauge_set("endpoint.queue_depth", depth, endpoint=self.name)
+        return EndpointUtilization(
+            workers=workers, active=active, idle=idle, queue_depth=depth
+        )
 
     # -- cloud communication helpers ---------------------------------------------
     def _pay_api_call(self) -> None:

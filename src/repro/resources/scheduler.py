@@ -111,6 +111,67 @@ class BatchScheduler:
             job.started_at = self._clock.now()
         return job
 
+    def resize(
+        self, job: BatchJob, delta: int, *, timeout: float | None = None
+    ) -> BatchJob:
+        """Grow or shrink a RUNNING job by ``delta`` nodes in place.
+
+        Growing models submitting an expansion request for an existing pilot
+        allocation: it pays a freshly sampled queue delay and then blocks
+        until the extra nodes are free (or ``timeout`` nominal seconds pass,
+        raising :class:`SchedulerError` with the job left at its old size).
+        Shrinking returns nodes immediately and wakes queued growers;
+        shrinking to zero completes the job, exactly like :meth:`release`.
+        Deltas are applied under the scheduler lock, so concurrent resizes
+        of one job from many workers never lose an update.
+        """
+        if delta == 0:
+            return job
+        if delta < 0:
+            with self._nodes_freed:
+                if job.state is not JobState.RUNNING:
+                    raise SchedulerError(
+                        f"cannot resize job {job.job_id!r} in state {job.state}"
+                    )
+                if job.n_nodes + delta < 0:
+                    raise SchedulerError(
+                        f"cannot shrink job {job.job_id!r} below zero nodes"
+                    )
+                job.n_nodes += delta
+                self._free -= delta
+                if job.n_nodes == 0:
+                    job.state = JobState.COMPLETED
+                    job.ended_at = self._clock.now()
+                self._nodes_freed.notify_all()
+            return job
+        with self._lock:
+            if job.state is not JobState.RUNNING:
+                raise SchedulerError(
+                    f"cannot resize job {job.job_id!r} in state {job.state}"
+                )
+            if job.n_nodes + delta > self.total_nodes:
+                raise SchedulerError(
+                    f"growing {job.job_id!r} by {delta} nodes exceeds the "
+                    f"{self.total_nodes} nodes on {self.site.name}"
+                )
+        # Growth request: another trip through the batch queue.
+        self._clock.sleep(self._sample_queue_delay())
+        deadline_wall = self._clock.wall_timeout(timeout)
+        with self._nodes_freed:
+            while self._free < delta:
+                if not self._nodes_freed.wait(deadline_wall):
+                    raise SchedulerError(
+                        f"timed out growing {job.job_id!r} by {delta} nodes "
+                        f"on {self.site.name}"
+                    )
+                if job.state is not JobState.RUNNING:
+                    raise SchedulerError(
+                        f"job {job.job_id!r} completed while a resize waited"
+                    )
+            self._free -= delta
+            job.n_nodes += delta
+        return job
+
     def release(self, job: BatchJob) -> None:
         """Return a running job's nodes to the pool."""
         with self._nodes_freed:

@@ -57,6 +57,8 @@ class WorkerPool:
         #: Gaps (nominal seconds) between consecutive tasks on each worker.
         self.idle_gaps: list[float] = []
         self.tasks_completed = 0
+        #: Cumulative nominal seconds workers spent executing closures.
+        self.busy_seconds = 0.0
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> "WorkerPool":
@@ -79,10 +81,32 @@ class WorkerPool:
             self._threads.append(thread)
         return self
 
-    def stop(self) -> None:
+    def stop(self, *, drain: bool = True) -> list[Callable[[], None]]:
+        """Stop the pool and return any closures that did not run.
+
+        ``drain=True`` (the default) lets workers run the queue dry before
+        exiting: the stop sentinels sit behind the backlog in FIFO order, so
+        every queued closure executes and the return value is empty.
+
+        ``drain=False`` is a prompt stop: queued-but-unstarted closures are
+        pulled off the queue and *returned* to the caller (in submission
+        order) instead of executing; only in-flight work finishes.  Callers
+        that own a durable queue upstream (the FaaS cloud requeues on lease
+        expiry) use this on crash paths where running the backlog would
+        produce results nobody can report.
+        """
         if not self._running:
-            return
+            return []
         self._running = False
+        pending: list[Callable[[], None]] = []
+        if not drain:
+            while True:
+                try:
+                    work = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if work is not None:
+                    pending.append(work)
         for _ in self._threads:
             self._queue.put(None)
         for thread in self._threads:
@@ -90,6 +114,7 @@ class WorkerPool:
         if self._scheduler is not None and self._job is not None:
             self._scheduler.release(self._job)
         self._threads.clear()
+        return pending
 
     # -- work -------------------------------------------------------------------
     def submit(self, work: Callable[[], None]) -> None:
@@ -116,31 +141,36 @@ class WorkerPool:
             work = self._queue.get()
             if work is None:
                 return
-            start = self._clock.now()
+            self._execute(idx, work)
+
+    def _execute(self, idx: int, work: Callable[[], None]) -> None:
+        """Run one closure with idle-gap/utilization instrumentation."""
+        start = self._clock.now()
+        with self._lock:
+            last_end = self._last_end.get(idx)
+            if last_end is not None:
+                self.idle_gaps.append(start - last_end)
+                observe("pool.idle_gap_s", start - last_end, pool=self.name)
+            self._active += 1
+            gauge_set("pool.active", self._active, pool=self.name)
+        emit("worker_task_start", pool=self.name, resource=self.site.name)
+        try:
+            work()
+        except Exception as exc:  # closure bug: record, keep the lane alive
+            emit(
+                "worker_task_error",
+                pool=self.name,
+                resource=self.site.name,
+                error=repr(exc),
+            )
+        finally:
+            end = self._clock.now()
             with self._lock:
-                last_end = self._last_end.get(idx)
-                if last_end is not None:
-                    self.idle_gaps.append(start - last_end)
-                    observe("pool.idle_gap_s", start - last_end, pool=self.name)
-                self._active += 1
-                gauge_set("pool.active", self._active, pool=self.name)
-            emit("worker_task_start", pool=self.name, resource=self.site.name)
-            try:
-                work()
-            except Exception as exc:  # closure bug: record, keep the lane alive
-                emit(
-                    "worker_task_error",
-                    pool=self.name,
-                    resource=self.site.name,
-                    error=repr(exc),
-                )
-            finally:
-                end = self._clock.now()
-                with self._lock:
-                    self._active -= 1
-                    self._last_end[idx] = end
-                    self.tasks_completed += 1
-                emit("worker_task_end", pool=self.name, resource=self.site.name)
+                self._active -= 1
+                self._last_end[idx] = end
+                self.tasks_completed += 1
+                self.busy_seconds += end - start
+            emit("worker_task_end", pool=self.name, resource=self.site.name)
 
     def __enter__(self) -> "WorkerPool":
         return self.start()

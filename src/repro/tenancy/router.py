@@ -447,6 +447,19 @@ class CloudRouter:
             records.extend(shard.task_records())
         return records
 
+    def queue_depth(self, endpoint_id: str) -> int:
+        """Waiting tasks for ``endpoint_id`` summed over every shard."""
+        return sum(shard.queue_depth(endpoint_id) for shard in self._all_shards())
+
+    def tenant_backlog(self, endpoint_id: str) -> dict[str, int]:
+        """Per-tenant waiting-task counts for ``endpoint_id`` merged across
+        shards — the flattened demand signal autoscalers subscribe to."""
+        merged: dict[str, int] = {}
+        for shard in self._all_shards():
+            for tenant, depth in shard.tenant_backlog(endpoint_id).items():
+                merged[tenant] = merged.get(tenant, 0) + depth
+        return merged
+
     def get_result_payload(self, token: Token, task_id: str) -> tuple[TaskStatus, Payload]:
         # Never gated on outages: results live in durable shard state and
         # the data plane stays up while the admission tier restarts.

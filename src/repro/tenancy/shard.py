@@ -29,6 +29,7 @@ from repro.faas.cloud import FaasCloud, _CompletedFeed
 from repro.net.clock import Clock
 from repro.net.defaults import PaperConstants
 from repro.net.topology import Network, Site
+from repro.observe import gauge_set
 from repro.tenancy.tenant import TenantRegistry
 
 __all__ = ["CloudShard"]
@@ -66,3 +67,18 @@ class CloudShard(FaasCloud):
             task_namespace=f"{shard_id}-",
             on_enqueue=on_enqueue,
         )
+
+    def tenant_backlog(self, endpoint_id: str) -> dict[str, int]:
+        """Per-tenant backlog on *this shard's* queues, exported with the
+        shard label so autoscalers (and dashboards) can see which partition
+        the demand lives on before the router flattens the signal."""
+        backlog = super().tenant_backlog(endpoint_id)
+        for tenant, depth in backlog.items():
+            gauge_set(
+                "cloud.shard_backlog",
+                depth,
+                tenant=tenant,
+                endpoint=endpoint_id,
+                shard=self.shard_id,
+            )
+        return backlog
