@@ -117,13 +117,18 @@ def run_finetuning_campaign(
     faas_cloud: object | None = None,
     tenant: str = "default",
     run_id: str | None = None,
+    checkpoint: object | None = None,
+    resume: bool = False,
 ) -> FineTuneOutcome:
     """Run one fine-tuning campaign; ``join_timeout`` is wall seconds.
 
     ``faas_cloud``/``tenant`` let the campaign run as one tenant of a
     shared (sharded) cloud instead of building its own — see
     :func:`repro.apps.common.build_workflow`.  ``run_id`` pins the
-    workflow's resource names (pool/endpoint/store prefixes)."""
+    workflow's resource names (pool/endpoint/store prefixes).
+    ``checkpoint``/``resume`` journal and restore the Thinker's decision
+    state (accepted DFT results, retrain cadence) so a killed campaign
+    keeps its credit toward ``target_new_structures``."""
     config = config or FineTuneConfig()
     testbed = testbed or build_paper_testbed(seed=seed, constants=constants)
     n_cpu = n_cpu_workers if n_cpu_workers is not None else testbed.constants.n_cpu_workers
@@ -185,7 +190,13 @@ def run_finetuning_campaign(
         cross_store=handle.stores.get("cross"),
         rng_seed=seed,
         steering=steering,
+        checkpoint=checkpoint,
     )
+    if resume:
+        if checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint")
+        snapshot, events = checkpoint.load_state()
+        thinker.restore_state(snapshot, events)
     with handle:
         with at_site(testbed.theta_login):
             thinker.start()
@@ -195,6 +206,8 @@ def run_finetuning_campaign(
         store_metrics = {
             name: store.metrics.summary() for name, store in handle.stores.items()
         }
+        if checkpoint is not None:
+            checkpoint.save_state(thinker.export_state())
 
     rmsd_after, e_rmse_after = evaluate_force_rmsd(thinker.models, test_set)
     return FineTuneOutcome(

@@ -47,9 +47,27 @@ from repro.proxystore.store import Store
 from repro.sim.water import Structure, make_water_cluster
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.durable import CampaignCheckpoint
     from repro.elastic import SteeringPolicy
 
 __all__ = ["FineTuneThinker"]
+
+
+def _encode_structure(structure: Structure) -> dict:
+    """JSON-safe structure document for the decision journal."""
+    return {
+        "positions": structure.positions.tolist(),
+        "types": structure.types.tolist(),
+        "bonds": [list(bond) for bond in structure.bonds],
+    }
+
+
+def _decode_structure(doc: dict) -> Structure:
+    return Structure(
+        np.asarray(doc["positions"], dtype=float),
+        np.asarray(doc["types"], dtype=int),
+        tuple(tuple(int(i) for i in bond) for bond in doc["bonds"]),
+    )
 
 
 class FineTuneThinker(BaseThinker):
@@ -66,6 +84,7 @@ class FineTuneThinker(BaseThinker):
         cross_store: Store | None = None,
         rng_seed: int = 0,
         steering: "SteeringPolicy | None" = None,
+        checkpoint: "CampaignCheckpoint | None" = None,
     ) -> None:
         if len(initial_models) != config.n_ensemble:
             raise ValueError("need one initial model per ensemble member")
@@ -79,6 +98,9 @@ class FineTuneThinker(BaseThinker):
         #: Optional runtime capacity lever over the elastic pools ("cpu" /
         #: "gpu"); None (the default) keeps the static-pool behavior.
         self.steering = steering
+        #: Optional write-ahead journal for decision state (DFT results,
+        #: retrain triggers), powering ``repro.cli resume``.
+        self.checkpoint = checkpoint
         self._rng = np.random.default_rng(rng_seed)
 
         self._lock = threading.Lock()
@@ -186,6 +208,15 @@ class FineTuneThinker(BaseThinker):
             self.resources.release("simulate", 1)
             return
         record = result.access_value()
+        if self.checkpoint is not None:
+            # Write-ahead: the accepted DFT result is durable before the
+            # in-memory pools consume it.
+            self.checkpoint.note(
+                "dft_result",
+                structure=_encode_structure(record["structure"]),
+                energy=float(record["energy"]),
+                forces=np.asarray(record["forces"]).tolist(),
+            )
         with self._lock:
             self.new_structures.append(
                 (record["structure"], record["energy"], record["forces"])
@@ -205,6 +236,8 @@ class FineTuneThinker(BaseThinker):
             finished = count >= self.config.target_new_structures
         self.resources.release("simulate", 1)
         if trigger:
+            if self.checkpoint is not None:
+                self.checkpoint.note("retrain", batch=batch)
             self.set_event("retrain")
             # The learning threshold is hit: shift workers to the GPU lane
             # while the ensemble retrains (per bragg.py's steering move).
@@ -370,6 +403,70 @@ class FineTuneThinker(BaseThinker):
             self.steering.set_ratio({"cpu": cpu_w, "gpu": gpu_w}, reason=reason)
         except Exception as exc:  # noqa: BLE001 - capacity hints are best-effort
             emit("steering_error", thinker="finetuning", reason=reason, error=repr(exc))
+
+    # -- checkpoint / resume ---------------------------------------------------
+    def export_state(self) -> dict:
+        """JSON-safe decision state for :class:`CampaignCheckpoint`.
+
+        Lighter than moldesign's: the accepted DFT results and retrain
+        cadence are the decision state worth keeping; transient pools
+        (audit/uncertainty/sample buffers) are regenerated by the sampling
+        loop after resume.
+        """
+        with self._lock:
+            return {
+                "new_structures": [
+                    {
+                        "structure": _encode_structure(structure),
+                        "energy": float(energy),
+                        "forces": np.asarray(forces).tolist(),
+                    }
+                    for structure, energy, forces in self.new_structures
+                ],
+                "since_retrain": self._since_retrain,
+                "train_batch": self._train_batch,
+            }
+
+    def restore_state(self, snapshot: dict | None, events: list[dict]) -> None:
+        """Rebuild the accepted-structure ledger from snapshot + journaled
+        events; call before ``start()``.  A resumed campaign keeps full
+        credit toward ``target_new_structures`` — no accepted DFT result is
+        ever recomputed — while the sampling pools restart cold."""
+        state = {"new_structures": [], "since_retrain": 0, "train_batch": 0}
+        if snapshot:
+            state.update(snapshot)
+        structures = [
+            (
+                _decode_structure(doc["structure"]),
+                float(doc["energy"]),
+                np.asarray(doc["forces"], dtype=float),
+            )
+            for doc in state["new_structures"]
+        ]
+        since_retrain = int(state["since_retrain"])
+        train_batch = int(state["train_batch"])
+        for event in events:
+            if event["type"] == "dft_result":
+                structures.append(
+                    (
+                        _decode_structure(event["structure"]),
+                        float(event["energy"]),
+                        np.asarray(event["forces"], dtype=float),
+                    )
+                )
+                since_retrain += 1
+            elif event["type"] == "retrain":
+                since_retrain = 0
+                train_batch = int(event["batch"])
+        clock = get_clock()
+        with self._lock:
+            self.new_structures = structures
+            self._since_retrain = since_retrain
+            self._train_batch = train_batch
+            self.progress = [(0.0, 0), (clock.now(), len(structures))] if structures else [(0.0, 0)]
+            finished = len(structures) >= self.config.target_new_structures
+        if finished:
+            self.done.set()
 
     # -- resource balancing -----------------------------------------------------------------
     @agent(critical=False)

@@ -50,6 +50,9 @@ class MolDesignOutcome:
     #: Runtime capacity moves when ``config.elastic_steering`` is on
     #: (:class:`repro.elastic.SteeringEvent` records, in order).
     steering_events: list = field(default_factory=list)
+    #: The final decision ledger (molecule index -> simulated IP) — what
+    #: the durability harness digests to prove crash/resume determinism.
+    database: dict[int, float] = field(default_factory=dict)
 
     @property
     def cpu_utilization(self) -> float:
@@ -73,6 +76,9 @@ def run_moldesign_campaign(
     faas_cloud: object | None = None,
     tenant: str = "default",
     run_id: str | None = None,
+    checkpoint: object | None = None,
+    resume: bool = False,
+    crash_after_results: int | None = None,
 ) -> MolDesignOutcome:
     """Run one campaign; ``join_timeout`` is wall seconds (safety net).
 
@@ -80,7 +86,13 @@ def run_moldesign_campaign(
     shared (sharded) cloud instead of building its own — see
     :func:`repro.apps.common.build_workflow`.  ``run_id`` pins the
     workflow's resource names (pool/endpoint/store prefixes); fixing it
-    makes elastic chaos keys deterministic across runs."""
+    makes elastic chaos keys deterministic across runs.
+
+    ``checkpoint`` (a :class:`repro.durable.CampaignCheckpoint`) journals
+    the Thinker's decision state; ``resume=True`` restores from it before
+    starting, continuing a killed campaign without recomputing completed
+    simulations; ``crash_after_results`` kills the campaign after that many
+    results (the durability harness's crash lever)."""
     config = config or MolDesignConfig()
     testbed = testbed or build_paper_testbed(seed=seed, constants=constants)
     n_cpu = n_cpu_workers if n_cpu_workers is not None else testbed.constants.n_cpu_workers
@@ -141,7 +153,14 @@ def run_moldesign_campaign(
         cross_store=handle.stores.get("cross"),
         rng_seed=seed,
         steering=steering,
+        checkpoint=checkpoint,
+        crash_after_results=crash_after_results,
     )
+    if resume:
+        if checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint")
+        snapshot, events = checkpoint.load_state()
+        thinker.restore_state(snapshot, events)
     with handle:
         with at_site(testbed.theta_login):
             thinker.start()
@@ -151,6 +170,11 @@ def run_moldesign_campaign(
         store_metrics = {
             name: store.metrics.summary() for name, store in handle.stores.items()
         }
+        if checkpoint is not None and crash_after_results is None:
+            # A clean finish compacts the decision log into one snapshot;
+            # a crashed run leaves the log as-is (a dead process cannot
+            # compact), which is exactly what resume replays.
+            checkpoint.save_state(thinker.export_state())
 
     return MolDesignOutcome(
         workflow=workflow,
@@ -166,4 +190,5 @@ def run_moldesign_campaign(
         n_failures=len(thinker.task_failures),
         store_metrics=store_metrics,
         steering_events=list(steering.events) if steering is not None else [],
+        database=dict(thinker.database),
     )

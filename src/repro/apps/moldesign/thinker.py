@@ -49,6 +49,7 @@ from repro.serialize import Blob
 from repro.sim.chemistry import MoleculeLibrary
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.durable import CampaignCheckpoint
     from repro.elastic import SteeringPolicy
 
 __all__ = ["MolDesignThinker"]
@@ -68,6 +69,8 @@ class MolDesignThinker(BaseThinker):
         cross_store: Store | None = None,
         rng_seed: int = 0,
         steering: "SteeringPolicy | None" = None,
+        checkpoint: "CampaignCheckpoint | None" = None,
+        crash_after_results: int | None = None,
     ) -> None:
         super().__init__(
             queues,
@@ -79,6 +82,13 @@ class MolDesignThinker(BaseThinker):
         self.config = config
         self.library = library
         self.cross_store = cross_store
+        #: Optional write-ahead journal for decision state: every consumed
+        #: result is appended *before* the in-memory state advances, so a
+        #: killed campaign resumes without recomputing completed tasks.
+        self.checkpoint = checkpoint
+        #: Test/chaos lever: simulate a campaign-process crash by setting
+        #: ``done`` after this many simulation results.
+        self.crash_after_results = crash_after_results
         #: Optional runtime capacity lever over the elastic pools ("cpu" /
         #: "gpu"); None (the default) keeps the static-pool behavior.
         self.steering = steering
@@ -155,6 +165,16 @@ class MolDesignThinker(BaseThinker):
             return
         record = result.access_value()
         molecule = record["molecule_index"]
+        if self.checkpoint is not None:
+            # Write-ahead: the decision event is durable (charged append)
+            # before the in-memory state consumes it, so a crash after this
+            # line never re-simulates this molecule.
+            self.checkpoint.note(
+                "sim_result",
+                molecule=int(molecule),
+                ip=float(record["ip"]),
+                wall_time=float(record["wall_time"]),
+            )
         with self._lock:
             self._in_flight.discard(molecule)
             self.database[molecule] = record["ip"]
@@ -179,17 +199,23 @@ class MolDesignThinker(BaseThinker):
                 self._batch_chunks_received = 0
             batch = self._batch_id
             finished = self._sims_completed >= self.config.max_simulations
+            crashed = (
+                self.crash_after_results is not None
+                and self._sims_completed >= self.crash_after_results
+            )
         # The next simulation can start immediately; the data-independent
         # decision is just a slot release (the paper's 5 ms decision time).
         self.resources.release("simulation", 1)
         if trigger_retrain:
+            if self.checkpoint is not None:
+                self.checkpoint.note("retrain", batch=batch)
             self.set_event("retrain")
             # The learning threshold is hit: give the GPU lane the workers
             # (kill sim capacity to make room for training, per bragg.py).
             self._steer(
                 self.config.steer_train_weights, reason=f"retrain batch {batch}"
             )
-        if finished:
+        if finished or crashed:
             self.done.set()
 
     @event_responder(event="retrain")
@@ -331,7 +357,78 @@ class MolDesignThinker(BaseThinker):
         if self.steering is None:
             return
         cpu_w, gpu_w = weights
+        if self.checkpoint is not None:
+            self.checkpoint.note("steer", cpu=cpu_w, gpu=gpu_w, reason=reason)
         try:
             self.steering.set_ratio({"cpu": cpu_w, "gpu": gpu_w}, reason=reason)
         except Exception as exc:  # noqa: BLE001 - capacity hints are best-effort
             emit("steering_error", thinker="moldesign", reason=reason, error=repr(exc))
+
+    # -- checkpoint / resume ---------------------------------------------------
+    def export_state(self) -> dict:
+        """JSON-safe decision state for :class:`CampaignCheckpoint`."""
+        with self._lock:
+            return {
+                "database": {
+                    str(k): float(v) for k, v in sorted(self.database.items())
+                },
+                "cumulative_sim_time": self._cumulative_sim_time,
+                "found_timeline": [[t, n] for t, n in self.found_timeline],
+                "since_retrain": self._since_retrain,
+                "batch_id": self._batch_id,
+                "ml_makespans": list(self.ml_makespans),
+            }
+
+    def restore_state(self, snapshot: dict | None, events: list[dict]) -> None:
+        """Rebuild decision state from a checkpoint snapshot plus the
+        decision events journaled after it; call before ``start()``.
+
+        Resumed work never recomputes: every journaled molecule re-enters
+        ``database`` (double-journaled events dedupe on molecule id), the
+        simulated/submitted counters restart at the database size, and the
+        seeded ranking plus a reset cursor skips completed molecules the
+        same way a live run skips them.
+        """
+        state = {
+            "database": {},
+            "cumulative_sim_time": 0.0,
+            "found_timeline": [[0.0, 0]],
+            "since_retrain": 0,
+            "batch_id": 0,
+            "ml_makespans": [],
+        }
+        if snapshot:
+            state.update(snapshot)
+        database = {int(k): float(v) for k, v in state["database"].items()}
+        cumulative = float(state["cumulative_sim_time"])
+        timeline = [(float(t), int(n)) for t, n in state["found_timeline"]]
+        since_retrain = int(state["since_retrain"])
+        batch_id = int(state["batch_id"])
+        for event in events:
+            if event["type"] == "sim_result":
+                molecule = int(event["molecule"])
+                if molecule in database:
+                    continue  # double-journaled (crash inside the append)
+                database[molecule] = float(event["ip"])
+                cumulative += float(event["wall_time"])
+                found = sum(1 for ip in database.values() if ip > self.threshold)
+                timeline.append((cumulative, found))
+                since_retrain += 1
+            elif event["type"] == "retrain":
+                since_retrain = 0
+                batch_id = int(event["batch"])
+            # "steer" events carry no decision state to restore.
+        with self._lock:
+            self.database = database
+            self._sims_completed = len(database)
+            self._sims_submitted = len(database)
+            self._cumulative_sim_time = cumulative
+            self.found_timeline = timeline
+            self._since_retrain = since_retrain
+            self._batch_id = batch_id
+            self.ml_makespans = [float(m) for m in state["ml_makespans"]]
+            self._cursor = 0
+            self._in_flight.clear()
+            finished = self._sims_completed >= self.config.max_simulations
+        if finished:
+            self.done.set()

@@ -25,7 +25,13 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
-from repro.chaos.plan import FaultInjector, FaultPlan, FaultSpec, set_injector
+from repro.chaos.plan import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    chaos_check,
+    set_injector,
+)
 from repro.chaos.policy import RetryPolicy
 from repro.faas import SCOPE_COMPUTE, AuthServer, FaasClient, FaasCloud, FaasEndpoint
 from repro.net.clock import get_clock
@@ -70,6 +76,8 @@ FAULT_MODES: tuple[str, ...] = (
     "notification_duplicate",
     "subscription_drop",
     "shard_outage",
+    "shard_crash",
+    "campaign_crash",
     "provision_delay",
 )
 
@@ -97,6 +105,13 @@ _REPORT_COUNTERS = (
     "endpoint.fallback_polls_empty",
     "endpoint.doorbell_fetches_empty",
     "cloud.shard_outages",
+    "cloud.shard_crashes",
+    "durable.recoveries",
+    "durable.replayed",
+    "durable.releases",
+    "durable.renotified",
+    "client.killed",
+    "client.attached",
     "client.throttled",
     "autoscale.provision_retries",
     "autoscale.provision_abandoned",
@@ -145,6 +160,17 @@ def fault_specs(mode: str) -> tuple[FaultSpec, ...]:
         # only the first check of each key eligible, so the client's
         # throttle-retry loop can never re-fire the fault.
         return (FaultSpec("cloud.shard.drop", mode, rate=0.5, max_fires=2),)
+    if mode == "shard_crash":
+        # The owning shard's in-memory state is *destroyed* at admission and
+        # rebuilt from its write-ahead journal before the submit is
+        # throttled back to the client.  Same keying discipline as
+        # shard_outage so throttle retries can never re-fire it.
+        return (FaultSpec("cloud.shard.crash", mode, rate=0.5, max_fires=2),)
+    if mode == "campaign_crash":
+        # The campaign process itself dies once, right after submitting its
+        # batch; a successor sharing the client id attaches to the in-flight
+        # task ids and drains results without recomputing anything.
+        return (FaultSpec("campaign.crash", mode, rate=1.0, max_fires=1),)
     if mode == "provision_delay":
         # Scale-up requests stall for a nominal second and then fail; the
         # elastic pool must retry with backoff and no queued task may be
@@ -280,7 +306,12 @@ def _ledger_digest(injector: FaultInjector, outcomes: list) -> str:
 
 
 def _reconcile(
-    mode: str, fires: int, counters: dict[str, int], failures: list[str]
+    mode: str,
+    fires: int,
+    counters: dict[str, int],
+    failures: list[str],
+    *,
+    tasks: int = 0,
 ) -> None:
     """Check that recovery counters add up against injected fault counts."""
 
@@ -359,6 +390,28 @@ def _reconcile(
                 f"{counters.get('client.throttled', 0)}, expected >= {fires}"
             )
         expect("client.retries", 0)
+    elif mode == "shard_crash":
+        # The destroyed shard is rebuilt from its journal before the submit
+        # is throttled back — recovery is invisible above the submit path:
+        # no task retries, no lost results.
+        if fires < 1:
+            failures.append("shard_crash cell injected no faults")
+        expect("cloud.shard_crashes", fires)
+        expect("durable.recoveries", fires)
+        if counters.get("client.throttled", 0) < fires:
+            failures.append(
+                f"shard_crash: client.throttled is "
+                f"{counters.get('client.throttled', 0)}, expected >= {fires}"
+            )
+        expect("client.retries", 0)
+    elif mode == "campaign_crash":
+        # The dead process's successor must adopt every in-flight task and
+        # drain its results from the ledger/feed — never recompute.
+        if fires != 1:
+            failures.append(f"campaign_crash cell expected exactly 1 fire, got {fires}")
+        expect("client.killed", 1)
+        expect("client.attached", tasks)
+        expect("client.retries", 0)
     elif mode == "provision_delay":
         # Stalled scale-ups are retried by the pool itself: one retry per
         # fire (the attempt-0 match guarantees the second try lands), no
@@ -411,6 +464,25 @@ def run_cell(
         cloud = CloudRouter(
             testbed.faas_cloud, testbed.network, auth, constants, n_shards=2
         )
+    elif mode == "shard_crash":
+        # The harder variant: the shard's in-memory state is *destroyed*,
+        # so every shard journals to a write-ahead log and recovery is a
+        # full snapshot + log replay.
+        from repro.durable import FileJournalBackend, Journal
+        from repro.net.fs import FileSystem
+        from repro.tenancy import CloudRouter
+
+        wal = FileSystem("chaos-wal", op_latency=2e-3)
+        cloud = CloudRouter(
+            testbed.faas_cloud,
+            testbed.network,
+            auth,
+            constants,
+            n_shards=2,
+            journal_factory=lambda shard_id: Journal(
+                FileJournalBackend(wal, shard_id), name=shard_id
+            ),
+        )
     else:
         cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, constants)
     rig = _build_rig(config, testbed, policy)
@@ -455,6 +527,30 @@ def run_cell(
                 client.run(chaos_task, ep_a.endpoint_id, index, rig.store.name, key)
                 for index, key in enumerate(keys)
             ]
+            if mode == "campaign_crash":
+                # The campaign process dies right after submitting its
+                # batch: the client is killed (no goodbye to the bus, no
+                # future cleanup) and a successor sharing its client_id
+                # attaches to the in-flight task ids.  The funcX tier
+                # remembers every task, so nothing is recomputed.
+                spec = chaos_check("campaign.crash", f"cell|{config}|{seed}")
+                if spec is not None:
+                    client.kill()
+                    client = FaasClient(
+                        cloud,
+                        token,
+                        site=rig.client_site,
+                        retry_policy=policy,
+                        use_bus=use_bus,
+                        client_id=client.client_id,
+                    )
+                    futures = [
+                        client.attach(
+                            future.task_id,  # type: ignore[attr-defined]
+                            endpoint_id=ep_a.endpoint_id,
+                        )
+                        for future in futures
+                    ]
         for index, future in enumerate(futures):
             try:
                 outcomes.append(future.result(timeout=120))
@@ -495,7 +591,7 @@ def run_cell(
         name: int(metrics.counter_total(name)) for name in _REPORT_COUNTERS
     }
     fires = injector.fire_count()
-    _reconcile(mode, fires, counters, failures)
+    _reconcile(mode, fires, counters, failures, tasks=n_tasks)
 
     return CellResult(
         mode=mode,

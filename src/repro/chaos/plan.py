@@ -48,6 +48,8 @@ HOOKS = frozenset(
         "cloud.submit",  # FaasCloud.submit: payload-cap rejection
         "cloud.store.read",  # cloud payload store: read error / corruption
         "cloud.shard.drop",  # CloudRouter: owning shard restarts at admission
+        "cloud.shard.crash",  # CloudRouter: shard state destroyed, journal replay
+        "campaign.crash",  # campaign process dies; successor resumes by id
         "endpoint.crash",  # FaasEndpoint: process loss mid-lease
         "worker.execute",  # exception inside the function body
         "store.get",  # ProxyStore backend read corruption

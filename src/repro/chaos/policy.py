@@ -45,6 +45,13 @@ class RetryPolicy:
         Fractional spread around the computed delay (``0.25`` means the
         delay lands in ``[0.75x, 1.25x]``), derived from a stable hash so
         identical ``(key, attempt)`` pairs always jitter identically.
+    max_elapsed:
+        Wall-clock (nominal-seconds) retry budget alongside the attempt
+        cap: once the time already spent on an operation reaches this,
+        no further retry is granted even if attempts remain.  ``None``
+        (the default) disables the budget.  Recovery-time retries —
+        a client backing off while a crashed shard replays its journal —
+        honor this so a slow recovery cannot retry forever.
     """
 
     max_attempts: int = 4
@@ -52,6 +59,7 @@ class RetryPolicy:
     multiplier: float = 2.0
     max_delay: float = 8.0
     jitter: float = 0.25
+    max_elapsed: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -62,11 +70,19 @@ class RetryPolicy:
             raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
         if not 0.0 <= self.jitter < 1.0:
             raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+        if self.max_elapsed is not None and self.max_elapsed < 0:
+            raise ValueError(f"max_elapsed must be >= 0, got {self.max_elapsed}")
 
-    def retries_left(self, attempt: int) -> bool:
+    def retries_left(self, attempt: int, elapsed: float = 0.0) -> bool:
         """True if attempt number ``attempt`` (0-based) may be followed by
-        another one."""
-        return attempt + 1 < self.max_attempts
+        another one.  ``elapsed`` is the nominal time already spent on the
+        operation; when :attr:`max_elapsed` is set, the budget caps retries
+        independently of the attempt count."""
+        if attempt + 1 >= self.max_attempts:
+            return False
+        if self.max_elapsed is not None and elapsed >= self.max_elapsed:
+            return False
+        return True
 
     def delay_for(self, attempt: int, key: str = "") -> float:
         """Nominal seconds to wait after failed attempt ``attempt`` (0-based)."""

@@ -21,6 +21,11 @@ Commands
     shard outages) over the workflow configurations and audit the
     no-lost-tasks, no-orphan-spans, and retry-reconciliation invariants
     per cell.
+``resume``
+    Kill a molecular design campaign mid-flight, resume it from its
+    write-ahead decision journal, and audit that nothing was recomputed;
+    ``--verify-determinism`` also runs an uninterrupted control and
+    requires bit-identical ledger digests.
 ``tenants``
     Run a short multi-tenant storm on a sharded cloud and print the
     per-tenant usage/quota table (weights, rate limits, throttles).
@@ -267,6 +272,51 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if all(result.passed for result in results) else 1
 
 
+def cmd_resume(args: argparse.Namespace) -> int:
+    from repro.apps.moldesign import MolDesignConfig
+    from repro.durable import run_resumable_moldesign
+
+    reset_clock(args.time_scale)
+    config = MolDesignConfig(
+        n_molecules=args.molecules,
+        n_initial=min(8, max(args.simulations // 3, 2)),
+        max_simulations=args.simulations,
+        retrain_after=10_000,  # determinism regime: see repro.durable.resume
+        sim_duration=4.0,
+    )
+    print(
+        f"{args.workflow}: killing the campaign after {args.crash_after} of "
+        f"{args.simulations} results, then resuming from the journal"
+        + (" (uninterrupted control run follows)" if args.verify_determinism else "")
+    )
+    report = run_resumable_moldesign(
+        args.workflow,
+        config,
+        seed=args.seed,
+        crash_after_results=args.crash_after,
+        verify_determinism=args.verify_determinism,
+        join_timeout=args.timeout,
+    )
+    print(
+        f"crashed run consumed {report.crashed_simulations} results; "
+        f"resumed run simulated {report.resumed_simulations} more; "
+        f"final ledger: {report.n_simulated} molecules, "
+        f"{report.n_found} above IP {report.threshold:.2f}"
+    )
+    print(f"resumed ledger digest:      {report.digest}")
+    if args.verify_determinism:
+        print(f"uninterrupted run's digest: {report.uninterrupted_digest}")
+        print(
+            "digests MATCH — resume is bit-deterministic"
+            if report.deterministic
+            else "digests DIFFER — resume diverged from the uninterrupted run"
+        )
+    recomputed_nothing = report.resumed_simulations < args.simulations
+    if not recomputed_nothing:
+        print("FAIL: the resumed run recomputed the full budget")
+    return 0 if (report.deterministic and recomputed_nothing) else 1
+
+
 def _noop_task(index):
     """Module-level so the FuncX-like registry can pickle it."""
     return index
@@ -492,6 +542,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every cell twice and require identical ledger digests",
     )
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "resume", help="kill a campaign mid-flight and resume it from its journal"
+    )
+    _add_common(p)
+    p.add_argument("--simulations", type=int, default=24)
+    p.add_argument("--molecules", type=int, default=200)
+    p.add_argument(
+        "--crash-after", type=int, default=8,
+        help="kill the campaign after this many simulation results",
+    )
+    p.add_argument("--timeout", type=float, default=600.0)
+    p.add_argument(
+        "--verify-determinism", action="store_true",
+        help="also run an uninterrupted control and require bit-identical "
+        "ledger digests",
+    )
+    p.set_defaults(func=cmd_resume)
 
     p = sub.add_parser(
         "tenants", help="print a per-tenant usage/quota table from a short storm"

@@ -1,0 +1,51 @@
+"""Campaign checkpointing: Thinker decision state as a journaled stream.
+
+A campaign Thinker's *decision state* — seen results, retrain triggers,
+steering ratios — is tiny compared to the task payloads flowing under it,
+but losing it forces a full restart: the funcX tier remembers every task,
+yet the steering policy no longer knows which results it already consumed.
+:class:`CampaignCheckpoint` closes that gap with the same write-ahead
+discipline as the control-plane journal: each decision event is appended
+(and charged) before the in-memory state advances, and ``save_state``
+compacts the stream into one snapshot document.
+
+Thinkers that support resume implement two methods:
+
+* ``export_state() -> dict`` — JSON-safe decision state;
+* ``restore_state(state) -> None`` — rebuild from it before ``start()``.
+
+``repro.cli resume`` (and :mod:`repro.durable.resume`) then continue a
+killed campaign without recomputing completed tasks.
+"""
+
+from __future__ import annotations
+
+from repro.durable.journal import Journal
+
+__all__ = ["CampaignCheckpoint"]
+
+
+class CampaignCheckpoint:
+    """A thin campaign-facing wrapper over one :class:`Journal`.
+
+    ``note`` journals a decision event; ``save_state`` snapshots the full
+    decision state (compacting the event log); ``load_state`` returns the
+    latest snapshot plus the decision events appended after it, which is
+    everything a Thinker needs to resume.
+    """
+
+    def __init__(self, journal: Journal) -> None:
+        self.journal = journal
+
+    def note(self, event: str, **fields) -> None:
+        """Durably record one decision event (result seen, retrain
+        triggered, steering ratio applied, ...)."""
+        self.journal.append(event, **fields)
+
+    def save_state(self, state: dict) -> None:
+        """Compact the event stream into one snapshot document."""
+        self.journal.snapshot(state)
+
+    def load_state(self) -> tuple[dict | None, list[dict]]:
+        """(latest snapshot or None, decision events appended since)."""
+        return self.journal.records()

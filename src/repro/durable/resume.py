@@ -1,0 +1,136 @@
+"""Crash-and-resume harness for campaigns (``repro.cli resume``).
+
+Runs a campaign that is **killed** after a configured number of results
+(the Thinker journals every decision event to a :class:`CampaignCheckpoint`
+first), then resumes it from the journal with a fresh workflow stack and
+runs to completion.  The proof obligations:
+
+* **No recomputation** — the resumed run simulates strictly fewer
+  molecules than the full budget; journaled results re-enter the decision
+  database without re-entering the task fabric.
+* **Determinism** — the resumed campaign's final decision ledger hashes
+  bit-identically to an uninterrupted run of the same seed
+  (``verify_determinism=True`` runs that control and compares digests).
+
+The digest covers the *decision ledger* — the sorted (molecule, IP) pairs
+plus the success threshold — not timestamps or schedule-dependent
+orderings: the oracle derives each IP from ``seed + molecule_index`` alone,
+so the ledger is a pure function of which molecules were chosen, which is
+exactly what resume must preserve.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.durable.checkpoint import CampaignCheckpoint
+from repro.durable.journal import FileJournalBackend, Journal
+from repro.net.fs import FileSystem
+
+__all__ = ["ResumeReport", "ledger_digest", "run_resumable_moldesign"]
+
+
+@dataclass
+class ResumeReport:
+    """What one crash-and-resume cycle did."""
+
+    crashed_simulations: int  # results the killed run consumed (journaled)
+    resumed_simulations: int  # simulations the resumed run actually ran
+    n_simulated: int  # final decision-database size
+    n_found: int
+    threshold: float
+    digest: str  # resumed run's ledger digest
+    uninterrupted_digest: str | None = None  # control run's (if verified)
+
+    @property
+    def deterministic(self) -> bool:
+        return (
+            self.uninterrupted_digest is None
+            or self.digest == self.uninterrupted_digest
+        )
+
+
+def ledger_digest(database: dict[int, float], threshold: float) -> str:
+    """Hash the decision ledger: sorted (molecule, IP) pairs + threshold.
+
+    ``repr`` of the exact floats — journal round-trips are exact (JSON
+    shortest-repr floats), so crash/resume must reproduce these bits."""
+    items = sorted((int(k), float(v)) for k, v in database.items())
+    blob = repr((items, float(threshold))).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def run_resumable_moldesign(
+    workflow: str = "funcx+globus",
+    config=None,
+    *,
+    seed: int = 0,
+    crash_after_results: int = 8,
+    verify_determinism: bool = False,
+    journal: Journal | None = None,
+    join_timeout: float | None = 600.0,
+) -> ResumeReport:
+    """Kill a moldesign campaign mid-flight, resume it, audit the ledger.
+
+    The default config disables retraining (``retrain_after`` above the
+    simulation budget): the resumed Thinker recomputes its ranking from the
+    seed, so determinism of the final ledger only holds when no
+    schedule-dependent UCB reorder happened before the crash.  Pass a
+    retraining config only if you accept a weaker (count-level) guarantee.
+    """
+    from repro.apps.moldesign.campaign import run_moldesign_campaign
+    from repro.apps.moldesign.config import MolDesignConfig
+
+    if config is None:
+        config = MolDesignConfig(
+            n_molecules=200,
+            n_initial=8,
+            max_simulations=24,
+            retrain_after=10_000,  # never triggers: the determinism regime
+            sim_duration=4.0,
+        )
+    if not 0 < crash_after_results < config.max_simulations:
+        raise ValueError(
+            f"crash_after_results must be in (0, {config.max_simulations}), "
+            f"got {crash_after_results}"
+        )
+    if journal is None:
+        wal = FileSystem("campaign-wal", op_latency=2e-3)
+        journal = Journal(FileJournalBackend(wal, "moldesign"), name="moldesign")
+    checkpoint = CampaignCheckpoint(journal)
+
+    crashed = run_moldesign_campaign(
+        workflow,
+        config,
+        seed=seed,
+        join_timeout=join_timeout,
+        checkpoint=checkpoint,
+        crash_after_results=crash_after_results,
+    )
+    resumed = run_moldesign_campaign(
+        workflow,
+        config,
+        seed=seed,
+        join_timeout=join_timeout,
+        checkpoint=checkpoint,
+        resume=True,
+    )
+    digest = ledger_digest(resumed.database, resumed.threshold)
+
+    uninterrupted_digest = None
+    if verify_determinism:
+        control = run_moldesign_campaign(
+            workflow, config, seed=seed, join_timeout=join_timeout
+        )
+        uninterrupted_digest = ledger_digest(control.database, control.threshold)
+
+    return ResumeReport(
+        crashed_simulations=len(crashed.database),
+        resumed_simulations=len(resumed.results.get("simulate", [])),
+        n_simulated=resumed.n_simulated,
+        n_found=resumed.n_found,
+        threshold=resumed.threshold,
+        digest=digest,
+        uninterrupted_digest=uninterrupted_digest,
+    )

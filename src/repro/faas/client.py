@@ -45,6 +45,11 @@ from repro.faas.auth import Token
 from repro.faas.cloud import FaasCloud, TaskStatus, result_topic
 from repro.tenancy.tenant import DEFAULT_TENANT, validate_function_name
 from repro.net.clock import Clock, get_clock
+from repro.net.defaults import (
+    CLIENT_CLOSE_TIMEOUT,
+    CLIENT_POLL_INTERVAL,
+    CLIENT_RECEIVE_INTERVAL,
+)
 from repro.net.context import SiteThread, current_site
 from repro.net.topology import Site
 from repro.observe import TraceContext, counter_inc, trace_span
@@ -75,6 +80,9 @@ class _PendingTask:
     #: Advisory prefetch hints re-attached on every resubmission, so a
     #: retried task still warms (or re-warms) its target endpoint.
     prefetch: tuple = ()
+    #: Clock time of the *first* submission — the anchor for the retry
+    #: policy's ``max_elapsed`` wall-clock budget.
+    started_at: float = 0.0
 
 
 class FaasClient:
@@ -92,11 +100,21 @@ class FaasClient:
         tenant: str = DEFAULT_TENANT,
         use_bus: bool = True,
         chaos_label: str = "client",
+        client_id: str | None = None,
+        receive_interval: float = CLIENT_RECEIVE_INTERVAL,
+        poll_interval: float = CLIENT_POLL_INTERVAL,
+        close_timeout: float = CLIENT_CLOSE_TIMEOUT,
     ) -> None:
         self.cloud = cloud
         self.token = token
         self.tenant = tenant
-        self.client_id = f"client-{uuid.uuid4().hex[:8]}"
+        # A stable ``client_id`` lets a resumed campaign reconnect to the
+        # completed feed / result topic of a crashed predecessor and drain
+        # the results it never saw.
+        self.client_id = client_id or f"client-{uuid.uuid4().hex[:8]}"
+        self._receive_interval = receive_interval
+        self._poll_interval = poll_interval
+        self._close_timeout = close_timeout
         self._site = site
         self._clock = clock or get_clock()
         self._retry_policy = retry_policy
@@ -164,6 +182,7 @@ class FaasClient:
         logical submission — the attempt counter is reserved for failure
         retries), waiting at least the server's ``retry_after`` hint."""
         throttle_attempt = 0
+        throttle_started = self._clock.now()
         while True:
             self._pay_api_call()
             try:
@@ -180,7 +199,8 @@ class FaasClient:
                 )
             except ThrottledError as exc:
                 policy = self._throttle_policy
-                if not policy.retries_left(throttle_attempt):
+                elapsed = self._clock.now() - throttle_started
+                if not policy.retries_left(throttle_attempt, elapsed=elapsed):
                     raise
                 counter_inc(
                     "client.throttled", tenant=self.tenant, endpoint=endpoint_id
@@ -247,6 +267,7 @@ class FaasClient:
             self._clock.sleep(serialize_cost(args_payload.nominal_size))
             chaos_base = hashlib.sha256(args_payload.data).hexdigest()[:16]
             attempt = 0
+            started_at = self._clock.now()
             while True:
                 try:
                     task_id = self._cloud_submit(
@@ -260,7 +281,10 @@ class FaasClient:
                     break
                 except PayloadTooLargeError:
                     policy = self._retry_policy
-                    if policy is None or not policy.retries_left(attempt):
+                    elapsed = self._clock.now() - started_at
+                    if policy is None or not policy.retries_left(
+                        attempt, elapsed=elapsed
+                    ):
                         raise
                     counter_inc("client.submit_retries", endpoint=endpoint_id)
                     self._clock.sleep(policy.delay_for(attempt, key=chaos_base))
@@ -277,6 +301,7 @@ class FaasClient:
             attempt=attempt,
             chaos_base=chaos_base,
             prefetch=tuple(_prefetch_hints),
+            started_at=started_at,
         )
         with self._futures_lock:
             self._pending[task_id] = pending
@@ -323,13 +348,14 @@ class FaasClient:
 
     def close(self) -> None:
         self._running = False
-        self._notifier.join(timeout=10)
+        self._notifier.join(timeout=self._close_timeout)
         if self._notifier.is_alive():
             counter_inc("client.wedged_threads")
             raise WorkflowError(
-                "FaasClient notifier thread was still alive 10 s after "
-                "close(); it is likely blocked inside the cloud's completed "
-                "queue with a stopped clock"
+                f"FaasClient notifier thread was still alive "
+                f"{self._close_timeout} s after close(); it is likely "
+                "blocked inside the cloud's completed queue with a stopped "
+                "clock"
             )
         if self._consumer is not None:
             self._consumer.close()
@@ -346,13 +372,81 @@ class FaasClient:
                     WorkflowError("client closed with the task still in flight")
                 )
 
+    def kill(self) -> None:
+        """Simulate a process crash: stop the notifier but do *not* close
+        the bus subscription or fail the in-flight futures.
+
+        A dead process never says goodbye — the broker keeps the
+        subscription and its unacked redelivery window, so a successor
+        client constructed with the *same* ``client_id`` (see ``attach``)
+        resumes delivery from the acked frontier.  ``close`` after ``kill``
+        would ack that frontier away; a crashed client must never be
+        closed.
+        """
+        self._running = False
+        self._notifier.join(timeout=self._close_timeout)
+        counter_inc("client.killed")
+        with self._futures_lock:
+            self._pending.clear()
+
+    def attach(
+        self,
+        task_id: str,
+        *,
+        endpoint_id: str,
+        func_id: str = "",
+        args_payload: Payload | None = None,
+        trace_ctx: TraceContext | None = None,
+    ) -> Future:
+        """Adopt a task submitted by a crashed predecessor client.
+
+        Registers a pending entry for ``task_id`` (the predecessor must
+        have shared this ``client_id`` — the cloud routes the result
+        notification by it) and returns a fresh future for it.  If the
+        task already completed while nobody was listening, the completion
+        is delivered immediately from the cloud's ledger; otherwise the
+        notifier picks it up from the re-established feed.  Payload-less
+        attaches cannot be retried on failure (there is nothing to
+        resubmit), so they surface terminal errors directly.
+        """
+        payload = args_payload if args_payload is not None else serialize(((), {}))
+        chaos_base = hashlib.sha256(payload.data).hexdigest()[:16]
+        future: Future = Future()
+        future.task_id = task_id  # type: ignore[attr-defined]
+        pending = _PendingTask(
+            future=future,
+            trace_ctx=trace_ctx,
+            func_id=func_id,
+            endpoint_id=endpoint_id,
+            args_payload=payload,
+            # Attach exhausts the retry budget when there is no real payload
+            # to resubmit: a failure completes the future with the error.
+            attempt=0 if args_payload is not None else (1 << 30),
+            chaos_base=chaos_base,
+            started_at=self._clock.now(),
+        )
+        with self._futures_lock:
+            self._pending[task_id] = pending
+        counter_inc("client.attached", endpoint=endpoint_id)
+        # The crash window: the task may have completed (and its doorbell
+        # may have been acked) before the predecessor died.  The ledger is
+        # ground truth — deliver terminal tasks inline; `_handle_completion`
+        # pops the pending entry, so a late duplicate doorbell is a no-op.
+        try:
+            record = self.cloud.task(task_id)
+        except WorkflowError:
+            record = None
+        if record is not None and record.status.terminal:
+            self._handle_completion(task_id)
+        return future
+
     # -- result delivery -----------------------------------------------------------
     def _notify_loop(self) -> None:
         while self._running:
             consumer = self._consumer
             if consumer is not None and not self._fallback:
                 try:
-                    envelopes = consumer.receive(timeout=0.25)
+                    envelopes = consumer.receive(timeout=self._receive_interval)
                 except SubscriptionLapsedError:
                     self._fallback = True
                     counter_inc("bus.fallback_engaged", role="client")
@@ -363,7 +457,9 @@ class FaasClient:
                 continue
             # Poll fallback (and the only path when the bus is disabled):
             # the completed queue is the ground truth the bus doorbells over.
-            task_id = self.cloud.next_completed(self.client_id, timeout=0.25)
+            task_id = self.cloud.next_completed(
+                self.client_id, timeout=self._poll_interval
+            )
             if task_id is not None:
                 self._handle_completion(task_id)
                 continue  # keep draining until the queue is confirmed empty
@@ -426,7 +522,9 @@ class FaasClient:
         """A task attempt failed: retry under the same future, or give up."""
         policy = self._retry_policy
         attempt = pending.attempt
-        while policy is not None and policy.retries_left(attempt):
+        while policy is not None and policy.retries_left(
+            attempt, elapsed=self._clock.now() - pending.started_at
+        ):
             counter_inc("client.retries", endpoint=pending.endpoint_id)
             self._clock.sleep(policy.delay_for(attempt, key=pending.chaos_base))
             attempt += 1

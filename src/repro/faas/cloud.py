@@ -42,6 +42,7 @@ from enum import Enum
 from repro.bus import NotificationBus
 from repro.chaos.plan import attempt_from_key, chaos_check
 from repro.chaos.policy import RetryPolicy
+from repro.durable.journal import encode_payload
 from repro.exceptions import (
     EndpointUnavailableError,
     LeaseExpiredError,
@@ -226,6 +227,22 @@ class _PayloadStore:
         with self._lock:
             self._objects.pop(locator, None)
 
+    def adopt(self, locator: str, payload: Payload, *, chaos_exempt: bool = False) -> None:
+        """Re-install an object under a locator minted before a crash.
+
+        Used by journal replay: the tier is parsed back out of the locator
+        (``<shard>/<tier>:<id>``) and no store latency is charged — the
+        bytes come off the journal, whose read already paid the I/O.
+        """
+        tier = locator.rsplit("/", 1)[-1].split(":", 1)[0]
+        with self._lock:
+            self._objects[locator] = _StoredObject(payload, tier, chaos_exempt)
+
+    def raw(self, locator: str) -> _StoredObject | None:
+        """The stored object without charging I/O (snapshot capture)."""
+        with self._lock:
+            return self._objects.get(locator)
+
 
 class _CompletedFeed:
     """Per-client completed-task queues (the poll half of result delivery).
@@ -289,6 +306,7 @@ class FaasCloud:
         store_prefix: str = "",
         task_namespace: str = "",
         on_enqueue: object | None = None,
+        journal: object | None = None,
     ) -> None:
         """Single-node cloud by default; the keyword block turns one
         instance into a shard behind :class:`repro.tenancy.CloudRouter`:
@@ -308,6 +326,13 @@ class FaasCloud:
         ``store_prefix`` / ``task_namespace``
             Disambiguate locators and task ids across shards so a router
             can route any id back to its owner.
+        ``journal``
+            A :class:`repro.durable.Journal` this instance writes through:
+            admission, dispatch, and result-uplink mutations (which carry
+            the tenant-usage deltas) are appended — and their I/O cost
+            charged, the fsync — *before* the in-memory mutation becomes
+            visible, so a crash-discarded instance can be rebuilt from
+            snapshot + log replay (:func:`repro.durable.recover_cloud`).
         """
         self.site = site
         self.network = network
@@ -359,6 +384,9 @@ class FaasCloud:
         # so direct-API test rigs without an agent process are never reaped.
         self._lease_expiry: dict[str, float] = {}
         self._failover_groups: dict[str, str | None] = {}
+        self.journal = journal
+        if journal is not None:
+            journal.set_snapshot_provider(self.journal_state)
 
     # -- registry ------------------------------------------------------------
     def register_function(
@@ -387,6 +415,7 @@ class FaasCloud:
         if func_id is None:
             stem = f"fn-{name}-" if name else "fn-"
             func_id = f"{stem}{uuid.uuid4().hex[:12]}"
+        self._journal_function(func_id, tenant, payload)
         with self._lock:
             self._functions[func_id] = payload
             self._function_tenants[func_id] = tenant
@@ -398,9 +427,16 @@ class FaasCloud:
         Skips validation and quota accounting: the registration was
         admitted when the tenant first registered it; moving it to the
         partition's new owner must not charge the quota twice."""
+        self._journal_function(func_id, tenant, payload)
         with self._lock:
             self._functions[func_id] = payload
             self._function_tenants[func_id] = tenant
+
+    def _journal_function(self, func_id: str, tenant: str, payload: Payload) -> None:
+        if self.journal is not None:
+            self.journal.append(
+                "func", func_id=func_id, tenant=tenant, payload=encode_payload(payload)
+            )
 
     def get_function(
         self, token: Token, func_id: str, tenant: str = DEFAULT_TENANT
@@ -449,6 +485,13 @@ class FaasCloud:
         elsewhere.  A router adopts each endpoint into *every* shard (any
         partition may dispatch to any endpoint) while registering the bus
         subscriber exactly once itself."""
+        if self.journal is not None:
+            self.journal.append(
+                "endpoint",
+                endpoint_id=endpoint_id,
+                site=site.name,
+                failover_group=failover_group,
+            )
         with self._lock:
             self._endpoints[endpoint_id] = site
             self._endpoint_online[endpoint_id] = False
@@ -754,6 +797,23 @@ class FaasCloud:
             tenant=tenant,
             args_nbytes=args_payload.nominal_size,
         )
+        # WAL fsync point: the admission record (task identity + argument
+        # bytes + locator) is durable before the task becomes visible in a
+        # queue.  A crash in between leaves a journaled-but-never-queued
+        # task, which replay admits into a WAITING queue exactly once.
+        if self.journal is not None:
+            self.journal.append(
+                "submit",
+                task_id=task_id,
+                func_id=func_id,
+                endpoint_id=endpoint_id,
+                client_id=client_id,
+                locator=args_locator,
+                args=encode_payload(args_payload),
+                tenant=tenant,
+                chaos_key=chaos_key,
+                submitted_at=record.submitted_at,
+            )
         with self._queue_cond:
             self._tasks[task_id] = record
             self._tenant_queue_locked(endpoint_id, tenant).append(task_id)
@@ -846,6 +906,17 @@ class FaasCloud:
                     )
                 )
             self._publish_depth_locked(endpoint_id)
+        # Dispatch fsync point (outside the queue lock: the charge must not
+        # serialize other endpoints' fetches): the lease is durable before
+        # the endpoint receives the batch, so a crash-rebuilt shard re-leases
+        # these tasks instead of losing track of who holds them.
+        if self.journal is not None and out:
+            self.journal.append(
+                "dispatch",
+                endpoint_id=endpoint_id,
+                task_ids=[d.task_id for d in out],
+                at=self.clock.now(),
+            )
         return out
 
     def republish_doorbells(self) -> int:
@@ -951,6 +1022,24 @@ class FaasCloud:
             if not self._check_reporter(record, endpoint_id):
                 return
         locator = self.store.write(result_payload, chaos_exempt=not success)
+        # Result-uplink fsync point: the outcome (and its bytes) is durable
+        # before the terminal transition or the client notification.  A
+        # crash after this append but before the bus publish is the classic
+        # lost-notification window — replay applies the journaled result and
+        # re-notifies, and the client's pending-table dedupe makes the
+        # duplicate harmless.  A duplicate report that loses the re-check
+        # below leaves an extra result record; replay keeps the first.
+        if self.journal is not None:
+            self.journal.append(
+                "result",
+                task_id=task_id,
+                endpoint_id=endpoint_id,
+                success=success,
+                locator=locator,
+                payload=encode_payload(result_payload),
+                exempt=not success,
+                at=self.clock.now(),
+            )
         # A requeued copy of this task may still sit in a queue (report
         # racing a reclaim): drop it so the work is not executed again.
         with self._queue_cond:
@@ -983,3 +1072,72 @@ class FaasCloud:
             task_id,
             chaos_key=record.chaos_key or task_id,
         )
+
+    # -- durability ------------------------------------------------------------
+    @staticmethod
+    def task_id_index(task_id: str) -> int:
+        """The numeric suffix of a task id (``task-s2-00000042`` -> 42)."""
+        return int(task_id.rsplit("-", 1)[-1])
+
+    def journal_state(self) -> dict:
+        """A full-state snapshot document for journal compaction.
+
+        Everything replay would otherwise reconstruct from the log:
+        registered functions, adopted endpoints, and every task record with
+        its argument (and, when terminal, result) payload bytes.  Applied
+        by :func:`repro.durable.recover_cloud` before the log suffix.
+        """
+        with self._lock:
+            functions = [
+                {
+                    "func_id": func_id,
+                    "tenant": self._function_tenants.get(func_id, DEFAULT_TENANT),
+                    "payload": encode_payload(payload),
+                }
+                for func_id, payload in sorted(self._functions.items())
+            ]
+            endpoints = [
+                {
+                    "endpoint_id": endpoint_id,
+                    "site": site.name,
+                    "failover_group": self._failover_groups.get(endpoint_id),
+                }
+                for endpoint_id, site in sorted(self._endpoints.items())
+            ]
+        tasks = []
+        next_id = 0
+        with self._queue_cond:
+            records = sorted(self._tasks.values(), key=lambda r: r.task_id)
+        for record in records:
+            next_id = max(next_id, self.task_id_index(record.task_id) + 1)
+            doc = {
+                "task_id": record.task_id,
+                "func_id": record.func_id,
+                "endpoint_id": record.endpoint_id,
+                "client_id": record.client_id,
+                "locator": record.args_locator,
+                "status": record.status.value,
+                "tenant": record.tenant,
+                "chaos_key": record.chaos_key,
+                "submitted_at": record.submitted_at,
+                "fetched_at": record.fetched_at,
+                "completed_at": record.completed_at,
+                "requeues": record.requeues,
+                "previous_endpoints": list(record.previous_endpoints),
+            }
+            args = self.store.raw(record.args_locator)
+            if args is not None:
+                doc["args"] = encode_payload(args.payload)
+            if record.result_locator is not None:
+                doc["result_locator"] = record.result_locator
+                stored = self.store.raw(record.result_locator)
+                if stored is not None:
+                    doc["result"] = encode_payload(stored.payload)
+                    doc["result_exempt"] = stored.chaos_exempt
+            tasks.append(doc)
+        return {
+            "functions": functions,
+            "endpoints": endpoints,
+            "tasks": tasks,
+            "next_id": next_id,
+        }

@@ -29,7 +29,29 @@ from repro.net.topology import (
     UniformLatency,
 )
 
-__all__ = ["PaperConstants", "Testbed", "build_paper_testbed"]
+__all__ = [
+    "CLIENT_CLOSE_TIMEOUT",
+    "CLIENT_POLL_INTERVAL",
+    "CLIENT_RECEIVE_INTERVAL",
+    "ROUTER_FETCH_POLL",
+    "PaperConstants",
+    "Testbed",
+    "build_paper_testbed",
+]
+
+# -- client-side loop intervals (module constants, per-client overridable) --
+#: How long a client's notifier blocks on one bus ``receive`` before it
+#: re-checks liveness/fallback state (nominal seconds).
+CLIENT_RECEIVE_INTERVAL: float = 0.25
+#: Long-poll interval for the client's ``next_completed`` fallback loop
+#: (nominal seconds).
+CLIENT_POLL_INTERVAL: float = 0.25
+#: Wall-clock seconds ``FaasClient.close()`` waits for its notifier thread
+#: before declaring it wedged.
+CLIENT_CLOSE_TIMEOUT: float = 10.0
+#: Scatter-gather wait slice used by :class:`repro.tenancy.CloudRouter`
+#: when no shard has work yet (nominal seconds).
+ROUTER_FETCH_POLL: float = 0.25
 
 
 @dataclass(frozen=True)

@@ -65,6 +65,24 @@ class FileSystem:
         with self._lock:
             self._files[path] = (data, nominal)
 
+    def append(self, path: str, data: bytes, nominal_size: int | None = None) -> int:
+        """Append ``data`` to ``path`` (creating it if absent) and return the
+        file's new nominal size.
+
+        Only the appended bytes are charged — this is the journal fsync
+        primitive: a write-ahead log grows by one record at a time and must
+        not pay for rewriting its whole history on every append.
+        """
+        if not isinstance(data, bytes):
+            raise TypeError(f"file data must be bytes, got {type(data).__name__}")
+        nominal = len(data) if nominal_size is None else int(nominal_size)
+        self._charge(nominal, self.write_bandwidth)
+        with self._lock:
+            old, old_nominal = self._files.get(path, (b"", 0))
+            new_nominal = old_nominal + nominal
+            self._files[path] = (old + data, new_nominal)
+            return new_nominal
+
     def read(self, path: str) -> bytes:
         with self._lock:
             try:

@@ -31,6 +31,7 @@ from __future__ import annotations
 import itertools
 import threading
 import uuid
+from typing import TYPE_CHECKING
 
 from repro.bus import NotificationBus
 from repro.chaos.plan import chaos_check
@@ -45,7 +46,7 @@ from repro.faas.cloud import (
     task_topic,
 )
 from repro.net.clock import Clock, get_clock
-from repro.net.defaults import PaperConstants
+from repro.net.defaults import ROUTER_FETCH_POLL, PaperConstants
 from repro.net.topology import Network, Site
 from repro.observe import TraceContext, counter_inc
 from repro.serialize import Payload
@@ -61,11 +62,15 @@ from repro.tenancy.tenant import (
     validate_tenant_name,
 )
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.durable import RecoveryReport
+
 __all__ = ["CloudRouter"]
 
 #: Nominal seconds between re-polls of the shard set while a fetch
 #: long-poll waits for work (a doorbell via ``_wake`` cuts this short).
-_FETCH_POLL = 0.25
+#: Named in ``repro.net.defaults`` alongside the client-loop intervals.
+_FETCH_POLL = ROUTER_FETCH_POLL
 
 
 class _RoutedStore:
@@ -114,7 +119,12 @@ class CloudRouter:
         *,
         n_shards: int = 2,
         registry: TenantRegistry | None = None,
+        journal_factory: object | None = None,
     ) -> None:
+        """``journal_factory`` (shard_id -> :class:`repro.durable.Journal`)
+        gives every shard a write-ahead journal; with one attached,
+        :meth:`crash_shard` can discard a shard's entire in-memory state and
+        rebuild it from snapshot + log replay with zero lost tasks."""
         if n_shards < 1:
             raise WorkflowError(f"n_shards must be >= 1, got {n_shards}")
         self.site = site
@@ -150,13 +160,13 @@ class CloudRouter:
         self._endpoints: dict[str, tuple[Site, str | None]] = {}
         #: shard id -> nominal time its outage window ends.
         self._outages: dict[str, float] = {}
+        self._journal_factory = journal_factory
         for _ in range(n_shards):
             self._add_shard_locked()
 
     # -- shard set ------------------------------------------------------------
-    def _add_shard_locked(self) -> str:
-        shard_id = f"s{len(self._shards)}"
-        shard = CloudShard(
+    def _build_shard(self, shard_id: str, journal: object | None) -> CloudShard:
+        return CloudShard(
             shard_id,
             self.site,
             self.network,
@@ -167,10 +177,47 @@ class CloudRouter:
             completed=self._completed,
             registry=self.registry,
             on_enqueue=self._notify_enqueue,
+            journal=journal,
         )
+
+    def _add_shard_locked(self) -> str:
+        shard_id = f"s{len(self._shards)}"
+        journal = (
+            self._journal_factory(shard_id) if self._journal_factory is not None else None
+        )
+        shard = self._build_shard(shard_id, journal)
         self._shards[shard_id] = shard
         self._ring.add_node(shard_id)
         return shard_id
+
+    def crash_shard(self, shard_id: str) -> "RecoveryReport":
+        """Hard-crash one shard: discard its entire in-memory state and
+        rebuild a replacement from its journal (snapshot + log replay).
+
+        Unlike an outage window — where the old instance's state survives
+        untouched — nothing of the old object is reused except the journal
+        itself and the shared fabric (bus, completed feed, usage registry).
+        Returns the replay's :class:`~repro.durable.RecoveryReport`.
+        """
+        from repro.durable import recover_cloud
+
+        with self._lock:
+            old = self._shards.get(shard_id)
+        if old is None:
+            raise WorkflowError(f"unknown shard {shard_id!r}")
+        if old.journal is None:
+            raise WorkflowError(
+                f"shard {shard_id} has no journal; its state is unrecoverable "
+                "(construct the router with journal_factory=...)"
+            )
+        fresh = self._build_shard(shard_id, old.journal)
+        report = recover_cloud(fresh)
+        with self._lock:
+            self._shards[shard_id] = fresh
+        # Re-leased doorbells were published during replay; wake any fetch
+        # long-polls so they notice the rebuilt queues immediately.
+        self._notify_enqueue()
+        return report
 
     def add_shard(self) -> str:
         """Grow the shard set by one; registrations whose partition moved
@@ -420,6 +467,22 @@ class CloudRouter:
                 f"admission; retry in {window:.3f}s",
                 retry_after=window,
             )
+        # Harder than a drop: the shard process dies and its in-memory state
+        # is *discarded*.  The replacement is rebuilt synchronously from the
+        # shard's write-ahead journal; the submit itself throttles (it was
+        # never admitted) and the client's backoff retries it against the
+        # recovered shard.  Same attempt-stripped key: one crash per task.
+        spec = chaos_check("cloud.shard.crash", base_key, shard=shard_id, tenant=tenant)
+        if spec is not None:
+            counter_inc("cloud.shard_crashes", shard=shard_id)
+            report = self.crash_shard(shard_id)
+            raise ShardUnavailableError(
+                f"injected fault {spec.mode!r}: shard {shard_id} crashed at "
+                f"admission and was rebuilt from its journal "
+                f"({report.replayed} records, {report.recovery_s:.3f}s); "
+                "retry now",
+                retry_after=max(spec.delay, 0.05),
+            )
         self._check_available(shard_id)
         self.registry.admit_submit(tenant, args_payload.nominal_size)
         try:
@@ -461,7 +524,9 @@ class CloudRouter:
         return merged
 
     def get_result_payload(self, token: Token, task_id: str) -> tuple[TaskStatus, Payload]:
-        # Never gated on outages: results live in durable shard state and
+        # Never gated on outages: results live in durable shard state — the
+        # write-ahead journal holds every result's bytes, so even a
+        # state-destroying crash rebuilds them (see ``crash_shard``) — and
         # the data plane stays up while the admission tier restarts.
         return self._shard_for_task(task_id).get_result_payload(token, task_id)
 

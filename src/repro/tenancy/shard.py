@@ -51,6 +51,7 @@ class CloudShard(FaasCloud):
         completed: _CompletedFeed,
         registry: TenantRegistry,
         on_enqueue: object | None = None,
+        journal: object | None = None,
     ) -> None:
         super().__init__(
             site,
@@ -66,6 +67,7 @@ class CloudShard(FaasCloud):
             store_prefix=f"{shard_id}/",
             task_namespace=f"{shard_id}-",
             on_enqueue=on_enqueue,
+            journal=journal,
         )
 
     def tenant_backlog(self, endpoint_id: str) -> dict[str, int]:

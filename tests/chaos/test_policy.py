@@ -49,3 +49,40 @@ def test_delay_for_jitter_is_bounded_and_deterministic():
     assert delays == [policy.delay_for(0, key=f"k{i}") for i in range(50)]
     # Jitter depends on the key, so different tasks do not retry in lockstep.
     assert len(set(delays)) > 1
+
+
+def test_max_elapsed_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_elapsed=-1.0)
+    RetryPolicy(max_elapsed=0.0)  # zero budget is legal: no retries ever
+
+
+def test_max_elapsed_caps_retries_independently_of_attempts():
+    policy = RetryPolicy(max_attempts=10, max_elapsed=30.0)
+    # Under budget: the attempt cap is the only limit.
+    assert policy.retries_left(0, elapsed=0.0)
+    assert policy.retries_left(5, elapsed=29.9)
+    # At or past the budget, no retry is granted even with attempts left.
+    assert not policy.retries_left(0, elapsed=30.0)
+    assert not policy.retries_left(1, elapsed=45.0)
+    # A zero budget disables retries outright.
+    assert not RetryPolicy(max_attempts=10, max_elapsed=0.0).retries_left(0)
+
+
+def test_max_elapsed_default_is_unbounded():
+    policy = RetryPolicy(max_attempts=3)
+    # Without a budget, elapsed time never vetoes a retry.
+    assert policy.retries_left(0, elapsed=1e9)
+    assert not policy.retries_left(2, elapsed=0.0)
+
+
+def test_max_elapsed_jitter_stays_deterministic():
+    # The budget changes *whether* a retry happens, never the backoff bits:
+    # delays for the same (key, attempt) are identical with or without it.
+    budgeted = RetryPolicy(base_delay=1.0, jitter=0.25, max_elapsed=5.0)
+    unbounded = RetryPolicy(base_delay=1.0, jitter=0.25)
+    for attempt in range(4):
+        for key in ("a", "b", "c"):
+            assert budgeted.delay_for(attempt, key=key) == unbounded.delay_for(
+                attempt, key=key
+            )

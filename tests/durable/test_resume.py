@@ -1,0 +1,246 @@
+"""Campaign checkpoint/resume: journaled decision state, no recomputation,
+bit-identical ledgers.
+
+Unit half: :class:`CampaignCheckpoint` round-trips, and both application
+Thinkers rebuild their decision state from snapshot + events.  Integration
+half: a killed-then-resumed moldesign campaign recomputes nothing and
+hashes its final ledger bit-identically to an uninterrupted control run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.finetuning.config import FineTuneConfig
+from repro.apps.finetuning.thinker import (
+    FineTuneThinker,
+    _encode_structure,
+)
+from repro.apps.moldesign.config import MolDesignConfig
+from repro.apps.moldesign.thinker import MolDesignThinker
+from repro.core.queues import ColmenaQueues
+from repro.durable import (
+    CampaignCheckpoint,
+    FileJournalBackend,
+    Journal,
+    ledger_digest,
+    run_resumable_moldesign,
+)
+from repro.ml.schnet import RbfBasis, SchnetSurrogate
+from repro.net.fs import FileSystem
+from repro.net.kvstore import KVServer
+from repro.sim.chemistry import MoleculeLibrary
+from repro.sim.water import make_water_cluster
+
+
+@pytest.fixture
+def checkpoint():
+    wal = FileSystem("campaign-wal", op_latency=1e-4)
+    return CampaignCheckpoint(Journal(FileJournalBackend(wal, "campaign")))
+
+
+def _make_queues(testbed):
+    return ColmenaQueues(
+        KVServer(testbed.theta_login),
+        testbed.network,
+        topics=["simulate", "train", "infer", "sample"],
+    )
+
+
+def _make_md_thinker(testbed, **overrides):
+    defaults = dict(
+        n_molecules=50,
+        n_initial=4,
+        max_simulations=10,
+        retrain_after=4,
+        n_ensemble=2,
+        inference_chunks=2,
+    )
+    defaults.update(overrides)
+    config = MolDesignConfig(**defaults)
+    library = MoleculeLibrary(config.n_molecules, seed=0)
+    return MolDesignThinker(
+        _make_queues(testbed), testbed.theta_login, config, library, n_cpu_slots=2
+    )
+
+
+# -- checkpoint wrapper ------------------------------------------------------------
+
+
+def test_checkpoint_note_save_load_round_trip(checkpoint):
+    checkpoint.note("sim_result", molecule=3, ip=15.5, wall_time=60.0)
+    checkpoint.note("retrain", batch=1)
+    snapshot, events = checkpoint.load_state()
+    assert snapshot is None
+    assert [e["type"] for e in events] == ["sim_result", "retrain"]
+
+    checkpoint.save_state({"database": {"3": 15.5}})
+    checkpoint.note("sim_result", molecule=7, ip=12.0, wall_time=45.0)
+    snapshot, events = checkpoint.load_state()
+    assert snapshot == {"database": {"3": 15.5}}
+    assert [e["molecule"] for e in events] == [7]
+
+
+# -- moldesign thinker restore -----------------------------------------------------
+
+
+def test_md_restore_folds_snapshot_and_events(testbed):
+    thinker = _make_md_thinker(testbed)
+    snapshot = {
+        "database": {"3": 20.0},
+        "cumulative_sim_time": 60.0,
+        "found_timeline": [[0.0, 0], [60.0, 1]],
+        "since_retrain": 1,
+        "batch_id": 0,
+        "ml_makespans": [],
+    }
+    events = [
+        {"type": "sim_result", "molecule": 7, "ip": 5.0, "wall_time": 40.0},
+        {"type": "sim_result", "molecule": 7, "ip": 5.0, "wall_time": 40.0},  # dup
+        {"type": "retrain", "batch": 1},
+        {"type": "sim_result", "molecule": 9, "ip": 30.0, "wall_time": 50.0},
+    ]
+    thinker.restore_state(snapshot, events)
+
+    assert thinker.database == {3: 20.0, 7: 5.0, 9: 30.0}
+    # The duplicate journal line (crash inside the append window) folded away.
+    assert thinker._sims_completed == 3
+    assert thinker._sims_submitted == 3
+    assert thinker._since_retrain == 1  # reset by retrain, then one result
+    assert thinker._batch_id == 1
+    assert thinker._cumulative_sim_time == pytest.approx(150.0)
+    assert thinker.found_timeline[-1][1] == sum(
+        1 for ip in thinker.database.values() if ip > thinker.threshold
+    )
+    assert not thinker.done.is_set()
+
+
+def test_md_restore_marks_finished_campaign_done(testbed):
+    thinker = _make_md_thinker(testbed, max_simulations=3, n_initial=2)
+    events = [
+        {"type": "sim_result", "molecule": m, "ip": 1.0, "wall_time": 10.0}
+        for m in (0, 1, 2)
+    ]
+    thinker.restore_state(None, events)
+    assert thinker.done.is_set()
+
+
+def test_md_export_restore_round_trip_preserves_the_ledger(testbed):
+    thinker = _make_md_thinker(testbed)
+    thinker.database = {4: 11.0, 2: 19.5}
+    thinker._cumulative_sim_time = 100.0
+    thinker.found_timeline = [(0.0, 0), (100.0, 1)]
+    state = thinker.export_state()
+
+    twin = _make_md_thinker(testbed)
+    twin.restore_state(state, [])
+    assert twin.database == thinker.database
+    assert ledger_digest(twin.database, twin.threshold) == ledger_digest(
+        thinker.database, thinker.threshold
+    )
+
+
+# -- finetuning thinker restore ----------------------------------------------------
+
+
+def _make_ft_thinker(testbed, **overrides):
+    defaults = dict(
+        n_waters=2,
+        n_pretrain=10,
+        target_new_structures=6,
+        retrain_after=2,
+        n_ensemble=2,
+        uncertainty_batch=4,
+        inference_batch=2,
+        uncertainty_pool_size=2,
+        n_rbf_centers=6,
+        hidden_layers=(8,),
+    )
+    defaults.update(overrides)
+    config = FineTuneConfig(**defaults)
+    models = [
+        SchnetSurrogate(RbfBasis(n_centers=6), hidden=(8,), seed=i)
+        for i in range(config.n_ensemble)
+    ]
+    return FineTuneThinker(
+        _make_queues(testbed), testbed.theta_login, config, models, n_cpu_slots=4
+    )
+
+
+def test_ft_export_restore_round_trip(testbed):
+    thinker = _make_ft_thinker(testbed)
+    structures = [make_water_cluster(2, seed=i) for i in range(3)]
+    thinker.new_structures = [
+        (s, float(i), np.zeros_like(s.positions)) for i, s in enumerate(structures)
+    ]
+    thinker._since_retrain = 1
+    thinker._train_batch = 2
+    state = thinker.export_state()
+
+    twin = _make_ft_thinker(testbed)
+    event = {
+        "type": "dft_result",
+        "structure": _encode_structure(make_water_cluster(2, seed=9)),
+        "energy": 4.5,
+        "forces": np.zeros((6, 3)).tolist(),
+    }
+    twin.restore_state(state, [event, {"type": "retrain", "batch": 3}])
+
+    assert len(twin.new_structures) == 4
+    assert twin._since_retrain == 0
+    assert twin._train_batch == 3
+    restored, energy, forces = twin.new_structures[0]
+    assert np.allclose(restored.positions, structures[0].positions)
+    assert energy == 0.0 and forces.shape == structures[0].positions.shape
+    assert not twin.done.is_set()
+
+
+def test_ft_restore_marks_reached_target_done(testbed):
+    thinker = _make_ft_thinker(testbed, target_new_structures=2)
+    events = [
+        {
+            "type": "dft_result",
+            "structure": _encode_structure(make_water_cluster(2, seed=i)),
+            "energy": float(i),
+            "forces": np.zeros((6, 3)).tolist(),
+        }
+        for i in range(2)
+    ]
+    thinker.restore_state(None, events)
+    assert thinker.done.is_set()
+    assert thinker.progress[-1][1] == 2
+
+
+# -- end-to-end crash/resume -------------------------------------------------------
+
+
+def test_resumable_moldesign_is_exactly_once_and_deterministic():
+    config = MolDesignConfig(
+        n_molecules=60,
+        n_initial=4,
+        max_simulations=10,
+        retrain_after=10_000,  # determinism regime: no schedule-driven reorder
+        sim_duration=2.0,
+    )
+    report = run_resumable_moldesign(
+        "funcx+globus",
+        config,
+        seed=0,
+        crash_after_results=4,
+        verify_determinism=True,
+    )
+    # No recomputation: crashed consumed 4, the resume ran exactly the rest.
+    assert report.crashed_simulations == 4
+    assert report.resumed_simulations == config.max_simulations - 4
+    assert report.n_simulated == config.max_simulations
+    # Bit-identical decision ledger vs the uninterrupted control run.
+    assert report.uninterrupted_digest is not None
+    assert report.deterministic, (report.digest, report.uninterrupted_digest)
+
+
+def test_resumable_moldesign_validates_crash_point():
+    with pytest.raises(ValueError):
+        run_resumable_moldesign(
+            config=MolDesignConfig(max_simulations=10), crash_after_results=10
+        )
