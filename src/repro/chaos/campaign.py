@@ -33,6 +33,7 @@ from repro.chaos.plan import (
     set_injector,
 )
 from repro.chaos.policy import RetryPolicy
+from repro.exceptions import TaskQuarantinedError
 from repro.faas import SCOPE_COMPUTE, AuthServer, FaasClient, FaasCloud, FaasEndpoint
 from repro.net.clock import get_clock
 from repro.net.context import at_site
@@ -79,6 +80,8 @@ FAULT_MODES: tuple[str, ...] = (
     "shard_crash",
     "campaign_crash",
     "provision_delay",
+    "endpoint_slow",
+    "poison_task",
 )
 
 #: Workflow configurations (FaaS fabric + ProxyStore backend).
@@ -115,6 +118,15 @@ _REPORT_COUNTERS = (
     "client.throttled",
     "autoscale.provision_retries",
     "autoscale.provision_abandoned",
+    "endpoint.gray_degraded",
+    "endpoint.stale_results",
+    "resilience.breaker_opens",
+    "resilience.sheds",
+    "resilience.steered",
+    "resilience.quarantined",
+    "resilience.poison_steered",
+    "resilience.quarantine_refusals",
+    "client.terminal_rejections",
 )
 
 
@@ -171,6 +183,28 @@ def fault_specs(mode: str) -> tuple[FaultSpec, ...]:
         # batch; a successor sharing the client id attaches to the in-flight
         # task ids and drains results without recomputing anything.
         return (FaultSpec("campaign.crash", mode, rate=1.0, max_fires=1),)
+    if mode == "endpoint_slow":
+        # Gray failure: ep-a comes up degraded — alive, heartbeating, but
+        # 10x slower per task.  No lease ever lapses, so only the health
+        # tracker's latency signal (and its breaker) can rescue the backlog.
+        return (
+            FaultSpec(
+                "endpoint.slow",
+                mode,
+                rate=1.0,
+                match={"endpoint": "ep-a"},
+                delay=10.0,
+                max_fires=1,
+            ),
+        )
+    if mode == "poison_task":
+        # A deterministic subset of task payloads fails on *every* endpoint
+        # and every attempt (keyed on the attempt-stripped content digest,
+        # with enough occurrences that no retry ever slips through).  The
+        # quarantine quorum must catch them after two distinct endpoints.
+        return (
+            FaultSpec("worker.poison", mode, rate=0.5, occurrences=tuple(range(32))),
+        )
     if mode == "provision_delay":
         # Scale-up requests stall for a nominal second and then fail; the
         # elastic pool must retry with backoff and no queued task may be
@@ -421,6 +455,38 @@ def _reconcile(
         expect("autoscale.provision_retries", fires)
         expect("autoscale.provision_abandoned", 0)
         expect("client.retries", 0)
+    elif mode == "endpoint_slow":
+        # One injected gray degradation must open the breaker exactly once
+        # and shed at least one task to the healthy peer — all invisible to
+        # the client (the shed is a cloud-side requeue, not a retry).
+        if fires != 1:
+            failures.append(f"endpoint_slow cell expected exactly 1 fire, got {fires}")
+        expect("endpoint.gray_degraded", 1)
+        expect("resilience.breaker_opens", fires)
+        sheds = counters.get("resilience.sheds", 0)
+        if not 1 <= sheds <= tasks:
+            failures.append(
+                f"endpoint_slow: resilience.sheds is {sheds}, "
+                f"expected within [1, {tasks}]"
+            )
+        expect("client.retries", 0)
+    elif mode == "poison_task":
+        # Every poisoned payload fires exactly twice (once per distinct
+        # endpoint, the quarantine quorum), is steered off its striked
+        # endpoint once, burns exactly two client retries, and then has its
+        # resubmission refused terminally.
+        poisoned = counters.get("resilience.quarantined", 0)
+        if poisoned < 1:
+            failures.append("poison_task cell quarantined nothing")
+        if fires != 2 * poisoned:
+            failures.append(
+                f"poison_task: injector fired {fires} times for {poisoned} "
+                f"quarantined payloads, expected exactly {2 * poisoned}"
+            )
+        expect("resilience.poison_steered", poisoned)
+        expect("resilience.quarantine_refusals", poisoned)
+        expect("client.terminal_rejections", poisoned)
+        expect("client.retries", 2 * poisoned)
 
 
 def run_cell(
@@ -482,6 +548,40 @@ def run_cell(
             journal_factory=lambda shard_id: Journal(
                 FileJournalBackend(wal, shard_id), name=shard_id
             ),
+        )
+    elif mode == "endpoint_slow":
+        # Health-tracked cloud: an explicit 1 s latency baseline (the
+        # healthy task time) makes the breaker trip deterministic — the
+        # gray endpoint's first 10 s result scores 0.3 < 0.5 and opens the
+        # breaker exactly once (open_duration is effectively forever).
+        from repro.resilience import EndpointHealthTracker, HealthPolicy
+
+        cloud = FaasCloud(
+            testbed.faas_cloud,
+            testbed.network,
+            auth,
+            constants,
+            health=EndpointHealthTracker(
+                HealthPolicy(
+                    latency_baseline=1.0,
+                    latency_threshold=3.0,
+                    min_samples=1,
+                    open_score=0.5,
+                    open_duration=10_000.0,
+                )
+            ),
+        )
+    elif mode == "poison_task":
+        # Poison-tracked cloud: two strikes on distinct endpoints move the
+        # payload to the per-tenant dead-letter queue.
+        from repro.resilience import PoisonPolicy, PoisonTracker
+
+        cloud = FaasCloud(
+            testbed.faas_cloud,
+            testbed.network,
+            auth,
+            constants,
+            poison=PoisonTracker(PoisonPolicy(quorum=2)),
         )
     else:
         cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, constants)
@@ -554,11 +654,32 @@ def run_cell(
         for index, future in enumerate(futures):
             try:
                 outcomes.append(future.result(timeout=120))
+            except TaskQuarantinedError:
+                if mode == "poison_task":
+                    # The *expected* terminal outcome for a poisoned
+                    # payload: quarantined after the quorum, not lost.
+                    outcomes.append("quarantined")
+                else:
+                    outcomes.append("error:TaskQuarantinedError")
+                    failures.append(f"task {index} was quarantined unexpectedly")
             except Exception as exc:  # noqa: BLE001 - audited below
                 outcomes.append(f"error:{type(exc).__name__}")
                 failures.append(f"task {index} was lost to {exc!r}")
         expected = [index + (index + (index + 1)) for index in range(n_tasks)]
-        if not failures and outcomes != expected:
+        if mode == "poison_task":
+            # Membership of the poisoned subset is seed-derived, so accept
+            # "quarantined" element-wise; the ledger digest (which covers
+            # every outcome) pins the exact subset across runs.
+            mismatched = [
+                index
+                for index, outcome in enumerate(outcomes)
+                if outcome != "quarantined" and outcome != expected[index]
+            ]
+            if not failures and mismatched:
+                failures.append(
+                    f"wrong results at {mismatched}: {outcomes} vs {expected}"
+                )
+        elif not failures and outcomes != expected:
             failures.append(f"wrong results: {outcomes} != {expected}")
     finally:
         try:
@@ -587,6 +708,16 @@ def run_cell(
             f"{len(orphans)} orphan spans, e.g. "
             f"{orphans[0].name}@{orphans[0].trace_id}"
         )
+    if mode == "poison_task":
+        # The dead-letter queue is the ground truth the outcomes must match:
+        # exactly the futures that raised TaskQuarantinedError are in it.
+        dlq = len(cloud.deadletters())
+        quarantined = sum(1 for outcome in outcomes if outcome == "quarantined")
+        if dlq != quarantined:
+            failures.append(
+                f"poison_task: dead-letter queue holds {dlq} entries but "
+                f"{quarantined} futures were quarantined"
+            )
     counters = {
         name: int(metrics.counter_total(name)) for name in _REPORT_COUNTERS
     }

@@ -51,7 +51,9 @@ HOOKS = frozenset(
         "cloud.shard.crash",  # CloudRouter: shard state destroyed, journal replay
         "campaign.crash",  # campaign process dies; successor resumes by id
         "endpoint.crash",  # FaasEndpoint: process loss mid-lease
+        "endpoint.slow",  # FaasEndpoint: gray degradation (slow-but-alive)
         "worker.execute",  # exception inside the function body
+        "worker.poison",  # deterministic failure on every endpoint/attempt
         "store.get",  # ProxyStore backend read corruption
         "transfer.attempt",  # managed transfer failure / stall
         "bus.deliver",  # NotificationBus: envelope lost in flight

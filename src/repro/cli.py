@@ -32,6 +32,10 @@ Commands
 ``pools``
     Run a short bursty workload against autoscaled elastic endpoints and
     print the per-pool worker/decision table (grow, shrink, scale-to-zero).
+``deadletter``
+    Run a short storm with deterministically poisoned payloads against a
+    quarantine-enabled cloud, then ``list``, ``retry``, or ``drop`` the
+    per-tenant dead-letter queue the quorum produced.
 """
 
 from __future__ import annotations
@@ -448,6 +452,136 @@ def cmd_pools(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_deadletters(entries) -> str:
+    """Fixed-width dead-letter table, one row per quarantined payload."""
+    if not entries:
+        return "dead-letter queue is empty"
+    header = (
+        f"{'tenant':<10} {'fingerprint':<26} {'task':<18} "
+        f"{'struck endpoints':<28} error"
+    )
+    lines = [header, "-" * len(header)]
+    for entry in entries:
+        lines.append(
+            f"{entry.tenant:<10} {entry.fingerprint:<26} {entry.task_id:<18} "
+            f"{','.join(entry.endpoints):<28} {entry.error}"
+        )
+    return "\n".join(lines)
+
+
+def cmd_deadletter(args: argparse.Namespace) -> int:
+    from repro.chaos.plan import FaultInjector, FaultPlan, FaultSpec, set_injector
+    from repro.chaos.policy import RetryPolicy
+    from repro.exceptions import TaskQuarantinedError
+    from repro.faas import SCOPE_COMPUTE, AuthServer, FaasClient, FaasCloud, FaasEndpoint
+    from repro.net.clock import get_clock
+    from repro.net.context import at_site
+    from repro.resilience import PoisonPolicy, PoisonTracker
+    from repro.resources import WorkerPool
+
+    reset_clock(args.time_scale)
+    testbed = build_paper_testbed(seed=args.seed)
+    auth = AuthServer()
+    identity = auth.register_identity("operator", "anl")
+    token = auth.issue_token(identity, {SCOPE_COMPUTE})
+    quorum = 2
+    cloud = FaasCloud(
+        testbed.faas_cloud,
+        testbed.network,
+        auth,
+        testbed.constants,
+        poison=PoisonTracker(PoisonPolicy(quorum=quorum)),
+    )
+    # A deterministic subset of payloads fails on every endpoint and every
+    # attempt — the failure shape retries cannot fix and quarantine exists
+    # to contain.
+    injector = FaultInjector(
+        FaultPlan.build(
+            args.seed,
+            (
+                FaultSpec(
+                    "worker.poison",
+                    "poison_task",
+                    rate=args.poison_rate,
+                    occurrences=tuple(range(32)),
+                ),
+            ),
+        )
+    )
+    set_injector(injector)
+    policy = RetryPolicy(max_attempts=5, base_delay=0.1, max_delay=1.0)
+    # Two endpoints in one failover group: the quarantine quorum needs the
+    # poison steering to try the payload on distinct endpoints.
+    endpoints = [
+        FaasEndpoint(
+            f"dlq-ep-{index}",
+            cloud,
+            token,
+            testbed.theta_login,
+            WorkerPool(testbed.theta_compute, 2, name=f"dlq-pool-{index}"),
+            failover_group="dlq-pair",
+            poll_interval=0.25,
+        ).start()
+        for index in range(2)
+    ]
+    client = FaasClient(cloud, token, site=testbed.theta_login, retry_policy=policy)
+    completed = quarantined = 0
+    try:
+        with at_site(testbed.theta_login):
+            futures = [
+                client.run(_noop_task, endpoints[0].endpoint_id, index)
+                for index in range(args.tasks)
+            ]
+        for future in futures:
+            try:
+                future.result(timeout=120)
+                completed += 1
+            except TaskQuarantinedError:
+                quarantined += 1
+        # The storm is over and the "bad deploy" is rolled back: whatever
+        # happens to the dead-letter queue next is the operator's call.
+        set_injector(None)
+        entries = cloud.deadletters()
+        print(
+            f"{completed}/{len(futures)} tasks completed; {quarantined} "
+            f"poisoned payload(s) quarantined after failing on {quorum} "
+            f"distinct endpoints\n"
+        )
+        print(_render_deadletters(entries))
+        if args.action == "retry" and entries:
+            clock = get_clock()
+            retried = [
+                cloud.deadletter_retry(
+                    token, entry.tenant, entry.fingerprint, endpoints[1].endpoint_id
+                )
+                for entry in entries
+            ]
+            deadline = clock.now() + 60.0
+            while clock.now() < deadline and not all(
+                cloud.task(task_id).status.terminal for task_id in retried
+            ):
+                clock.sleep(0.25)
+            statuses = [cloud.task(task_id).status.value for task_id in retried]
+            print(
+                f"\nretried {len(retried)} quarantined payload(s) on "
+                f"{endpoints[1].endpoint_id}: statuses {statuses}; "
+                f"{len(cloud.deadletters())} entr(ies) remain"
+            )
+        elif args.action == "drop" and entries:
+            for entry in entries:
+                cloud.deadletter_drop(token, entry.tenant, entry.fingerprint)
+            print(
+                f"\ndropped {len(entries)} entr(ies); "
+                f"{len(cloud.deadletters())} remain"
+            )
+    finally:
+        set_injector(None)
+        client.close()
+        for endpoint in endpoints:
+            endpoint.stop()
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro import observe
 
@@ -584,6 +718,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tasks", type=int, default=8, help="tasks per endpoint")
     p.add_argument("--max-workers", type=int, default=4, help="autoscaler ceiling")
     p.set_defaults(func=cmd_pools)
+
+    p = sub.add_parser(
+        "deadletter",
+        help="quarantine poisoned payloads, then list/retry/drop the "
+        "dead-letter queue",
+    )
+    p.add_argument(
+        "action", choices=("list", "retry", "drop"),
+        help="what to do with the quarantined entries after the storm",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--time-scale", type=float, default=0.002,
+        help="wall seconds per nominal second (smaller = faster run)",
+    )
+    p.add_argument("--tasks", type=int, default=8, help="tasks in the storm")
+    p.add_argument(
+        "--poison-rate", type=float, default=0.5,
+        help="fraction of payload keys deterministically poisoned",
+    )
+    p.set_defaults(func=cmd_deadletter)
 
     p = sub.add_parser(
         "trace", help="reconstruct a recorded campaign from a span JSONL file"

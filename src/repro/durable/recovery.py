@@ -67,6 +67,8 @@ def _snapshot_records(state: dict):
         yield {"type": "endpoint", **doc}
     for doc in state.get("tasks", []):
         yield {"type": "task", **doc}
+    for doc in state.get("deadletters", []):
+        yield {"type": "deadletter", "op": "add", "entry": doc}
 
 
 def recover_cloud(cloud, journal=None) -> RecoveryReport:
@@ -136,6 +138,8 @@ def recover_cloud(cloud, journal=None) -> RecoveryReport:
                     previous_endpoints=list(record.get("previous_endpoints", [])),
                     tenant=record.get("tenant", "default"),
                     args_nbytes=args.nominal_size if args is not None else 0,
+                    deadline_at=record.get("deadline_at"),
+                    fingerprint=record.get("fingerprint"),
                 )
                 if args is not None:
                     cloud.store.adopt(record["locator"], args)
@@ -190,6 +194,21 @@ def recover_cloud(cloud, journal=None) -> RecoveryReport:
                     TaskStatus.SUCCESS if record["success"] else TaskStatus.FAILED
                 )
                 task.completed_at = record.get("at")
+        elif rtype == "deadletter":
+            # Quarantine survives the crash: replay re-installs (or, for a
+            # journaled retry/drop, releases) the dead-letter entry.  A
+            # cloud recovered without a poison tracker simply has no
+            # quarantine to rebuild — the records are skipped, not fatal.
+            if cloud.poison is not None:
+                from repro.resilience.deadletter import DeadLetterEntry
+
+                entry = DeadLetterEntry.from_record(record["entry"])
+                if record.get("op", "add") == "add":
+                    cloud.poison.restore(entry)
+                else:
+                    cloud.poison.remove(entry.tenant, entry.fingerprint)
+            else:
+                report.deduped += 1
         else:
             raise WorkflowError(f"unknown journal record type {rtype!r}")
         report.replayed += 1

@@ -118,6 +118,18 @@ class ShardUnavailableError(ThrottledError):
     ``retry_after`` succeeds without losing work."""
 
 
+class TaskQuarantinedError(ReproError):
+    """A task's argument fingerprint was quarantined as a poison task: it
+    failed deterministically on a quorum of distinct endpoints and now lives
+    in the tenant's dead-letter queue.  Terminal, *not* retryable — retrying
+    would burn budget on a task that fails everywhere; an operator must
+    ``deadletter retry`` (after fixing the cause) or ``deadletter drop`` it."""
+
+    def __init__(self, message: str, *, fingerprint: str | None = None) -> None:
+        super().__init__(message)
+        self.fingerprint = fingerprint
+
+
 class LeaseExpiredError(ReproError):
     """An endpoint acted on a task after its heartbeat lease expired and the
     task was handed to another endpoint (the action must be discarded)."""

@@ -14,6 +14,17 @@ ever sees the final outcome (the value, or ``RetryExhaustedError`` once the
 budget is spent).  Submission-time rejections (payload cap) retry inline in
 ``submit``.  Without a policy the original fail-fast semantics are intact.
 
+Two resilience hooks ride the submit path (see DESIGN.md §11).  A
+:class:`repro.resilience.HedgePolicy` passed as ``_hedge`` arms *hedged
+execution*: when an attempt outlives the client's p95-derived hedge delay,
+the notifier launches a speculative duplicate on a different endpoint and
+the first successful leg wins — losers are cancelled (or, too late, their
+results dropped), reconciled exactly once in ``client.hedges{outcome=}``.
+A ``_deadline`` becomes an absolute ``deadline_at`` that rides the task
+record end to end; once it passes, retries stop and the future fails with
+:class:`~repro.exceptions.DeadlineExceededError` instead of burning budget
+on work that can no longer finish.
+
 :class:`FaasExecutor` adapts the client to the standard
 ``concurrent.futures.Executor`` interface, the integration surface FuncX
 exposes and Colmena's task server builds on.
@@ -25,19 +36,21 @@ import hashlib
 import threading
 import uuid
 from concurrent.futures import Executor, Future
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.bench.recording import emit
 from repro.bus import BusConsumer
 from repro.chaos.policy import RetryPolicy
 from repro.exceptions import (
+    DeadlineExceededError,
     InvalidFunctionError,
     PayloadTooLargeError,
     ReproError,
     RetryExhaustedError,
     SubscriptionLapsedError,
     TaskError,
+    TaskQuarantinedError,
     ThrottledError,
     WorkflowError,
 )
@@ -53,6 +66,7 @@ from repro.net.defaults import (
 from repro.net.context import SiteThread, current_site
 from repro.net.topology import Site
 from repro.observe import TraceContext, counter_inc, trace_span
+from repro.resilience.hedge import HedgePolicy, LatencyReservoir
 from repro.serialize import (
     Payload,
     deserialize,
@@ -83,6 +97,38 @@ class _PendingTask:
     #: Clock time of the *first* submission — the anchor for the retry
     #: policy's ``max_elapsed`` wall-clock budget.
     started_at: float = 0.0
+    #: Absolute nominal-clock deadline riding every attempt and hedge leg;
+    #: once it passes, no retry or hedge is worth launching.
+    deadline_at: float | None = None
+    #: Hedging policy (``None`` = never hedge) plus the live race group for
+    #: the current attempt.  ``leg`` is 0 for the attempt's primary
+    #: submission, ``n`` for its n-th speculative duplicate.
+    hedge_policy: HedgePolicy | None = None
+    hedge: "_HedgeGroup | None" = None
+    leg: int = 0
+    #: When *this leg* was submitted — the anchor the hedge delay is
+    #: measured from, and the start of the latency sample it contributes.
+    attempt_at: float = 0.0
+
+
+@dataclass
+class _HedgeGroup:
+    """Shared race state for one attempt's legs (primary + hedges).
+
+    All legs complete the same future; the group tracks who is still in
+    flight so the first success can cancel the rest, and so an attempt only
+    counts as failed once *every* leg has failed (the last error wins).
+    Only the notifier thread mutates a group, so no extra lock is needed.
+    """
+
+    primary: _PendingTask
+    #: Legs still racing, by task id.
+    legs: dict[str, _PendingTask] = field(default_factory=dict)
+    #: Hedge legs launched for this attempt (primary excluded).
+    launched: int = 0
+    resolved: bool = False
+    last_error: str = "remote task failed"
+    last_traceback: str | None = None
 
 
 class FaasClient:
@@ -129,6 +175,9 @@ class FaasClient:
         # _PendingTask (same future) under the new task id.
         self._pending: dict[str, _PendingTask] = {}
         self._futures_lock = threading.Lock()
+        # Completion latencies (submit -> result, successful legs only):
+        # the sample the hedge delay's p95 quantile is derived from.
+        self._latencies = LatencyReservoir()
         # Registration cache: holds a strong reference to each function so
         # identity (``is``) stays valid — caching by bare id() would break
         # when CPython reuses a collected object's address.
@@ -175,6 +224,7 @@ class FaasClient:
         trace_ctx: TraceContext | None,
         chaos_key: str | None,
         prefetch: tuple,
+        deadline_at: float | None = None,
     ) -> str:
         """One cloud submit with transparent throttle backoff.
 
@@ -196,6 +246,7 @@ class FaasClient:
                     trace_ctx=trace_ctx,
                     chaos_key=chaos_key,
                     prefetch=prefetch,
+                    deadline_at=deadline_at,
                 )
             except ThrottledError as exc:
                 policy = self._throttle_policy
@@ -245,6 +296,8 @@ class FaasClient:
         *args: object,
         _trace_ctx: TraceContext | None = None,
         _prefetch_hints: tuple = (),
+        _hedge: HedgePolicy | None = None,
+        _deadline: float | None = None,
         **kwargs: object,
     ) -> Future:
         """Invoke a registered function on an endpoint; returns a future.
@@ -255,6 +308,11 @@ class FaasClient:
         worker side can parent their spans to the same trace.
         ``_prefetch_hints`` (same convention) ride the dispatch record so
         the endpoint can warm its site's proxy cache before the task runs.
+        ``_hedge`` arms hedged execution for this task (see the module
+        docstring); ``_deadline`` is a relative nominal-seconds budget that
+        becomes an absolute ``deadline_at`` riding the task record — the
+        cloud refuses or expires work past it, and the client stops
+        retrying once it lapses.
         """
         with trace_span(
             "cloud.submit", parent=_trace_ctx, endpoint=endpoint_id, tenant=self.tenant
@@ -268,6 +326,7 @@ class FaasClient:
             chaos_base = hashlib.sha256(args_payload.data).hexdigest()[:16]
             attempt = 0
             started_at = self._clock.now()
+            deadline_at = None if _deadline is None else started_at + _deadline
             while True:
                 try:
                     task_id = self._cloud_submit(
@@ -277,6 +336,7 @@ class FaasClient:
                         trace_ctx=ctx,
                         chaos_key=f"{chaos_base}#a{attempt}",
                         prefetch=tuple(_prefetch_hints),
+                        deadline_at=deadline_at,
                     )
                     break
                 except PayloadTooLargeError:
@@ -302,6 +362,9 @@ class FaasClient:
             chaos_base=chaos_base,
             prefetch=tuple(_prefetch_hints),
             started_at=started_at,
+            deadline_at=deadline_at,
+            hedge_policy=_hedge,
+            attempt_at=self._clock.now(),
         )
         with self._futures_lock:
             self._pending[task_id] = pending
@@ -315,6 +378,8 @@ class FaasClient:
         *args: object,
         _trace_ctx: TraceContext | None = None,
         _prefetch_hints: tuple = (),
+        _hedge: HedgePolicy | None = None,
+        _deadline: float | None = None,
         **kwargs: object,
     ) -> Future:
         """Register-if-needed and submit in one call."""
@@ -324,6 +389,8 @@ class FaasClient:
             *args,
             _trace_ctx=_trace_ctx,
             _prefetch_hints=_prefetch_hints,
+            _hedge=_hedge,
+            _deadline=_deadline,
             **kwargs,
         )
 
@@ -424,6 +491,7 @@ class FaasClient:
             attempt=0 if args_payload is not None else (1 << 30),
             chaos_base=chaos_base,
             started_at=self._clock.now(),
+            attempt_at=self._clock.now(),
         )
         with self._futures_lock:
             self._pending[task_id] = pending
@@ -443,6 +511,10 @@ class FaasClient:
     # -- result delivery -----------------------------------------------------------
     def _notify_loop(self) -> None:
         while self._running:
+            # Hedge pass first: each receive/poll interval bounds how stale
+            # the overdue-primary scan can be, so a hedge launches within
+            # one interval of its delay expiring.
+            self._scan_hedges()
             consumer = self._consumer
             if consumer is not None and not self._fallback:
                 try:
@@ -472,6 +544,169 @@ class FaasClient:
                 consumer.resubscribe()
                 self._fallback = False
 
+    # -- hedged execution ------------------------------------------------------
+    def _scan_hedges(self) -> None:
+        """Launch speculative duplicates for overdue hedge-armed primaries.
+
+        Runs on the notifier thread (the same thread that resolves
+        completions), so a candidate collected here cannot race its own
+        resolution — only external pops (``close``, ``cancel_pending``),
+        which the post-submit re-check under the lock covers.
+        """
+        now = self._clock.now()
+        with self._futures_lock:
+            candidates = [
+                (task_id, pending)
+                for task_id, pending in self._pending.items()
+                if pending.hedge_policy is not None
+                and pending.leg == 0
+                and not pending.future.done()
+                and (
+                    pending.hedge is None
+                    or pending.hedge.launched < pending.hedge_policy.max_hedges
+                )
+            ]
+        for task_id, pending in candidates:
+            policy = pending.hedge_policy
+            delay = policy.hedge_delay(self._latencies)
+            if delay is None or now - pending.attempt_at < delay:
+                continue  # not overdue yet (or no latency sample to judge by)
+            if pending.deadline_at is not None and now >= pending.deadline_at:
+                continue  # past deadline: the cloud would refuse the leg
+            taken = {pending.endpoint_id}
+            if pending.hedge is not None:
+                taken.update(leg.endpoint_id for leg in pending.hedge.legs.values())
+            target = policy.hedge_target(exclude=taken)
+            if target is None:
+                continue  # every candidate endpoint already carries a leg
+            self._launch_hedge(task_id, pending, target)
+
+    def _launch_hedge(self, primary_id: str, pending: _PendingTask, target: str) -> None:
+        group = pending.hedge
+        if group is None:
+            group = _HedgeGroup(primary=pending)
+            group.legs[primary_id] = pending
+            pending.hedge = group
+        n = group.launched + 1
+        # ``#h<n>`` keeps the hedge leg's chaos identity distinct from the
+        # primary's while preserving the content base (``partition('#')``
+        # strips it for poison fingerprints) and the ``#a<attempt>`` suffix.
+        chaos_key = f"{pending.chaos_base}#h{n}#a{pending.attempt}"
+        try:
+            hedge_id = self._cloud_submit(
+                pending.func_id,
+                target,
+                pending.args_payload,
+                trace_ctx=pending.trace_ctx,
+                chaos_key=chaos_key,
+                prefetch=pending.prefetch,
+                deadline_at=pending.deadline_at,
+            )
+        except ReproError:
+            # The duplicate was refused (throttle budget, breaker, quota...):
+            # the primary keeps racing alone; try again next scan.
+            counter_inc("client.hedge_rejected", endpoint=target)
+            return
+        counter_inc("faas.api_calls", op="submit")
+        group.launched = n
+        leg = _PendingTask(
+            future=pending.future,
+            trace_ctx=pending.trace_ctx,
+            func_id=pending.func_id,
+            endpoint_id=target,
+            args_payload=pending.args_payload,
+            attempt=pending.attempt,
+            chaos_base=pending.chaos_base,
+            prefetch=pending.prefetch,
+            started_at=pending.started_at,
+            deadline_at=pending.deadline_at,
+            hedge_policy=pending.hedge_policy,
+            hedge=group,
+            leg=n,
+            attempt_at=self._clock.now(),
+        )
+        with self._futures_lock:
+            stale = group.resolved or primary_id not in self._pending
+            if not stale:
+                self._pending[hedge_id] = leg
+                group.legs[hedge_id] = leg
+        if stale:
+            # The race resolved (or the caller cancelled) while we paid the
+            # submit round trip; reel the duplicate back in.
+            self._cancel_leg(hedge_id, leg, group)
+            return
+        counter_inc("client.hedges_launched", endpoint=target)
+
+    def _cancel_leg(self, task_id: str, leg: _PendingTask, group: _HedgeGroup) -> None:
+        """Cancel one losing leg; reconcile its outcome exactly once.
+
+        A hedge leg cancelled while still queued never executed (``lost``);
+        one the cloud could no longer cancel is a duplicate execution whose
+        eventual result finds no pending entry and is dropped (``wasted``).
+        """
+        self._pay_api_call()
+        counter_inc("faas.api_calls", op="cancel")
+        cancelled = self.cloud.cancel_task(self.token, task_id)
+        if leg.leg > 0:
+            counter_inc(
+                "client.hedges",
+                outcome="lost" if cancelled else "wasted",
+                endpoint=leg.endpoint_id,
+            )
+
+    def _settle_leg(
+        self,
+        task_id: str,
+        pending: _PendingTask,
+        ok: bool,
+        value: object,
+        error: str,
+        traceback_text: str | None,
+    ) -> None:
+        """Resolve one completed leg against its (possible) hedge race."""
+        group = pending.hedge
+        if group is None:
+            if ok:
+                self._latencies.add(self._clock.now() - pending.attempt_at)
+                pending.future.set_result(value)
+            else:
+                self._finish_attempt(pending, error, traceback_text)
+            return
+        group.legs.pop(task_id, None)
+        if group.resolved:
+            return  # a duplicate delivery raced the resolution; drop it
+        if ok:
+            group.resolved = True
+            self._latencies.add(self._clock.now() - pending.attempt_at)
+            losers = list(group.legs.items())
+            group.legs.clear()
+            with self._futures_lock:
+                for other_id, _ in losers:
+                    self._pending.pop(other_id, None)
+            for other_id, other in losers:
+                self._cancel_leg(other_id, other, group)
+            if pending.leg > 0:
+                counter_inc(
+                    "client.hedges", outcome="won", endpoint=pending.endpoint_id
+                )
+            pending.future.set_result(value)
+            return
+        group.last_error, group.last_traceback = error, traceback_text
+        if group.legs:
+            # Other legs are still racing; this one just drops out.  A
+            # failed hedge leg bought nothing — pure duplicate work.
+            if pending.leg > 0:
+                counter_inc(
+                    "client.hedges", outcome="wasted", endpoint=pending.endpoint_id
+                )
+            return
+        # Every leg failed: the *attempt* failed.  Retry (or give up) under
+        # the primary's pending record so a resubmission returns to the
+        # originally requested endpoint.
+        group.resolved = True
+        group.primary.hedge = None
+        self._finish_attempt(group.primary, group.last_error, group.last_traceback)
+
     def _handle_completion(self, task_id: str) -> None:
         with self._futures_lock:
             pending = self._pending.pop(task_id, None)
@@ -482,13 +717,16 @@ class FaasClient:
         except ReproError as exc:
             # The download itself failed (e.g. the cloud store returned
             # corrupt data): consumes an attempt like a remote failure.
-            self._finish_attempt(pending, repr(exc), None)
+            self._settle_leg(task_id, pending, False, None, repr(exc), None)
             return
         if status is TaskStatus.SUCCESS and body.get("success"):
-            pending.future.set_result(body["value"])
+            self._settle_leg(task_id, pending, True, body["value"], "", None)
         else:
-            self._finish_attempt(
+            self._settle_leg(
+                task_id,
                 pending,
+                False,
+                None,
                 body.get("error", "remote task failed"),
                 body.get("traceback"),
             )
@@ -520,16 +758,53 @@ class FaasClient:
         self, pending: _PendingTask, error: str, traceback_text: str | None
     ) -> None:
         """A task attempt failed: retry under the same future, or give up."""
+        if error.startswith("DeadlineExceededError"):
+            # The cloud already ruled the work too late (expired in queue,
+            # or skipped endpoint-side): retrying cannot beat a deadline
+            # that has passed.
+            counter_inc("client.deadline_failures", endpoint=pending.endpoint_id)
+            pending.future.set_exception(DeadlineExceededError(error))
+            return
         policy = self._retry_policy
         attempt = pending.attempt
         while policy is not None and policy.retries_left(
             attempt, elapsed=self._clock.now() - pending.started_at
         ):
+            if (
+                pending.deadline_at is not None
+                and self._clock.now() >= pending.deadline_at
+            ):
+                counter_inc(
+                    "client.deadline_abandoned", endpoint=pending.endpoint_id
+                )
+                pending.future.set_exception(
+                    DeadlineExceededError(
+                        f"deadline ({pending.deadline_at:.3f}s) passed after "
+                        f"{attempt + 1} attempt(s); last error: {error}"
+                    )
+                )
+                return
             counter_inc("client.retries", endpoint=pending.endpoint_id)
             self._clock.sleep(policy.delay_for(attempt, key=pending.chaos_base))
+            if not policy.retries_left(
+                attempt, elapsed=self._clock.now() - pending.started_at
+            ):
+                # The backoff sleep itself can blow the ``max_elapsed``
+                # wall-clock budget; re-check *after* sleeping so a retry
+                # never launches past the budget it was granted under.
+                break
             attempt += 1
             try:
                 self._resubmit(pending, attempt)
+                return
+            except (DeadlineExceededError, TaskQuarantinedError) as exc:
+                # Terminal rejections: the deadline lapsed before the cloud
+                # accepted the resubmission, or the payload was quarantined
+                # as poison.  More attempts cannot change either verdict.
+                counter_inc(
+                    "client.terminal_rejections", endpoint=pending.endpoint_id
+                )
+                pending.future.set_exception(exc)
                 return
             except ReproError as exc:
                 # The resubmission itself was rejected; burn another attempt.
@@ -564,9 +839,15 @@ class FaasClient:
                 trace_ctx=pending.trace_ctx,
                 chaos_key=f"{pending.chaos_base}#a{attempt}",
                 prefetch=pending.prefetch,
+                deadline_at=pending.deadline_at,
             )
         counter_inc("faas.api_calls", op="submit")
         pending.attempt = attempt
+        # A fresh attempt races from scratch: no hedge group yet, and the
+        # hedge delay measures from this submission.
+        pending.hedge = None
+        pending.leg = 0
+        pending.attempt_at = self._clock.now()
         with self._futures_lock:
             self._pending[task_id] = pending
 

@@ -44,9 +44,11 @@ from repro.chaos.plan import attempt_from_key, chaos_check
 from repro.chaos.policy import RetryPolicy
 from repro.durable.journal import encode_payload
 from repro.exceptions import (
+    DeadlineExceededError,
     EndpointUnavailableError,
     LeaseExpiredError,
     PayloadTooLargeError,
+    TaskQuarantinedError,
     WorkflowError,
 )
 from repro.faas.auth import SCOPE_COMPUTE, AuthServer, Token
@@ -54,7 +56,8 @@ from repro.net.clock import Clock, get_clock
 from repro.net.defaults import PaperConstants
 from repro.net.topology import Network, Site
 from repro.observe import TraceContext, counter_inc, gauge_set
-from repro.serialize import Payload
+from repro.resilience.health import BREAKER_OPEN
+from repro.serialize import Payload, serialize
 from repro.tenancy.tenant import (
     DEFAULT_TENANT,
     tenant_scope,
@@ -122,6 +125,12 @@ class TaskRecord:
     tenant: str = DEFAULT_TENANT
     #: Size of the argument payload, kept for queued-bytes quota release.
     args_nbytes: int = 0
+    #: Absolute nominal time after which the task's result is worthless;
+    #: rides dispatch/retry/hedge so every layer can stop dead work early.
+    deadline_at: float | None = None
+    #: Content fingerprint (``func_id:args-digest``) for poison-task strike
+    #: accounting: identical resubmissions share one fingerprint.
+    fingerprint: str | None = None
 
 
 @dataclass(frozen=True)
@@ -136,6 +145,7 @@ class TaskDispatch:
     chaos_key: str | None = None
     prefetch: tuple = ()
     tenant: str = DEFAULT_TENANT
+    deadline_at: float | None = None
 
 
 @dataclass
@@ -307,6 +317,8 @@ class FaasCloud:
         task_namespace: str = "",
         on_enqueue: object | None = None,
         journal: object | None = None,
+        health: object | None = None,
+        poison: object | None = None,
     ) -> None:
         """Single-node cloud by default; the keyword block turns one
         instance into a shard behind :class:`repro.tenancy.CloudRouter`:
@@ -333,6 +345,13 @@ class FaasCloud:
             charged, the fsync — *before* the in-memory mutation becomes
             visible, so a crash-discarded instance can be rebuilt from
             snapshot + log replay (:func:`repro.durable.recover_cloud`).
+        ``health`` / ``poison``
+            A :class:`repro.resilience.EndpointHealthTracker` and a
+            :class:`repro.resilience.PoisonTracker`; shards behind one
+            router share single instances so health signals and poison
+            strikes accumulate fleet-wide.  ``None`` (the default) disables
+            circuit breaking / quarantine entirely — the seed dispatch path
+            is untouched.
         """
         self.site = site
         self.network = network
@@ -384,6 +403,8 @@ class FaasCloud:
         # so direct-API test rigs without an agent process are never reaped.
         self._lease_expiry: dict[str, float] = {}
         self._failover_groups: dict[str, str | None] = {}
+        self.health = health
+        self.poison = poison
         self.journal = journal
         if journal is not None:
             journal.set_snapshot_provider(self.journal_state)
@@ -536,8 +557,19 @@ class FaasCloud:
             # Liveness checks ride every heartbeat: with bus-driven pickup a
             # healthy-but-idle endpoint no longer polls, so a peer's
             # heartbeat (not its long poll) is what reaps a dead member and
-            # triggers failover.
+            # triggers failover.  The breaker shed sweep rides along for the
+            # same reason — a bus-idle standby never fetches, so without
+            # this a gray peer's backlog would strand until some poll.
             self._expire_leases_locked()
+            self._shed_open_breakers_locked()
+        if self.health is not None:
+            # Heartbeat jitter is a gray-failure signal: a degraded agent
+            # beats late long before it stops beating entirely.
+            self.health.record_heartbeat(
+                endpoint_id,
+                self.clock.now(),
+                self.constants.endpoint_heartbeat_period,
+            )
         counter_inc("faas.heartbeats", endpoint=endpoint_id)
         return expiry
 
@@ -575,6 +607,90 @@ class FaasCloud:
             if expiry is not None and expiry > now:
                 return other_id
         return None
+
+    def _group_members_locked(self, endpoint_id: str) -> list[str]:
+        """Same-failover-group peers with live leases, sorted (self excluded)."""
+        group = self._failover_groups.get(endpoint_id)
+        if group is None:
+            return []
+        now = self.clock.now()
+        return sorted(
+            other_id
+            for other_id, other_group in self._failover_groups.items()
+            if other_id != endpoint_id
+            and other_group == group
+            and (expiry := self._lease_expiry.get(other_id)) is not None
+            and expiry > now
+        )
+
+    def _healthy_target_locked(self, endpoint_id: str, now: float) -> str | None:
+        """A live same-group peer whose breaker is not open, if any."""
+        for other_id in self._group_members_locked(endpoint_id):
+            if (
+                self.health is None
+                or self.health.evaluate(other_id, now) != BREAKER_OPEN
+            ):
+                return other_id
+        return None
+
+    def _shed_open_breakers_locked(self) -> None:
+        """Move work away from endpoints whose circuit breaker is open.
+
+        The gray twin of the lease-expiry failover sweep: a degraded
+        endpoint is still heartbeating (its lease never lapses), so any
+        healthy peer's fetch runs this sweep and pulls both the queued
+        backlog and the in-flight (DISPATCHED) stragglers over to a healthy
+        group member.  The gray endpoint's eventual slow results arrive as
+        stale-lease reports and are dropped — exactly the duplicate-report
+        path crash failover already exercises.
+        """
+        if self.health is None:
+            return
+        now = self.clock.now()
+        for endpoint_id in list(self._queues):
+            if self.health.evaluate(endpoint_id, now) != BREAKER_OPEN:
+                continue
+            target = self._healthy_target_locked(endpoint_id, now)
+            if target is None:
+                continue  # nowhere healthier to go; leave the work in place
+            stranded = sorted(
+                (
+                    record
+                    for record in self._tasks.values()
+                    if record.endpoint_id == endpoint_id
+                    and record.status is TaskStatus.DISPATCHED
+                ),
+                key=lambda record: record.submitted_at,
+            )
+            queued = self._queued_records_locked(endpoint_id)
+            if not stranded and not queued:
+                continue
+            for queue in self._queues[endpoint_id].values():
+                queue.clear()
+            stranded_ids = {record.task_id for record in stranded}
+            for record in stranded + queued:
+                record.status = TaskStatus.WAITING
+                record.fetched_at = None
+                record.requeues += 1
+                if self.usage is not None and record.task_id in stranded_ids:
+                    self.usage.task_requeued(record.tenant, record.args_nbytes)
+                if endpoint_id not in record.previous_endpoints:
+                    record.previous_endpoints.append(endpoint_id)
+                record.endpoint_id = target
+                self._tenant_queue_locked(target, record.tenant).append(
+                    record.task_id
+                )
+                counter_inc(
+                    "resilience.sheds", from_endpoint=endpoint_id, to_endpoint=target
+                )
+                self.bus.publish(
+                    task_topic(target),
+                    record.task_id,
+                    chaos_key=record.chaos_key or record.task_id,
+                )
+            self._publish_depth_locked(endpoint_id)
+            self._publish_depth_locked(target)
+            self._queue_cond.notify_all()
 
     # -- per-tenant queue helpers ---------------------------------------------
     def _tenant_queue_locked(self, endpoint_id: str, tenant: str) -> deque[str]:
@@ -746,6 +862,7 @@ class FaasCloud:
         trace_ctx: TraceContext | None = None,
         chaos_key: str | None = None,
         prefetch: tuple = (),
+        deadline_at: float | None = None,
     ) -> str:
         self.auth.validate(token, SCOPE_COMPUTE)
         validate_tenant_name(tenant)
@@ -760,6 +877,54 @@ class FaasCloud:
             )
         if not known:
             raise WorkflowError(f"unknown function {func_id!r}")
+        if deadline_at is not None and deadline_at <= self.clock.now():
+            raise DeadlineExceededError(
+                f"task submitted after its own deadline ({deadline_at:.3f}s)"
+            )
+        # Content fingerprint for poison accounting: the chaos-key base is
+        # already a digest of the argument bytes; derive one otherwise.
+        fingerprint = (chaos_key or "").partition("#")[0]
+        if not fingerprint:
+            fingerprint = hashlib.sha256(args_payload.data).hexdigest()[:16]
+        fingerprint = f"{func_id}:{fingerprint}"
+        if self.poison is not None:
+            if self.poison.is_quarantined(tenant, fingerprint):
+                counter_inc("resilience.quarantine_refusals", tenant=tenant)
+                raise TaskQuarantinedError(
+                    f"fingerprint {fingerprint} is quarantined in tenant "
+                    f"{tenant!r}'s dead-letter queue (it failed on "
+                    f"{self.poison.policy.quorum} distinct endpoints); "
+                    "`repro.cli deadletter retry|drop` releases it",
+                    fingerprint=fingerprint,
+                )
+            # Steer a striked fingerprint's retry to an endpoint that has
+            # not voted yet, so a true poison task reaches quorum instead
+            # of failing forever on one endpoint.
+            if endpoint_id in self.poison.strikes(fingerprint):
+                with self._queue_cond:
+                    candidates = self._group_members_locked(endpoint_id)
+                untried = self.poison.untried_endpoint(fingerprint, candidates)
+                if untried is not None:
+                    counter_inc(
+                        "resilience.poison_steered",
+                        from_endpoint=endpoint_id,
+                        to_endpoint=untried,
+                    )
+                    endpoint_id = untried
+        if self.health is not None:
+            # An open breaker turns submits away at admission — cheaper than
+            # enqueueing onto a queue the shed sweep would drain anyway.
+            now = self.clock.now()
+            if self.health.evaluate(endpoint_id, now) == BREAKER_OPEN:
+                with self._queue_cond:
+                    target = self._healthy_target_locked(endpoint_id, now)
+                if target is not None:
+                    counter_inc(
+                        "resilience.steered",
+                        from_endpoint=endpoint_id,
+                        to_endpoint=target,
+                    )
+                    endpoint_id = target
         spec = chaos_check(
             "cloud.submit",
             chaos_key or f"{client_id}|{func_id}",
@@ -796,6 +961,8 @@ class FaasCloud:
             prefetch=tuple(prefetch),
             tenant=tenant,
             args_nbytes=args_payload.nominal_size,
+            deadline_at=deadline_at,
+            fingerprint=fingerprint,
         )
         # WAL fsync point: the admission record (task identity + argument
         # bytes + locator) is durable before the task becomes visible in a
@@ -813,6 +980,8 @@ class FaasCloud:
                 tenant=tenant,
                 chaos_key=chaos_key,
                 submitted_at=record.submitted_at,
+                deadline_at=deadline_at,
+                fingerprint=fingerprint,
             )
         with self._queue_cond:
             self._tasks[task_id] = record
@@ -876,20 +1045,55 @@ class FaasCloud:
 
         Draining is weighted round-robin across the endpoint's tenant
         queues, so a tenant flooding the feed gets at most its weight share
-        of every delivery round while backlogs compete."""
+        of every delivery round while backlogs compete.
+
+        The long-poll wait is a deadline loop clamped to the remaining
+        budget: wakeups for *other* endpoints' queues (every enqueue
+        notifies the shared condition) re-enter the wait with whatever
+        budget is left instead of consuming — or overshooting — the whole
+        timeout on a single un-clamped sleep."""
         self.auth.validate(token, SCOPE_COMPUTE)
-        wall = self.clock.wall_timeout(timeout)
+        deadline = None if timeout is None else self.clock.now() + timeout
         out: list[TaskDispatch] = []
+        expired: list[TaskRecord] = []
         with self._queue_cond:
             self._expire_leases_locked()
             self._endpoint_online[endpoint_id] = True
-            if not self._backlog_locked(endpoint_id):
-                self._queue_cond.wait(wall)
+            # Any healthy endpoint's fetch sweeps work away from gray peers
+            # — the breaker analogue of the lazy lease reaper above.
+            self._shed_open_breakers_locked()
+            if self.health is not None and not self.health.admit(
+                endpoint_id, self.clock.now()
+            ):
+                # Breaker open: nothing for this endpoint this round.  Hold
+                # the long poll open so the agent's cadence is unchanged.
+                if timeout is not None and timeout > 0:
+                    self._queue_cond.wait(self.clock.wall_timeout(timeout))
+                return []
+            while not self._backlog_locked(endpoint_id):
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - self.clock.now()
+                    if remaining <= 0:
+                        break
+                self._queue_cond.wait(
+                    None if remaining is None else self.clock.wall_timeout(remaining)
+                )
             while len(out) < max_tasks:
                 task_id = self._pop_next_locked(endpoint_id)
                 if task_id is None:
                     break
                 record = self._tasks[task_id]
+                if (
+                    record.deadline_at is not None
+                    and self.clock.now() >= record.deadline_at
+                ):
+                    # The deadline already passed while the task queued:
+                    # fail it here instead of shipping dead work.
+                    if self.usage is not None:
+                        self.usage.task_dispatched(record.tenant, record.args_nbytes)
+                    expired.append(record)
+                    continue
                 record.status = TaskStatus.DISPATCHED
                 record.fetched_at = self.clock.now()
                 if self.usage is not None:
@@ -903,9 +1107,17 @@ class FaasCloud:
                         record.chaos_key,
                         record.prefetch,
                         record.tenant,
+                        record.deadline_at,
                     )
                 )
             self._publish_depth_locked(endpoint_id)
+        for record in expired:
+            counter_inc("resilience.deadline_expired", endpoint=endpoint_id)
+            self._fail_task_cloudside(
+                record,
+                f"DeadlineExceededError: task {record.task_id} missed its "
+                f"deadline ({record.deadline_at:.3f}s) while queued",
+            )
         # Dispatch fsync point (outside the queue lock: the charge must not
         # serialize other endpoints' fetches): the lease is durable before
         # the endpoint receives the batch, so a crash-rebuilt shard re-leases
@@ -981,6 +1193,82 @@ class FaasCloud:
                 chaos_key=record.chaos_key or record.task_id,
             )
         return [record.task_id for record in stranded]
+
+    def _fail_task_cloudside(self, record: TaskRecord, message: str) -> bool:
+        """Terminally fail a task from inside the cloud (deadline expiry,
+        hedge-loser cancellation) with a fabricated failure result.
+
+        Uses the same exactly-once dance as :meth:`report_result`: the
+        terminal transition happens under the completed-feed lock, a copy
+        that already went terminal wins, and the journal records the
+        fabricated result so a crash-rebuilt shard agrees the task is done.
+        """
+        payload = serialize({"success": False, "error": message, "traceback": None})
+        locator = self.store.write(payload, chaos_exempt=True)
+        if self.journal is not None:
+            self.journal.append(
+                "result",
+                task_id=record.task_id,
+                endpoint_id=record.endpoint_id,
+                success=False,
+                locator=locator,
+                payload=encode_payload(payload),
+                exempt=True,
+                at=self.clock.now(),
+            )
+        with self._completed.cond:
+            if record.status.terminal:
+                return False
+            record.result_locator = locator
+            record.status = TaskStatus.FAILED
+            record.completed_at = self.clock.now()
+            self._completed.push_locked(record.client_id, record.task_id)
+        if self.usage is not None:
+            self.usage.task_finished(record.tenant)
+        self.bus.publish(
+            result_topic(record.client_id),
+            record.task_id,
+            chaos_key=record.chaos_key or record.task_id,
+        )
+        return True
+
+    def cancel_task(self, token: Token, task_id: str) -> bool:
+        """Best-effort cancel of a *still-queued* task; True when it was
+        dequeued before any endpoint fetched it.
+
+        The hedged-execution loser path: when the first copy of a task
+        wins, the client cancels the other leg.  Only WAITING tasks can be
+        cancelled — once DISPATCHED the work is already running somewhere
+        and the report/duplicate machinery reconciles it instead (that is
+        the ``wasted`` hedge outcome).  A cancelled task goes terminal
+        through the standard exactly-once transition, so the ledger never
+        double-counts a hedged pair."""
+        self.auth.validate(token, SCOPE_COMPUTE)
+        with self._queue_cond:
+            record = self._tasks.get(task_id)
+            removed = False
+            if record is not None and record.status is TaskStatus.WAITING:
+                queue = self._queues.get(record.endpoint_id, {}).get(record.tenant)
+                if queue is not None:
+                    try:
+                        queue.remove(task_id)
+                        removed = True
+                    except ValueError:
+                        pass
+                if removed:
+                    self._publish_depth_locked(record.endpoint_id)
+        if not removed:
+            return False
+        if self.usage is not None:
+            # The queued copy's argument bytes no longer wait in a queue.
+            self.usage.task_dispatched(record.tenant, record.args_nbytes)
+        counter_inc("resilience.cancels", endpoint=record.endpoint_id)
+        self._fail_task_cloudside(
+            record,
+            f"CancelledError: task {task_id} cancelled while queued "
+            "(hedged duplicate lost the race)",
+        )
+        return True
 
     def _check_reporter(self, record: TaskRecord, endpoint_id: str) -> bool:
         """Validate a result report; True means "accept", False "drop".
@@ -1065,12 +1353,96 @@ class FaasCloud:
             record.status = TaskStatus.SUCCESS if success else TaskStatus.FAILED
             record.completed_at = self.clock.now()
             self._completed.push_locked(record.client_id, task_id)
+        if self.health is not None:
+            # Dispatch→result latency plus the outcome feed the endpoint's
+            # health score (the EWMA/consecutive-error breaker inputs).
+            started = record.fetched_at or record.submitted_at
+            self.health.record_result(
+                endpoint_id,
+                max(0.0, record.completed_at - started),
+                success,
+                record.completed_at,
+            )
+        if self.poison is not None and record.fingerprint is not None:
+            if success:
+                self.poison.note_success(record.fingerprint)
+            else:
+                entry = self.poison.note_failure(
+                    record.tenant,
+                    record.fingerprint,
+                    endpoint_id,
+                    func_id=record.func_id,
+                    task_id=record.task_id,
+                    args_locator=record.args_locator,
+                    client_id=record.client_id,
+                    error=(
+                        f"task {task_id} failed terminally on endpoint "
+                        f"{endpoint_id}"
+                    ),
+                    now=record.completed_at,
+                )
+                if entry is not None:
+                    counter_inc("resilience.quarantined", tenant=record.tenant)
+                    # Quarantine is durable: a crash-rebuilt shard must keep
+                    # refusing the fingerprint, or the poison task resumes
+                    # burning retry budget after every recovery.
+                    if self.journal is not None:
+                        self.journal.append(
+                            "deadletter", op="add", entry=entry.to_record()
+                        )
         if self.usage is not None:
             self.usage.task_finished(record.tenant)
         self.bus.publish(
             result_topic(record.client_id),
             task_id,
             chaos_key=record.chaos_key or task_id,
+        )
+
+    # -- dead-letter queue ------------------------------------------------------
+    def deadletters(self, tenant: str | None = None) -> list:
+        """The quarantined entries (all tenants, or one)."""
+        if self.poison is None:
+            return []
+        return self.poison.entries(tenant)
+
+    def deadletter_drop(self, token: Token, tenant: str, fingerprint: str):
+        """Discard a quarantined entry for good (operator gave up on it).
+        Returns the removed entry, or ``None`` if nothing matched."""
+        self.auth.validate(token, SCOPE_COMPUTE)
+        if self.poison is None:
+            return None
+        entry = self.poison.remove(tenant, fingerprint)
+        if entry is not None:
+            counter_inc("resilience.deadletter_drops", tenant=tenant)
+            if self.journal is not None:
+                self.journal.append(
+                    "deadletter", op="drop", entry=entry.to_record()
+                )
+        return entry
+
+    def deadletter_retry(
+        self, token: Token, tenant: str, fingerprint: str, endpoint_id: str
+    ) -> str | None:
+        """Release a quarantine and resubmit the stored task to
+        ``endpoint_id`` with a fresh strike slate.  Returns the new task id,
+        or ``None`` if nothing matched."""
+        self.auth.validate(token, SCOPE_COMPUTE)
+        if self.poison is None:
+            return None
+        entry = self.poison.remove(tenant, fingerprint)
+        if entry is None:
+            return None
+        counter_inc("resilience.deadletter_retries", tenant=tenant)
+        if self.journal is not None:
+            self.journal.append("deadletter", op="drop", entry=entry.to_record())
+        args_payload = self.store.read(entry.args_locator)
+        return self.submit(
+            token,
+            entry.client_id,
+            entry.func_id,
+            endpoint_id,
+            args_payload,
+            tenant=tenant,
         )
 
     # -- durability ------------------------------------------------------------
@@ -1124,6 +1496,8 @@ class FaasCloud:
                 "completed_at": record.completed_at,
                 "requeues": record.requeues,
                 "previous_endpoints": list(record.previous_endpoints),
+                "deadline_at": record.deadline_at,
+                "fingerprint": record.fingerprint,
             }
             args = self.store.raw(record.args_locator)
             if args is not None:
@@ -1140,4 +1514,9 @@ class FaasCloud:
             "endpoints": endpoints,
             "tasks": tasks,
             "next_id": next_id,
+            # A shared tracker may hold entries owned by sibling shards;
+            # replaying them is idempotent (keyed by tenant+fingerprint).
+            "deadletters": [
+                entry.to_record() for entry in self.deadletters()
+            ],
         }

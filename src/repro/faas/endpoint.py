@@ -162,12 +162,21 @@ class FaasEndpoint:
         # clears from whichever thread drives the restart.
         self._fetched_lock = threading.Lock()
         self._fetched_tasks: set[str] = set()
+        # Gray degradation (``endpoint.slow`` chaos): decided once per agent
+        # lifetime at ``start()``, then applied to every task this instance
+        # executes.  The endpoint stays alive and heartbeating — the failure
+        # the health tracker exists to catch, because the lease never lapses.
+        self._gray_delay = 0.0
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> "FaasEndpoint":
         if self._running:
             return self
         self._running = True
+        spec = chaos_check("endpoint.slow", self.name, endpoint=self.name)
+        if spec is not None:
+            self._gray_delay = spec.delay
+            counter_inc("endpoint.gray_degraded", endpoint=self.name)
         self.pool.start()
         self.cloud.set_endpoint_online(self.endpoint_id, True)
         loops = [(self._poll_loop, "poll"), (self._uplink_loop, "uplink")]
@@ -446,6 +455,7 @@ class FaasEndpoint:
                 args_payload,
                 dispatch.trace_ctx,
                 chaos_key=dispatch.chaos_key,
+                deadline_at=dispatch.deadline_at,
             )
         )
 
@@ -457,6 +467,7 @@ class FaasEndpoint:
         trace_ctx: TraceContext | None = None,
         *,
         chaos_key: str | None = None,
+        deadline_at: float | None = None,
     ) -> Callable[[], None]:
         endpoint_site = self.site
         worker_site = self.pool.site
@@ -474,6 +485,36 @@ class FaasEndpoint:
                     )
                 )
                 clock.sleep(deserialize_cost(args_payload.nominal_size))
+                if deadline_at is not None and clock.now() >= deadline_at:
+                    # Deadline propagation's endpoint-side cut: the budget
+                    # lapsed while the task sat in the pool queue, so
+                    # burning a worker on it helps nobody.  Report the miss
+                    # instead of the (now worthless) value.
+                    counter_inc("endpoint.deadline_skips", endpoint=self.name)
+                    self._outbox.put(
+                        (
+                            task_id,
+                            False,
+                            serialize(
+                                {
+                                    "success": False,
+                                    "error": (
+                                        f"DeadlineExceededError: task {task_id} "
+                                        f"missed its deadline ({deadline_at:.3f}s) "
+                                        "before execution"
+                                    ),
+                                    "traceback": None,
+                                }
+                            ),
+                            trace_ctx,
+                        )
+                    )
+                    return
+                counter_inc("endpoint.executions", endpoint=self.name)
+                if self._gray_delay:
+                    # Gray endpoint: every task pays the degradation, but
+                    # the work still completes — only latency betrays it.
+                    clock.sleep(self._gray_delay)
                 try:
                     spec = chaos_check(
                         "worker.execute",
@@ -487,6 +528,21 @@ class FaasEndpoint:
                         raise WorkflowError(
                             f"injected fault {spec.mode!r}: worker raised "
                             f"while executing task {task_id}"
+                        )
+                    # Poison keys on the attempt- and hedge-stripped content
+                    # base: the *same* inputs fail the same way on every
+                    # endpoint and every retry — the deterministic failure
+                    # shape the quarantine quorum exists to catch.
+                    poison = chaos_check(
+                        "worker.poison",
+                        (chaos_key or task_id).partition("#")[0],
+                        attempt=attempt_from_key(chaos_key),
+                        endpoint=self.name,
+                    )
+                    if poison is not None:
+                        raise WorkflowError(
+                            f"injected fault {poison.mode!r}: task {task_id} "
+                            "fails deterministically on every endpoint"
                         )
                     args, kwargs = deserialize(args_payload)
                     value = fn(*args, **kwargs)

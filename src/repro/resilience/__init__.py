@@ -1,0 +1,48 @@
+"""Gray-failure defense: health scoring, circuit breakers, hedged
+execution, and poison-task quarantine.
+
+Crashes are easy — the lease/failover machinery (``repro.faas``) and the
+write-ahead journal (``repro.durable``) already survive them.  This package
+handles the failures that *don't* announce themselves:
+
+* :mod:`repro.resilience.health` — per-endpoint health scores (latency
+  EWMA, consecutive errors, heartbeat jitter) feeding a three-state circuit
+  breaker the dispatch path consults, so a slow-but-alive endpoint stops
+  winning dispatch long before its lease would expire;
+* :mod:`repro.resilience.hedge` — hedged execution policy: speculative
+  duplicates on a different endpoint after a p95-derived delay,
+  first-result-wins with exactly-once loser reconciliation;
+* :mod:`repro.resilience.deadletter` — poison-task quarantine: tasks that
+  fail deterministically on a quorum of distinct endpoints move to a
+  per-tenant dead-letter queue, journaled so quarantine survives crashes.
+
+See DESIGN.md §11 for the score formula, the breaker state machine, and the
+hedge reconciliation invariant.
+"""
+
+from repro.resilience.deadletter import (
+    DeadLetterEntry,
+    PoisonPolicy,
+    PoisonTracker,
+)
+from repro.resilience.health import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    EndpointHealthTracker,
+    HealthPolicy,
+)
+from repro.resilience.hedge import HedgePolicy, LatencyReservoir
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "DeadLetterEntry",
+    "EndpointHealthTracker",
+    "HealthPolicy",
+    "HedgePolicy",
+    "LatencyReservoir",
+    "PoisonPolicy",
+    "PoisonTracker",
+]

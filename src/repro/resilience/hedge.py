@@ -1,0 +1,113 @@
+"""Hedged execution policy and the client-side latency reservoir.
+
+A *hedge* is a speculative duplicate of a task launched on a **different**
+endpoint once the primary has been in flight longer than the hedge delay —
+the classic tail-at-scale defense: the p95 straggler pays one duplicate
+execution instead of stalling the whole batch.
+
+The delay is either fixed (:attr:`HedgePolicy.delay`) or derived from
+observed latencies: ``quantile(q) * multiplier`` over a bounded reservoir of
+recent completion latencies, available once ``min_samples`` have been seen.
+Until then no hedges launch — guessing a delay from nothing produces either
+useless hedges (too short) or no protection (too long).
+
+First result wins.  The losing leg is cancelled against the cloud ledger
+exactly once; :class:`repro.faas.client.FaasClient` accounts every launched
+hedge under ``client.hedges{outcome=}``:
+
+* ``won``    — the hedge finished first and resolved the future;
+* ``lost``   — the primary finished first and the hedge was cancelled
+  while still queued (no duplicate execution);
+* ``wasted`` — the primary finished first but the hedge had already been
+  dispatched, so its execution was pure duplicate work.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["HedgePolicy", "LatencyReservoir"]
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When and where to launch a speculative duplicate.
+
+    ``endpoints`` are the candidate hedge targets, tried in order; the one
+    the primary is already on is skipped.  ``delay`` fixes the hedge delay
+    in nominal seconds; when ``None`` it is ``quantile(q) * multiplier``
+    over the client's latency reservoir (p95-derived by default).
+    """
+
+    endpoints: tuple[str, ...]
+    delay: float | None = None
+    quantile: float = 0.95
+    multiplier: float = 1.5
+    min_samples: int = 8
+    max_hedges: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.endpoints:
+            raise ValueError("a hedge policy needs at least one endpoint")
+        if self.delay is not None and self.delay < 0:
+            raise ValueError("delay must be non-negative")
+        if not 0.0 < self.quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        if self.multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if self.max_hedges < 1:
+            raise ValueError("max_hedges must be >= 1")
+
+    def hedge_target(self, exclude: set[str]) -> str | None:
+        """First candidate endpoint not in ``exclude`` (policy order)."""
+        for endpoint_id in self.endpoints:
+            if endpoint_id not in exclude:
+                return endpoint_id
+        return None
+
+    def hedge_delay(self, reservoir: "LatencyReservoir") -> float | None:
+        """The in-flight age beyond which a task should be hedged, or
+        ``None`` while the reservoir is too shallow to estimate one."""
+        if self.delay is not None:
+            return self.delay
+        quantile = reservoir.quantile(self.quantile, min_samples=self.min_samples)
+        return None if quantile is None else quantile * self.multiplier
+
+
+class LatencyReservoir:
+    """A bounded ring of recent completion latencies (nominal seconds)."""
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        self._samples: list[float] = []
+        self._cursor = 0
+        self._lock = threading.Lock()
+
+    def add(self, latency: float) -> None:
+        latency = max(0.0, latency)
+        with self._lock:
+            if len(self._samples) < self._capacity:
+                self._samples.append(latency)
+            else:
+                self._samples[self._cursor] = latency
+                self._cursor = (self._cursor + 1) % self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def quantile(self, q: float, *, min_samples: int = 1) -> float | None:
+        """Nearest-rank quantile, or ``None`` below ``min_samples``."""
+        if not 0.0 < q < 1.0:
+            raise ValueError("q must be in (0, 1)")
+        with self._lock:
+            if len(self._samples) < max(1, min_samples):
+                return None
+            ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[rank]

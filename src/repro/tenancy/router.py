@@ -120,11 +120,20 @@ class CloudRouter:
         n_shards: int = 2,
         registry: TenantRegistry | None = None,
         journal_factory: object | None = None,
+        health_policy: object | None = None,
+        poison_policy: object | None = None,
     ) -> None:
         """``journal_factory`` (shard_id -> :class:`repro.durable.Journal`)
         gives every shard a write-ahead journal; with one attached,
         :meth:`crash_shard` can discard a shard's entire in-memory state and
-        rebuild it from snapshot + log replay with zero lost tasks."""
+        rebuild it from snapshot + log replay with zero lost tasks.
+
+        ``health_policy`` / ``poison_policy`` (a
+        :class:`repro.resilience.HealthPolicy` /
+        :class:`repro.resilience.PoisonPolicy`) turn on circuit breaking and
+        poison-task quarantine: the router builds ONE tracker per kind and
+        hands it to every shard, so health signals and poison strikes
+        accumulate fleet-wide no matter which shard observes them."""
         if n_shards < 1:
             raise WorkflowError(f"n_shards must be >= 1, got {n_shards}")
         self.site = site
@@ -161,6 +170,18 @@ class CloudRouter:
         #: shard id -> nominal time its outage window ends.
         self._outages: dict[str, float] = {}
         self._journal_factory = journal_factory
+        if health_policy is not None:
+            from repro.resilience import EndpointHealthTracker
+
+            self.health = EndpointHealthTracker(health_policy)
+        else:
+            self.health = None
+        if poison_policy is not None:
+            from repro.resilience import PoisonTracker
+
+            self.poison = PoisonTracker(poison_policy)
+        else:
+            self.poison = None
         for _ in range(n_shards):
             self._add_shard_locked()
 
@@ -178,6 +199,8 @@ class CloudRouter:
             registry=self.registry,
             on_enqueue=self._notify_enqueue,
             journal=journal,
+            health=self.health,
+            poison=self.poison,
         )
 
     def _add_shard_locked(self) -> str:
@@ -441,6 +464,7 @@ class CloudRouter:
         trace_ctx: TraceContext | None = None,
         chaos_key: str | None = None,
         prefetch: tuple = (),
+        deadline_at: float | None = None,
     ) -> str:
         """Admission: tenant auth → shard health → rate/quota → shard.
 
@@ -496,6 +520,7 @@ class CloudRouter:
                 trace_ctx=trace_ctx,
                 chaos_key=chaos_key,
                 prefetch=prefetch,
+                deadline_at=deadline_at,
             )
         except BaseException:
             self.registry.release_submit(tenant, args_payload.nominal_size)
@@ -598,4 +623,42 @@ class CloudRouter:
         # endpoint uplink must keep draining even while admission throttles.
         self._shard_for_task(task_id).report_result(
             token, endpoint_id, task_id, success, result_payload
+        )
+
+    def cancel_task(self, token: Token, task_id: str) -> bool:
+        """Cancel a still-queued task on its owning shard (hedge losers)."""
+        return self._shard_for_task(task_id).cancel_task(token, task_id)
+
+    # -- dead-letter queue -----------------------------------------------------
+    def deadletters(self, tenant: str | None = None) -> list:
+        """Quarantined entries — one shared tracker, so any shard's view is
+        the fleet view."""
+        if self.poison is None:
+            return []
+        return self.poison.entries(tenant)
+
+    def deadletter_drop(self, token: Token, tenant: str, fingerprint: str):
+        """Route the drop to the entry's owning shard so the release lands
+        in the same journal that recorded the quarantine."""
+        if self.poison is None:
+            return None
+        entry = self.poison.entry(tenant, fingerprint)
+        if entry is None:
+            return None
+        shard_id = self._shard_for_partition(tenant, entry.func_id)
+        return self.shard(shard_id).deadletter_drop(token, tenant, fingerprint)
+
+    def deadletter_retry(
+        self, token: Token, tenant: str, fingerprint: str, endpoint_id: str
+    ) -> str | None:
+        """Release + resubmit through the entry's owning shard so the fresh
+        task id routes back correctly."""
+        if self.poison is None:
+            return None
+        entry = self.poison.entry(tenant, fingerprint)
+        if entry is None:
+            return None
+        shard_id = self._shard_for_partition(tenant, entry.func_id)
+        return self.shard(shard_id).deadletter_retry(
+            token, tenant, fingerprint, endpoint_id
         )

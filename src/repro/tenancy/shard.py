@@ -52,6 +52,8 @@ class CloudShard(FaasCloud):
         registry: TenantRegistry,
         on_enqueue: object | None = None,
         journal: object | None = None,
+        health: object | None = None,
+        poison: object | None = None,
     ) -> None:
         super().__init__(
             site,
@@ -68,6 +70,8 @@ class CloudShard(FaasCloud):
             task_namespace=f"{shard_id}-",
             on_enqueue=on_enqueue,
             journal=journal,
+            health=health,
+            poison=poison,
         )
 
     def tenant_backlog(self, endpoint_id: str) -> dict[str, int]:

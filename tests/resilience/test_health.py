@@ -1,0 +1,163 @@
+"""EndpointHealthTracker: score components and the breaker state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observe import MetricsRegistry, set_metrics
+from repro.resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    EndpointHealthTracker,
+    HealthPolicy,
+)
+
+
+def test_unknown_endpoint_scores_perfect():
+    tracker = EndpointHealthTracker()
+    assert tracker.score("nobody", now=0.0) == 1.0
+    assert tracker.state("nobody") == BREAKER_CLOSED
+
+
+def test_latency_factor_needs_min_samples():
+    policy = HealthPolicy(latency_baseline=1.0, latency_threshold=2.0, min_samples=2)
+    tracker = EndpointHealthTracker(policy)
+    tracker.record_result("ep", 4.0, True, now=0.0)
+    # One slow sample is not evidence yet: the latency factor stays out.
+    assert tracker.score("ep", now=0.0) == 1.0
+    tracker.record_result("ep", 4.0, True, now=1.0)
+    # EWMA is 4.0; factor = min(1, threshold * baseline / ewma) = 2/4.
+    assert tracker.score("ep", now=1.0) == pytest.approx(0.5)
+
+
+def test_ewma_initializes_to_first_sample_then_smooths():
+    policy = HealthPolicy(latency_alpha=0.5, latency_baseline=1.0, min_samples=1)
+    tracker = EndpointHealthTracker(policy)
+    tracker.record_result("ep", 2.0, True, now=0.0)
+    assert tracker.snapshot()["ep"]["ewma"] == pytest.approx(2.0)
+    tracker.record_result("ep", 4.0, True, now=1.0)
+    assert tracker.snapshot()["ep"]["ewma"] == pytest.approx(3.0)
+
+
+def test_error_factor_counts_consecutive_failures_and_resets():
+    policy = HealthPolicy(error_threshold=4, latency_baseline=1.0)
+    tracker = EndpointHealthTracker(policy)
+    tracker.record_result("ep", 0.0, False, now=0.0)
+    tracker.record_result("ep", 0.0, False, now=1.0)
+    # 2/4 of the error budget burnt (zero latency keeps that factor at 1).
+    assert tracker.score("ep", now=1.0) == pytest.approx(0.5)
+    tracker.record_result("ep", 0.0, True, now=2.0)
+    assert tracker.score("ep", now=2.0) == 1.0
+
+
+def test_beat_factor_halves_per_missed_heartbeat():
+    tracker = EndpointHealthTracker(HealthPolicy(heartbeat_tolerance=1.5))
+    tracker.record_heartbeat("ep", now=0.0, interval=1.0)
+    assert tracker.score("ep", now=1.0) == 1.0  # within tolerance
+    # 4.5 periods overdue, tolerance 1.5 -> 3 missed beats -> 0.5 ** 3.
+    assert tracker.score("ep", now=4.5) == pytest.approx(0.125)
+
+
+def test_fleet_minimum_ewma_stands_in_for_missing_baseline():
+    policy = HealthPolicy(latency_threshold=3.0, min_samples=1)
+    tracker = EndpointHealthTracker(policy)
+    tracker.record_result("slow", 10.0, True, now=0.0)
+    # A lone endpoint is its own baseline: never slow relative to itself.
+    assert tracker.score("slow", now=0.0) == 1.0
+    tracker.record_result("fast", 1.0, True, now=0.0)
+    # Now the fleet minimum (1.0) anchors the comparison: 3 * 1 / 10.
+    assert tracker.score("slow", now=0.0) == pytest.approx(0.3)
+    assert tracker.score("fast", now=0.0) == 1.0
+
+
+def _tripped_tracker(**overrides):
+    """A tracker with one endpoint driven past the open threshold."""
+    policy = HealthPolicy(
+        latency_baseline=1.0,
+        latency_threshold=2.0,
+        min_samples=1,
+        open_score=0.5,
+        open_duration=5.0,
+        latency_alpha=1.0,
+        **overrides,
+    )
+    tracker = EndpointHealthTracker(policy)
+    tracker.record_result("ep", 10.0, True, now=0.0)
+    assert tracker.evaluate("ep", now=1.0) == BREAKER_OPEN
+    return tracker
+
+
+def test_breaker_trips_only_past_min_samples():
+    policy = HealthPolicy(
+        latency_baseline=1.0, latency_threshold=2.0, min_samples=3, open_score=0.5
+    )
+    tracker = EndpointHealthTracker(policy)
+    tracker.record_result("ep", 10.0, True, now=0.0)
+    tracker.record_result("ep", 10.0, True, now=1.0)
+    assert tracker.evaluate("ep", now=1.0) == BREAKER_CLOSED
+    tracker.record_result("ep", 10.0, True, now=2.0)
+    assert tracker.evaluate("ep", now=2.0) == BREAKER_OPEN
+
+
+def test_breaker_open_counts_and_cools_down_to_half_open():
+    metrics = MetricsRegistry()
+    set_metrics(metrics)
+    tracker = _tripped_tracker()
+    assert tracker.evaluate("ep", now=1.0) == BREAKER_OPEN
+    assert metrics.counter_total("resilience.breaker_opens") == 1
+    # Still open inside the cool-down window; half-open after it.
+    assert tracker.evaluate("ep", now=5.0) == BREAKER_OPEN
+    assert tracker.evaluate("ep", now=6.1) == BREAKER_HALF_OPEN
+
+
+def test_admit_consumes_the_half_open_probe_budget():
+    metrics = MetricsRegistry()
+    set_metrics(metrics)
+    tracker = _tripped_tracker(half_open_probes=1)
+    assert tracker.admit("ep", now=1.0) is False  # open: shed, no work
+    assert tracker.admit("ep", now=6.1) is True  # half-open: one probe
+    assert tracker.admit("ep", now=6.2) is False  # probe budget spent
+    assert metrics.counter_total("resilience.probes") == 1
+
+
+def test_successful_healthy_probe_closes_the_breaker():
+    metrics = MetricsRegistry()
+    set_metrics(metrics)
+    tracker = _tripped_tracker()
+    assert tracker.admit("ep", now=6.1) is True
+    # alpha=1.0: the probe's own latency resets the EWMA, so one fast
+    # result is enough to push the score back over open_score.
+    tracker.record_result("ep", 0.5, True, now=6.6)
+    assert tracker.state("ep") == BREAKER_CLOSED
+    assert metrics.counter_total("resilience.breaker_closes") == 1
+    assert tracker.admit("ep", now=7.0) is True  # closed admits freely
+
+
+def test_failed_probe_reopens_the_breaker():
+    tracker = _tripped_tracker()
+    assert tracker.admit("ep", now=6.1) is True
+    tracker.record_result("ep", 0.5, False, now=6.6)
+    assert tracker.state("ep") == BREAKER_OPEN
+    # The cool-down restarts from the re-open instant.
+    assert tracker.evaluate("ep", now=10.0) == BREAKER_OPEN
+    assert tracker.evaluate("ep", now=11.7) == BREAKER_HALF_OPEN
+
+
+def test_still_slow_probe_reopens_despite_success():
+    tracker = _tripped_tracker()
+    assert tracker.admit("ep", now=6.1) is True
+    # The probe succeeded but took as long as the gray baseline: success
+    # alone does not close the breaker, health does.
+    tracker.record_result("ep", 10.0, True, now=16.1)
+    assert tracker.state("ep") == BREAKER_OPEN
+
+
+def test_snapshot_exposes_per_endpoint_signals():
+    tracker = _tripped_tracker()
+    tracker.evaluate("ep", now=1.0)
+    snap = tracker.snapshot()
+    assert snap["ep"]["state"] == BREAKER_OPEN
+    assert snap["ep"]["opens"] == 1
+    assert snap["ep"]["samples"] == 1
+    assert tracker.score("ep", now=1.0) <= 0.5

@@ -1,0 +1,69 @@
+"""HedgePolicy and LatencyReservoir: delay derivation and target choice."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import HedgePolicy, LatencyReservoir
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        HedgePolicy(endpoints=())
+    with pytest.raises(ValueError):
+        HedgePolicy(endpoints=("ep",), delay=-1.0)
+    with pytest.raises(ValueError):
+        HedgePolicy(endpoints=("ep",), quantile=1.0)
+    with pytest.raises(ValueError):
+        HedgePolicy(endpoints=("ep",), multiplier=0.0)
+    with pytest.raises(ValueError):
+        HedgePolicy(endpoints=("ep",), max_hedges=0)
+
+
+def test_fixed_delay_ignores_the_reservoir():
+    policy = HedgePolicy(endpoints=("ep",), delay=2.5)
+    assert policy.hedge_delay(LatencyReservoir()) == 2.5
+
+
+def test_derived_delay_waits_for_min_samples():
+    policy = HedgePolicy(
+        endpoints=("ep",), quantile=0.5, multiplier=1.5, min_samples=2
+    )
+    reservoir = LatencyReservoir()
+    reservoir.add(1.0)
+    assert policy.hedge_delay(reservoir) is None  # too shallow to estimate
+    reservoir.add(2.0)
+    # Nearest-rank median of [1.0, 2.0] is 2.0; times the multiplier.
+    assert policy.hedge_delay(reservoir) == pytest.approx(3.0)
+
+
+def test_hedge_target_skips_excluded_endpoints_in_order():
+    policy = HedgePolicy(endpoints=("a", "b", "c"))
+    assert policy.hedge_target(exclude=set()) == "a"
+    assert policy.hedge_target(exclude={"a"}) == "b"
+    assert policy.hedge_target(exclude={"a", "b", "c"}) is None
+
+
+def test_reservoir_nearest_rank_quantile():
+    reservoir = LatencyReservoir()
+    for value in range(1, 11):
+        reservoir.add(float(value))
+    assert reservoir.quantile(0.95) == 10.0
+    assert reservoir.quantile(0.5) == 6.0
+    with pytest.raises(ValueError):
+        reservoir.quantile(0.0)
+
+
+def test_reservoir_ring_evicts_oldest_samples():
+    reservoir = LatencyReservoir(capacity=3)
+    for value in (1.0, 2.0, 3.0, 4.0):
+        reservoir.add(value)
+    assert len(reservoir) == 3
+    # 1.0 was overwritten: the surviving window is {2, 3, 4}.
+    assert reservoir.quantile(0.5) == 3.0
+
+
+def test_reservoir_clamps_negative_latencies():
+    reservoir = LatencyReservoir()
+    reservoir.add(-5.0)
+    assert reservoir.quantile(0.5) == 0.0
