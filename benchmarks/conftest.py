@@ -12,6 +12,7 @@ import pathlib
 import pytest
 
 from repro.apps.environment import clear_software
+from repro.batch.reactor import reset_reactor
 from repro.bench.recording import set_global_log
 from repro.net.clock import reset_clock
 from repro.proxystore.store import clear_store_registry
@@ -23,6 +24,7 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 @pytest.fixture(autouse=True)
 def bench_state():
+    reset_reactor()
     reset_clock(BENCH_TIME_SCALE)
     clear_store_registry()
     clear_software()

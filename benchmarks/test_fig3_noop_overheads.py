@@ -14,18 +14,24 @@ Paper claims under test:
 
 from __future__ import annotations
 
+import json
+import os
+import pathlib
 import statistics
 
 import pytest
 
 from common import fmt_s, noop_task
+from repro.batch import BatchPolicy
 from repro.bench.reporting import ReportTable
 from repro.core.queues import ColmenaQueues, TopicSpec
 from repro.core.task_server import FuncXTaskServer, MethodSpec
 from repro.faas import SCOPE_COMPUTE, AuthServer, FaasClient, FaasCloud, FaasEndpoint
+from repro.net.clock import get_clock
 from repro.net.context import at_site
 from repro.net.defaults import build_paper_testbed
 from repro.net.kvstore import KVServer
+from repro.observe import MetricsRegistry, set_metrics
 from repro.proxystore import FileConnector, RedisConnector, Store
 from repro.resources import WorkerPool
 from repro.serialize import Blob
@@ -33,6 +39,12 @@ from repro.serialize import Blob
 N_TASKS = 30
 SIZES = {"10kB": 10_000, "1MB": 1_000_000}
 BACKENDS = ("none", "file", "redis")
+
+#: Small-task storm scale for the batched-vs-unbatched comparison;
+#: REPRO_BATCH_QUICK=1 shrinks it for the CI smoke job.
+STORM_TASKS = 60 if os.environ.get("REPRO_BATCH_QUICK") else 200
+STORM_SINGLES = 4 if os.environ.get("REPRO_BATCH_QUICK") else 8
+STORM_PAYLOAD = 10_000  # the redis band: the second-hop cost batching skips
 
 
 def _run_cell(backend: str, payload_bytes: int, seed: int) -> list:
@@ -185,3 +197,135 @@ def test_fig3_noop_overheads(benchmark, report_sink):
 
     report_sink("fig3_noop_overheads", table)
     assert table.all_hold, "Fig. 3 qualitative claims diverged; see table"
+
+
+def _storm_cell(batched: bool, seed: int) -> dict:
+    """Drive one small-task storm straight through the FaaS client and
+    measure sustained throughput plus per-task overhead operations."""
+    testbed = build_paper_testbed(seed=seed)
+    auth = AuthServer()
+    token = auth.issue_token(auth.register_identity("bench", "anl"), {SCOPE_COMPUTE})
+    cloud = FaasCloud(testbed.faas_cloud, testbed.network, auth, testbed.constants)
+    pool = WorkerPool(testbed.theta_compute, 8, name=f"storm-{batched}")
+    endpoint = FaasEndpoint(
+        "theta", cloud, token, testbed.theta_login, pool, uplink_batching=batched
+    ).start()
+    metrics = MetricsRegistry()
+    set_metrics(metrics)
+    client = FaasClient(
+        cloud,
+        token,
+        site=testbed.theta_login,
+        batch=(
+            BatchPolicy(max_batch=32, flush_deadline=0.05, min_hold=0.002)
+            if batched
+            else None
+        ),
+    )
+    clock = get_clock()
+    try:
+        with at_site(testbed.theta_login):
+            func_id = client.register_function(noop_task)
+            started = clock.now()
+            futures = [
+                client.submit(func_id, endpoint.endpoint_id, Blob(STORM_PAYLOAD))
+                for _ in range(STORM_TASKS)
+            ]
+            for future in futures:
+                assert future.result(timeout=1200) is None
+            makespan = clock.now() - started
+            # Sequential lone tasks: the single-task p50 the adaptive hold
+            # must not regress.
+            single_latencies = []
+            for _ in range(STORM_SINGLES):
+                t0 = clock.now()
+                client.submit(
+                    func_id, endpoint.endpoint_id, Blob(STORM_PAYLOAD)
+                ).result(timeout=1200)
+                single_latencies.append(clock.now() - t0)
+    finally:
+        client.close()
+        endpoint.stop()
+        set_metrics(None)
+    api_calls = metrics.counter_total("faas.api_calls")
+    second_hop_ops = sum(
+        int(counter.value)
+        for name, labels, counter in metrics.counters()
+        if name in ("faas.store_writes", "faas.store_reads")
+        and labels.get("tier") != "inline"
+    )
+    overhead_ops = api_calls + second_hop_ops
+    return {
+        "batched": batched,
+        "n_tasks": STORM_TASKS,
+        "makespan_s": round(makespan, 4),
+        "tasks_per_s": round(STORM_TASKS / makespan, 2),
+        "api_calls": int(api_calls),
+        "second_hop_store_ops": second_hop_ops,
+        "overhead_ops_per_task": round(overhead_ops / STORM_TASKS, 3),
+        "single_task_p50_s": round(statistics.median(single_latencies), 4),
+        "batch_submits": int(metrics.counter_total("cloud.batch_submits")),
+        "uplink_batches": int(metrics.counter_total("endpoint.uplink_batches")),
+    }
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_batched_storm(benchmark, report_sink):
+    """The repro.batch claims: batching a small-task storm sustains >= 3x
+    the tasks/sec of the unbatched hot path, cuts per-task round-trip +
+    second-hop overhead >= 2x, and keeps the lone-task p50 within 1.25x."""
+    cells: dict[str, dict] = {}
+
+    def run():
+        cells["unbatched"] = _storm_cell(False, seed=17)
+        cells["batched"] = _storm_cell(True, seed=17)
+        return cells
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    plain, fast = cells["unbatched"], cells["batched"]
+    throughput_gain = fast["tasks_per_s"] / plain["tasks_per_s"]
+    overhead_cut = plain["overhead_ops_per_task"] / max(
+        fast["overhead_ops_per_task"], 1e-9
+    )
+    p50_ratio = fast["single_task_p50_s"] / plain["single_task_p50_s"]
+
+    table = ReportTable("Fig. 3 addendum — adaptive batching on a no-op storm")
+    table.add("unbatched tasks/s", "-", f"{plain['tasks_per_s']:.1f}")
+    table.add("batched tasks/s", "-", f"{fast['tasks_per_s']:.1f}")
+    table.add(
+        "storm throughput gain", ">= 3x", f"{throughput_gain:.1f}x",
+        holds=throughput_gain >= 3.0,
+    )
+    table.add(
+        "per-task overhead ops cut", ">= 2x", f"{overhead_cut:.1f}x",
+        holds=overhead_cut >= 2.0,
+    )
+    table.add(
+        "lone-task p50 ratio", "<= 1.25x", f"{p50_ratio:.2f}x",
+        holds=p50_ratio <= 1.25,
+    )
+    report_sink("fig3_batched_storm", table)
+
+    results_dir = pathlib.Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "BENCH_fig3.json").write_text(
+        json.dumps(
+            {
+                "figure": "fig3-batched-storm",
+                "payload_bytes": STORM_PAYLOAD,
+                "unbatched": plain,
+                "batched": fast,
+                "claims": {
+                    "throughput_gain_x": round(throughput_gain, 2),
+                    "throughput_target_x": 3.0,
+                    "overhead_cut_x": round(overhead_cut, 2),
+                    "overhead_target_x": 2.0,
+                    "single_task_p50_ratio_x": round(p50_ratio, 3),
+                    "single_task_p50_target_x": 1.25,
+                },
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    assert table.all_hold, "repro.batch storm claims diverged; see table"

@@ -1,0 +1,166 @@
+"""Adaptive batch accumulation for the client submit path.
+
+The accumulator holds pending submits per key — the client keys on
+(tenant, endpoint) so a flushed batch maps onto one `submit_batch` call —
+and decides, per arrival, whether to flush now or how long to hold.
+
+Flush triggers:
+
+- **size**: the batch reached ``max_batch`` entries (flushed inline by
+  the submitting thread, amortizing one round trip over a full batch);
+- **bytes**: accumulated payload bytes reached ``max_bytes``;
+- **deadline**: a hold timer fired.  The hold is *adaptive*: an EWMA of
+  the observed submit inter-arrival gap predicts whether more work is
+  coming.  When the batcher is idle or arrivals are sparser than the
+  flush deadline, holding buys nothing, so the hold collapses to
+  ``min_hold`` and a lone task is released almost immediately.  Under a
+  storm the hold stretches toward ``flush_deadline`` — which stays a hard
+  upper bound on how long any task can be parked.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional
+
+from repro.net.clock import Clock, get_clock
+from repro.observe import counter_inc
+
+__all__ = ["BatchPolicy", "BatchAccumulator"]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Knobs for the adaptive flush policy (times in nominal seconds)."""
+
+    max_batch: int = 32
+    max_bytes: int = 1 << 20
+    flush_deadline: float = 0.05
+    min_hold: float = 0.002
+    ewma_alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.flush_deadline < 0 or self.min_hold < 0:
+            raise ValueError("hold times must be >= 0")
+        if self.min_hold > self.flush_deadline:
+            raise ValueError("min_hold must not exceed flush_deadline")
+
+
+@dataclass
+class _Pending:
+    items: list[Any] = field(default_factory=list)
+    nbytes: int = 0
+    generation: int = 0
+
+
+class BatchAccumulator:
+    """Thread-safe per-key batches under one :class:`BatchPolicy`.
+
+    ``add`` returns ``(batch, hold, generation)``: a non-``None`` batch
+    means a size/bytes trigger fired and the caller should flush it
+    inline; a non-``None`` hold means a deadline should be armed for
+    ``generation`` (only the first entry of a fresh batch arms one).
+    ``take(key, generation)`` claims the batch for a firing deadline and
+    is a no-op if the batch was already flushed (generation moved on).
+    """
+
+    def __init__(self, policy: BatchPolicy, clock: Clock | None = None) -> None:
+        self.policy = policy
+        self._clock = clock or get_clock()
+        self._lock = threading.Lock()
+        self._pending: dict[Hashable, _Pending] = {}
+        self._generations: dict[Hashable, int] = {}
+        self._last_arrival: float | None = None
+        self._ewma_gap: float | None = None
+
+    # -- arrival-rate tracking ----------------------------------------------
+    def _note_arrival_locked(self, now: float) -> None:
+        if self._last_arrival is not None:
+            gap = max(0.0, now - self._last_arrival)
+            alpha = self.policy.ewma_alpha
+            if self._ewma_gap is None:
+                self._ewma_gap = gap
+            else:
+                self._ewma_gap = alpha * gap + (1.0 - alpha) * self._ewma_gap
+        self._last_arrival = now
+
+    def hold_for(self) -> float:
+        """Adaptive hold for a freshly started batch."""
+        with self._lock:
+            return self._hold_for_locked()
+
+    def _hold_for_locked(self) -> float:
+        policy = self.policy
+        gap = self._ewma_gap
+        if gap is None or gap >= policy.flush_deadline:
+            # Idle or light load: the next arrival is expected beyond the
+            # deadline anyway, so don't park a lone task waiting for it.
+            return policy.min_hold
+        # Storm: hold long enough for ~half a full batch at the recent
+        # arrival rate, hard-capped by the flush deadline.
+        return min(
+            policy.flush_deadline,
+            max(policy.min_hold, gap * policy.max_batch / 2.0),
+        )
+
+    # -- batch mutation ------------------------------------------------------
+    def add(
+        self, key: Hashable, item: Any, nbytes: int
+    ) -> tuple[Optional[list[Any]], Optional[float], int]:
+        with self._lock:
+            self._note_arrival_locked(self._clock.now())
+            pend = self._pending.get(key)
+            if pend is None:
+                pend = self._pending[key] = _Pending(
+                    generation=self._generations.get(key, 0)
+                )
+            pend.items.append(item)
+            pend.nbytes += max(0, nbytes)
+            policy = self.policy
+            if (
+                len(pend.items) >= policy.max_batch
+                or pend.nbytes >= policy.max_bytes
+            ):
+                reason = (
+                    "size" if len(pend.items) >= policy.max_batch else "bytes"
+                )
+                counter_inc("batch.flushes", reason=reason)
+                return self._claim_locked(key, pend), None, pend.generation
+            if len(pend.items) == 1:
+                return None, self._hold_for_locked(), pend.generation
+            return None, None, pend.generation
+
+    def take(self, key: Hashable, generation: int | None = None) -> list[Any]:
+        """Claim a batch (deadline flush); empty if already flushed."""
+        with self._lock:
+            pend = self._pending.get(key)
+            if pend is None or (
+                generation is not None and pend.generation != generation
+            ):
+                return []
+            counter_inc("batch.flushes", reason="deadline")
+            return self._claim_locked(key, pend)
+
+    def take_all(self) -> list[tuple[Hashable, list[Any]]]:
+        """Claim every pending batch (client close / explicit flush)."""
+        with self._lock:
+            out = []
+            for key in list(self._pending):
+                pend = self._pending[key]
+                if pend.items:
+                    counter_inc("batch.flushes", reason="drain")
+                    out.append((key, self._claim_locked(key, pend)))
+            return out
+
+    def _claim_locked(self, key: Hashable, pend: _Pending) -> list[Any]:
+        items = pend.items
+        del self._pending[key]
+        self._generations[key] = pend.generation + 1
+        return items
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return sum(len(p.items) for p in self._pending.values())

@@ -78,6 +78,7 @@ FAULT_MODES: tuple[str, ...] = (
     "subscription_drop",
     "shard_outage",
     "shard_crash",
+    "batch_flush_loss",
     "campaign_crash",
     "provision_delay",
     "endpoint_slow",
@@ -109,6 +110,11 @@ _REPORT_COUNTERS = (
     "endpoint.doorbell_fetches_empty",
     "cloud.shard_outages",
     "cloud.shard_crashes",
+    "cloud.batch_submits",
+    "cloud.batch_crashes",
+    "client.batch_splits",
+    "client.serialize_skipped",
+    "endpoint.uplink_batches",
     "durable.recoveries",
     "durable.replayed",
     "durable.releases",
@@ -178,6 +184,14 @@ def fault_specs(mode: str) -> tuple[FaultSpec, ...]:
         # throttled back to the client.  Same keying discipline as
         # shard_outage so throttle retries can never re-fire it.
         return (FaultSpec("cloud.shard.crash", mode, rate=0.5, max_fires=2),)
+    if mode == "batch_flush_loss":
+        # The shard dies in the window between accepting a coalesced batch
+        # (ONE WAL fsync for the whole batch) and its per-task queue
+        # fan-out being observed by anyone.  Keyed on the digest of the
+        # batch's attempt-stripped member keys, so identical runs crash on
+        # the identical batch; replay must re-admit every member exactly
+        # once with zero client-side retries.
+        return (FaultSpec("cloud.batch.flush", mode, rate=1.0, max_fires=1),)
     if mode == "campaign_crash":
         # The campaign process itself dies once, right after submitting its
         # batch; a successor sharing the client id attaches to the in-flight
@@ -438,6 +452,20 @@ def _reconcile(
                 f"{counters.get('client.throttled', 0)}, expected >= {fires}"
             )
         expect("client.retries", 0)
+    elif mode == "batch_flush_loss":
+        # The shard died after the batch's single WAL fsync but before any
+        # task id escaped: replay must fan the batch record back out into
+        # every member task, invisibly — no client retries, no splits.
+        if fires != 1:
+            failures.append(
+                f"batch_flush_loss cell expected exactly 1 fire, got {fires}"
+            )
+        expect("cloud.batch_crashes", fires)
+        expect("durable.recoveries", fires)
+        if counters.get("cloud.batch_submits", 0) < 1:
+            failures.append("batch_flush_loss: no coalesced batch was submitted")
+        expect("client.batch_splits", 0)
+        expect("client.retries", 0)
     elif mode == "campaign_crash":
         # The dead process's successor must adopt every in-flight task and
         # drain its results from the ledger/feed — never recompute.
@@ -530,10 +558,11 @@ def run_cell(
         cloud = CloudRouter(
             testbed.faas_cloud, testbed.network, auth, constants, n_shards=2
         )
-    elif mode == "shard_crash":
-        # The harder variant: the shard's in-memory state is *destroyed*,
+    elif mode in ("shard_crash", "batch_flush_loss"):
+        # The harder variants: the shard's in-memory state is *destroyed*,
         # so every shard journals to a write-ahead log and recovery is a
-        # full snapshot + log replay.
+        # full snapshot + log replay.  ``batch_flush_loss`` crashes inside
+        # the coalesced-batch admission window instead of per submit.
         from repro.durable import FileJournalBackend, Journal
         from repro.net.fs import FileSystem
         from repro.tenancy import CloudRouter
@@ -601,16 +630,32 @@ def run_cell(
     else:
         pool_a = WorkerPool(rig.worker_site, 2, name="chaos-pool-a")
         pool_b = WorkerPool(rig.worker_site, 2, name="chaos-pool-b")
+    # batch_flush_loss exercises the whole batched hot path: coalesced
+    # client submits, uplink batching at the endpoints.  Batch composition
+    # must be deterministic for the digest, so flushes only happen on the
+    # explicit drain below (the hold deadline is far beyond the cell).
+    batching = mode == "batch_flush_loss"
     ep_a = FaasEndpoint(
         "ep-a", cloud, token, rig.agent_site, pool_a,
         failover_group="chaos-pair", poll_interval=0.25, use_bus=use_bus,
+        uplink_batching=batching,
     ).start()
     ep_b = FaasEndpoint(
         "ep-b", cloud, token, rig.agent_site, pool_b,
         failover_group="chaos-pair", poll_interval=0.25, use_bus=use_bus,
+        uplink_batching=batching,
     ).start()
+    if batching:
+        from repro.batch import BatchPolicy
+
+        batch_policy = BatchPolicy(
+            max_batch=64, max_bytes=1 << 30, flush_deadline=600.0, min_hold=600.0
+        )
+    else:
+        batch_policy = None
     client = FaasClient(
         cloud, token, site=rig.client_site, retry_policy=policy, use_bus=use_bus,
+        batch=batch_policy,
     )
 
     outcomes: list = []
@@ -627,6 +672,10 @@ def run_cell(
                 client.run(chaos_task, ep_a.endpoint_id, index, rig.store.name, key)
                 for index, key in enumerate(keys)
             ]
+            if batching:
+                # One deterministic coalesced batch; the fault fires in the
+                # window after its single WAL fsync.
+                client.flush_batches()
             if mode == "campaign_crash":
                 # The campaign process dies right after submitting its
                 # batch: the client is killed (no goodbye to the bus, no

@@ -49,6 +49,7 @@ HOOKS = frozenset(
         "cloud.store.read",  # cloud payload store: read error / corruption
         "cloud.shard.drop",  # CloudRouter: owning shard restarts at admission
         "cloud.shard.crash",  # CloudRouter: shard state destroyed, journal replay
+        "cloud.batch.flush",  # CloudRouter: crash between batch accept and fan-out
         "campaign.crash",  # campaign process dies; successor resumes by id
         "endpoint.crash",  # FaasEndpoint: process loss mid-lease
         "endpoint.slow",  # FaasEndpoint: gray degradation (slow-but-alive)

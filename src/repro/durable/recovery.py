@@ -71,6 +71,34 @@ def _snapshot_records(state: dict):
         yield {"type": "deadletter", "op": "add", "entry": doc}
 
 
+def _expand_batches(stream):
+    """Fan a batched WAL record out into its per-task records.
+
+    ``submit_batch``/``result_batch`` amortize the fsync but each task doc
+    inside them is a complete admission/outcome record — expanding here
+    means a mid-batch crash replays every member through the exact same
+    dedupe logic as its singular form, exactly once."""
+    for record in stream:
+        rtype = record["type"]
+        if rtype == "submit_batch":
+            for doc in record["tasks"]:
+                yield {
+                    "type": "submit",
+                    "client_id": record["client_id"],
+                    "tenant": record["tenant"],
+                    **doc,
+                }
+        elif rtype == "result_batch":
+            for doc in record["results"]:
+                yield {
+                    "type": "result",
+                    "endpoint_id": record["endpoint_id"],
+                    **doc,
+                }
+        else:
+            yield record
+
+
 def recover_cloud(cloud, journal=None) -> RecoveryReport:
     """Replay ``journal`` into a freshly constructed ``cloud``.
 
@@ -95,6 +123,7 @@ def recover_cloud(cloud, journal=None) -> RecoveryReport:
     snapshot, log = journal.records()  # charges the full log read: the axis
     stream = list(_snapshot_records(snapshot)) if snapshot else []
     stream.extend(log)
+    stream = list(_expand_batches(stream))
 
     next_id = int(snapshot.get("next_id", 0)) if snapshot else 0
     releases: list[TaskRecord] = []

@@ -39,6 +39,7 @@ from concurrent.futures import Executor, Future
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.batch import BatchAccumulator, BatchPolicy, get_reactor
 from repro.bench.recording import emit
 from repro.bus import BusConsumer
 from repro.chaos.policy import RetryPolicy
@@ -55,7 +56,7 @@ from repro.exceptions import (
     WorkflowError,
 )
 from repro.faas.auth import Token
-from repro.faas.cloud import FaasCloud, TaskStatus, result_topic
+from repro.faas.cloud import FaasCloud, TaskStatus, TaskSubmission, result_topic
 from repro.tenancy.tenant import DEFAULT_TENANT, validate_function_name
 from repro.net.clock import Clock, get_clock
 from repro.net.defaults import (
@@ -143,6 +144,7 @@ class FaasClient:
         clock: Clock | None = None,
         retry_policy: RetryPolicy | None = None,
         throttle_policy: RetryPolicy | None = None,
+        batch: BatchPolicy | None = None,
         tenant: str = DEFAULT_TENANT,
         use_bus: bool = True,
         chaos_label: str = "client",
@@ -171,6 +173,19 @@ class FaasClient:
         self._throttle_policy = throttle_policy or RetryPolicy(
             max_attempts=10, base_delay=0.1, max_delay=4.0
         )
+        # Adaptive batching (DESIGN.md §12): with a policy, ``submit`` parks
+        # submissions in a per-(tenant, endpoint) accumulator and a flush —
+        # inline on a size/bytes trigger, or an adaptive hold timer on the
+        # shared reactor — pays one API round trip for the whole batch.
+        # Without one, every path below is byte-identical to the unbatched
+        # client.
+        self._batcher = (
+            BatchAccumulator(batch, clock=self._clock) if batch is not None else None
+        )
+        if batch is not None and self._site is None:
+            # Pin the home site now: deadline flushes run on the process
+            # reactor thread, which carries no site context of its own.
+            self._site = self._home_site()
         # In-flight work by task id; a retried attempt re-registers the same
         # _PendingTask (same future) under the new task id.
         self._pending: dict[str, _PendingTask] = {}
@@ -324,9 +339,21 @@ class FaasClient:
             args_payload = serialize((args, kwargs))
             self._clock.sleep(serialize_cost(args_payload.nominal_size))
             chaos_base = hashlib.sha256(args_payload.data).hexdigest()[:16]
-            attempt = 0
             started_at = self._clock.now()
             deadline_at = None if _deadline is None else started_at + _deadline
+            if self._batcher is not None:
+                return self._submit_batched(
+                    func_id,
+                    endpoint_id,
+                    args_payload,
+                    ctx=ctx,
+                    chaos_base=chaos_base,
+                    prefetch=tuple(_prefetch_hints),
+                    started_at=started_at,
+                    deadline_at=deadline_at,
+                    hedge=_hedge,
+                )
+            attempt = 0
             while True:
                 try:
                     task_id = self._cloud_submit(
@@ -394,6 +421,177 @@ class FaasClient:
             **kwargs,
         )
 
+    # -- adaptive batching -----------------------------------------------------
+    def _submit_batched(
+        self,
+        func_id: str,
+        endpoint_id: str,
+        args_payload: Payload,
+        *,
+        ctx: TraceContext | None,
+        chaos_base: str,
+        prefetch: tuple,
+        started_at: float,
+        deadline_at: float | None,
+        hedge: HedgePolicy | None,
+    ) -> Future:
+        """Park one submission in the accumulator and return its future.
+
+        ``future.task_id`` is ``None`` until the flush assigns the real id.
+        A size/bytes trigger flushes inline on this thread; otherwise the
+        accumulator's adaptive hold is armed on the process reactor, so a
+        lone task under an idle batcher still goes out within ``min_hold``.
+        """
+        future: Future = Future()
+        future.task_id = None  # type: ignore[attr-defined]  # set at flush
+        pending = _PendingTask(
+            future=future,
+            trace_ctx=ctx,
+            func_id=func_id,
+            endpoint_id=endpoint_id,
+            args_payload=args_payload,
+            attempt=0,
+            chaos_base=chaos_base,
+            prefetch=prefetch,
+            started_at=started_at,
+            deadline_at=deadline_at,
+            hedge_policy=hedge,
+            attempt_at=started_at,
+        )
+        key = (self.tenant, endpoint_id)
+        ready, hold, generation = self._batcher.add(
+            key, pending, args_payload.nominal_size
+        )
+        if ready is not None:
+            self._flush_batch(ready)
+        elif hold is not None:
+            get_reactor().call_later(hold, lambda: self._flush_due(key, generation))
+        return future
+
+    def _flush_due(self, key: tuple, generation: int) -> None:
+        """Hold timer fired (reactor thread): flush if not already flushed."""
+        if not self._running:
+            return  # close() drains explicitly; kill() drops like a crash
+        batch = self._batcher.take(key, generation)
+        if batch:
+            self._flush_batch(batch)
+
+    def flush_batches(self) -> int:
+        """Flush every parked batch now; returns how many tasks went out."""
+        if self._batcher is None:
+            return 0
+        flushed = 0
+        for _key, items in self._batcher.take_all():
+            self._flush_batch(items)
+            flushed += len(items)
+        return flushed
+
+    def _flush_batch(self, items: list[_PendingTask]) -> None:
+        """Submit one accumulated batch in a single cloud round trip.
+
+        Per-item rejections split back into singles: each rejected task
+        re-enters the standard retry path (``_finish_attempt`` →
+        ``_resubmit``) under its own future, with its tenant, deadline,
+        prefetch hints, and hedge policy intact.
+        """
+        submissions = [
+            TaskSubmission(
+                func_id=p.func_id,
+                endpoint_id=p.endpoint_id,
+                args_payload=p.args_payload,
+                trace_ctx=p.trace_ctx,
+                chaos_key=f"{p.chaos_base}#a{p.attempt}",
+                prefetch=p.prefetch,
+                deadline_at=p.deadline_at,
+            )
+            for p in items
+        ]
+        try:
+            outcomes = self._cloud_submit_batch(submissions)
+        except ReproError as exc:
+            outcomes = [exc] * len(items)
+        now = self._clock.now()
+        accepted: list[tuple[str, _PendingTask]] = []
+        rejected: list[tuple[_PendingTask, Exception]] = []
+        for pending, outcome in zip(items, outcomes):
+            if isinstance(outcome, str):
+                pending.attempt_at = now
+                pending.future.task_id = outcome  # type: ignore[attr-defined]
+                accepted.append((outcome, pending))
+            else:
+                rejected.append((pending, outcome))
+        with self._futures_lock:
+            for task_id, pending in accepted:
+                self._pending[task_id] = pending
+        for pending, exc in rejected:
+            counter_inc("client.batch_splits", endpoint=pending.endpoint_id)
+            self._finish_attempt(pending, repr(exc), None)
+
+    def _cloud_submit_batch(self, submissions: list[TaskSubmission]) -> list:
+        """One batched cloud submit with transparent throttle backoff.
+
+        Throttled members are re-sent together under the *same* chaos keys
+        (a throttle retry is the same logical submission) until the
+        throttle policy's budget runs out; other outcomes — task ids and
+        terminal rejections — pass through positionally.
+        """
+        small = self.cloud.constants.faas_small_object_threshold
+        site = self._home_site()
+        outcomes: list = [None] * len(submissions)
+        live = list(range(len(submissions)))
+        throttle_attempt = 0
+        throttle_started = self._clock.now()
+        while True:
+            batch = [submissions[i] for i in live]
+            self._pay_api_call()
+            counter_inc("faas.api_calls", op="submit")
+            # Zero-copy payloads ride the submit message itself, so their
+            # bytes are charged as request transfer, not as store ops.
+            inline_bytes = sum(
+                s.args_payload.nominal_size
+                for s in batch
+                if s.args_payload.nominal_size < small
+            )
+            if inline_bytes:
+                self._clock.sleep(
+                    self.cloud.network.transfer_time(
+                        site, self.cloud.site, inline_bytes
+                    )
+                )
+            results = self.cloud.submit_batch(
+                self.token, self.client_id, batch, tenant=self.tenant
+            )
+            throttled: list[int] = []
+            retry_after = 0.0
+            for i, result in zip(live, results):
+                outcomes[i] = result
+                if isinstance(result, ThrottledError):
+                    throttled.append(i)
+                    retry_after = max(retry_after, result.retry_after)
+            if not throttled:
+                return outcomes
+            policy = self._throttle_policy
+            elapsed = self._clock.now() - throttle_started
+            if not policy.retries_left(throttle_attempt, elapsed=elapsed):
+                return outcomes  # the stored ThrottledErrors stand
+            counter_inc(
+                "client.throttled",
+                len(throttled),
+                tenant=self.tenant,
+                endpoint=submissions[throttled[0]].endpoint_id,
+            )
+            first = submissions[throttled[0]]
+            self._clock.sleep(
+                max(
+                    retry_after,
+                    policy.delay_for(
+                        throttle_attempt, key=first.chaos_key or first.func_id
+                    ),
+                )
+            )
+            throttle_attempt += 1
+            live = throttled
+
     def cancel_pending(self, endpoint_id: str | None = None) -> int:
         """Cancel in-flight futures (optionally only those targeting one
         endpoint) and forget them; returns how many were cancelled.
@@ -414,6 +612,11 @@ class FaasClient:
         return cancelled
 
     def close(self) -> None:
+        if self._batcher is not None:
+            # Parked submissions must go out before the notifier stops —
+            # otherwise their futures would be abandoned below.  Stale hold
+            # timers on the reactor no-op: the generation has moved on.
+            self.flush_batches()
         self._running = False
         self._notifier.join(timeout=self._close_timeout)
         if self._notifier.is_alive():
@@ -524,17 +727,32 @@ class FaasClient:
                     counter_inc("bus.fallback_engaged", role="client")
                     continue
                 for envelope in envelopes:
-                    self._handle_completion(envelope.payload)
+                    # A coalesced doorbell carries a comma-joined id list;
+                    # singles have no comma and take the unbatched path.
+                    self._handle_completions(envelope.payload.split(","))
                     consumer.done(envelope)
                 continue
             # Poll fallback (and the only path when the bus is disabled):
             # the completed queue is the ground truth the bus doorbells over.
-            task_id = self.cloud.next_completed(
-                self.client_id, timeout=self._poll_interval
+            # A batching client drains multi-task leases in one call; the
+            # unbatched client keeps the exact one-at-a-time legacy path.
+            fetch_batch = (
+                getattr(self.cloud, "next_completed_batch", None)
+                if self._batcher is not None
+                else None
             )
-            if task_id is not None:
-                self._handle_completion(task_id)
-                continue  # keep draining until the queue is confirmed empty
+            if fetch_batch is not None:
+                task_ids = fetch_batch(self.client_id, timeout=self._poll_interval)
+                if task_ids:
+                    self._handle_completions(task_ids)
+                    continue
+            else:
+                task_id = self.cloud.next_completed(
+                    self.client_id, timeout=self._poll_interval
+                )
+                if task_id is not None:
+                    self._handle_completion(task_id)
+                    continue  # keep draining until the queue is confirmed empty
             if consumer is not None and self._fallback:
                 # Hand back to the bus only after an empty drain: completions
                 # whose notifications were trimmed from the redelivery window
@@ -592,6 +810,8 @@ class FaasClient:
         # primary's while preserving the content base (``partition('#')``
         # strips it for poison fingerprints) and the ``#a<attempt>`` suffix.
         chaos_key = f"{pending.chaos_base}#h{n}#a{pending.attempt}"
+        # A hedge leg rides the primary's already-serialized payload too.
+        counter_inc("client.serialize_skipped", endpoint=target)
         try:
             hedge_id = self._cloud_submit(
                 pending.func_id,
@@ -706,6 +926,63 @@ class FaasClient:
         group.resolved = True
         group.primary.hedge = None
         self._finish_attempt(group.primary, group.last_error, group.last_traceback)
+
+    def _handle_completions(self, task_ids: list[str]) -> None:
+        """Resolve a coalesced completion notification.
+
+        A single id takes the unbatched path unchanged.  A multi-id
+        doorbell downloads every result behind *one* notification-push
+        latency, then reads, transfers, and settles each task
+        individually — per-task dedupe, retry, and hedge reconciliation
+        are untouched.
+        """
+        if len(task_ids) == 1:
+            self._handle_completion(task_ids[0])
+            return
+        entries: list[tuple[str, _PendingTask]] = []
+        with self._futures_lock:
+            for task_id in task_ids:
+                pending = self._pending.pop(task_id, None)
+                if pending is not None:
+                    entries.append((task_id, pending))
+        if not entries:
+            return
+        site = self._home_site()
+        self._clock.sleep(self.cloud.network.latency(self.cloud.site, site))
+        counter_inc("client.batched_downloads", len(entries))
+        for task_id, pending in entries:
+            try:
+                with trace_span("result.download", parent=pending.trace_ctx):
+                    status, payload = self.cloud.get_result_payload(
+                        self.token, task_id
+                    )
+                    self._clock.sleep(
+                        self.cloud.network.transfer_time(
+                            self.cloud.site, site, payload.nominal_size
+                        )
+                    )
+                    emit(
+                        "data_transfer",
+                        resource=site.name,
+                        bytes=payload.nominal_size,
+                        via="faas-cloud",
+                    )
+                    self._clock.sleep(deserialize_cost(payload.nominal_size))
+                    body = deserialize(payload)
+            except ReproError as exc:
+                self._settle_leg(task_id, pending, False, None, repr(exc), None)
+                continue
+            if status is TaskStatus.SUCCESS and body.get("success"):
+                self._settle_leg(task_id, pending, True, body["value"], "", None)
+            else:
+                self._settle_leg(
+                    task_id,
+                    pending,
+                    False,
+                    None,
+                    body.get("error", "remote task failed"),
+                    body.get("traceback"),
+                )
 
     def _handle_completion(self, task_id: str) -> None:
         with self._futures_lock:
@@ -825,7 +1102,14 @@ class FaasClient:
             )
 
     def _resubmit(self, pending: _PendingTask, attempt: int) -> None:
-        """Re-enter the already-serialized payload under a fresh task id."""
+        """Re-enter the already-serialized payload under a fresh task id.
+
+        The arguments were serialized (and ``serialize_cost`` paid) exactly
+        once, at first submit; a retry reuses ``pending.args_payload``
+        as-is.  The counter pins that invariant — it must move in lockstep
+        with ``client.retries`` or a double-serialization charge crept in.
+        """
+        counter_inc("client.serialize_skipped", endpoint=pending.endpoint_id)
         with trace_span(
             "cloud.submit",
             parent=pending.trace_ctx,

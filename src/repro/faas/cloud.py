@@ -48,6 +48,7 @@ from repro.exceptions import (
     EndpointUnavailableError,
     LeaseExpiredError,
     PayloadTooLargeError,
+    ReproError,
     TaskQuarantinedError,
     WorkflowError,
 )
@@ -57,7 +58,7 @@ from repro.net.defaults import PaperConstants
 from repro.net.topology import Network, Site
 from repro.observe import TraceContext, counter_inc, gauge_set
 from repro.resilience.health import BREAKER_OPEN
-from repro.serialize import Payload, serialize
+from repro.serialize import Payload, borrow, serialize
 from repro.tenancy.tenant import (
     DEFAULT_TENANT,
     tenant_scope,
@@ -69,6 +70,7 @@ __all__ = [
     "TaskStatus",
     "TaskRecord",
     "TaskDispatch",
+    "TaskSubmission",
     "FaasCloud",
     "task_topic",
     "result_topic",
@@ -148,6 +150,24 @@ class TaskDispatch:
     deadline_at: float | None = None
 
 
+@dataclass(frozen=True)
+class TaskSubmission:
+    """One task inside a batched submit (client → cloud).
+
+    The batch-level call carries the shared tenant and pays the shared
+    costs (auth, admission, WAL append, doorbell); everything per-task —
+    deadline, chaos key, prefetch hints — rides here so batching never
+    erases per-task semantics."""
+
+    func_id: str
+    endpoint_id: str
+    args_payload: Payload
+    trace_ctx: TraceContext | None = None
+    chaos_key: str | None = None
+    prefetch: tuple = ()
+    deadline_at: float | None = None
+
+
 @dataclass
 class _StoredObject:
     payload: Payload
@@ -186,9 +206,14 @@ class _PayloadStore:
                 self._network._sample(c.faas_s3_latency) + nbytes / c.faas_s3_bandwidth
             )
 
-    def _tier(self, nbytes: int) -> str:
+    def _tier(self, nbytes: int, borrowed: bool = False) -> str:
         c = self._constants
         if nbytes < c.faas_inline_threshold:
+            return "inline"
+        if borrowed and nbytes < c.faas_small_object_threshold:
+            # Zero-copy fast path: a borrowed sub-20 kB payload rode the
+            # carrying message inline, so the redis hop (and its second
+            # serialize/deserialize) never happens.
             return "inline"
         if nbytes < c.faas_small_object_threshold:
             return "redis"
@@ -199,7 +224,7 @@ class _PayloadStore:
         *not* content-deterministic (failure reports embed task ids and
         tracebacks); fault injection skips them so the fault ledger stays a
         pure function of the plan seed."""
-        tier = self._tier(payload.nominal_size)
+        tier = self._tier(payload.nominal_size, payload.borrowed)
         self._charge(tier, payload.nominal_size)
         counter_inc("faas.store_writes", tier=tier)
         locator = f"{self._prefix}{tier}:{uuid.uuid4().hex}"
@@ -295,6 +320,27 @@ class _CompletedFeed:
                         return None
                 self.cond.wait(self._clock.wall_timeout(remaining))
             return queue.popleft()
+
+    def next_completed_batch(
+        self, client_id: str, max_n: int, timeout: float | None
+    ) -> list[str]:
+        """One wait, up to ``max_n`` completions: the batched drain a
+        notifier uses so a storm of results costs one wakeup, not one
+        per task."""
+        deadline = None if timeout is None else self._clock.now() + timeout
+        with self.cond:
+            queue = self._queues.setdefault(client_id, deque())
+            while not queue:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - self._clock.now()
+                    if remaining <= 0:
+                        return []
+                self.cond.wait(self._clock.wall_timeout(remaining))
+            out: list[str] = []
+            while queue and len(out) < max_n:
+                out.append(queue.popleft())
+            return out
 
 
 class FaasCloud:
@@ -868,8 +914,90 @@ class FaasCloud:
         validate_tenant_name(tenant)
         if tenant != DEFAULT_TENANT:
             self.auth.validate(token, tenant_scope(tenant))
-        self.endpoint_site(endpoint_id)
         self.expire_leases()
+        endpoint_id, fingerprint = self._admit_task(
+            client_id,
+            func_id,
+            endpoint_id,
+            args_payload,
+            tenant=tenant,
+            chaos_key=chaos_key,
+            deadline_at=deadline_at,
+        )
+        # The shard's control plane admits one submission at a time: this
+        # serialized charge is the finite capacity that makes aggregate
+        # admission throughput scale with the shard count.
+        if self._service_time > 0.0:
+            with self._admission_lock:
+                self.clock.sleep(self._service_time)
+        args_locator = self.store.write(args_payload)
+        task_id = f"task-{self._task_namespace}{next(self._ids):08d}"
+        record = TaskRecord(
+            task_id=task_id,
+            func_id=func_id,
+            endpoint_id=endpoint_id,
+            client_id=client_id,
+            args_locator=args_locator,
+            submitted_at=self.clock.now(),
+            trace_ctx=trace_ctx,
+            chaos_key=chaos_key,
+            prefetch=tuple(prefetch),
+            tenant=tenant,
+            args_nbytes=args_payload.nominal_size,
+            deadline_at=deadline_at,
+            fingerprint=fingerprint,
+        )
+        # WAL fsync point: the admission record (task identity + argument
+        # bytes + locator) is durable before the task becomes visible in a
+        # queue.  A crash in between leaves a journaled-but-never-queued
+        # task, which replay admits into a WAITING queue exactly once.
+        if self.journal is not None:
+            self.journal.append(
+                "submit",
+                task_id=task_id,
+                func_id=func_id,
+                endpoint_id=endpoint_id,
+                client_id=client_id,
+                locator=args_locator,
+                args=encode_payload(args_payload),
+                tenant=tenant,
+                chaos_key=chaos_key,
+                submitted_at=record.submitted_at,
+                deadline_at=deadline_at,
+                fingerprint=fingerprint,
+            )
+        with self._queue_cond:
+            self._tasks[task_id] = record
+            self._tenant_queue_locked(endpoint_id, tenant).append(task_id)
+            self._publish_depth_locked(endpoint_id)
+            self._queue_cond.notify_all()
+        counter_inc("cloud.submits", tenant=tenant, shard=self._shard_label)
+        # Doorbell *after* the enqueue so a subscriber that fetches on the
+        # notification always finds the task in its queue.
+        self.bus.publish(
+            task_topic(endpoint_id), task_id, chaos_key=chaos_key or task_id
+        )
+        if self._on_enqueue is not None:
+            self._on_enqueue()
+        return record.task_id
+
+    def _admit_task(
+        self,
+        client_id: str,
+        func_id: str,
+        endpoint_id: str,
+        args_payload: Payload,
+        *,
+        tenant: str,
+        chaos_key: str | None,
+        deadline_at: float | None,
+    ) -> tuple[str, str]:
+        """Per-task admission checks shared by ``submit`` and
+        ``submit_batch``: function/endpoint existence, deadline, poison
+        quarantine, breaker steering, fault injection, and the payload cap.
+        May re-steer the task; returns the (possibly new) endpoint id and
+        the content fingerprint."""
+        self.endpoint_site(endpoint_id)
         with self._lock:
             known = (
                 func_id in self._functions
@@ -941,62 +1069,136 @@ class FaasCloud:
                 f"arguments are {args_payload.nominal_size} bytes; the service "
                 f"caps payloads at {self.constants.faas_payload_cap} ({reason})"
             )
-        # The shard's control plane admits one submission at a time: this
-        # serialized charge is the finite capacity that makes aggregate
-        # admission throughput scale with the shard count.
+        return endpoint_id, fingerprint
+
+    def submit_batch(
+        self,
+        token: Token,
+        client_id: str,
+        items: list[TaskSubmission],
+        *,
+        tenant: str = DEFAULT_TENANT,
+    ) -> list:
+        """Admit a coalesced batch of tasks in one API round trip.
+
+        The batch pays the shared costs once — one auth/tenant check, one
+        serialized admission charge, one WAL append, one queue wakeup, and
+        one coalesced doorbell per destination endpoint — while every
+        per-task check from :meth:`submit` (function known, deadline,
+        quarantine, breaker steering, fault injection, payload cap) still
+        runs per item.  Returns a list aligned with ``items``: a task id
+        where admission succeeded, the raising :class:`ReproError` where it
+        did not, so the client can split rejects back into singles.
+        """
+        self.auth.validate(token, SCOPE_COMPUTE)
+        validate_tenant_name(tenant)
+        if tenant != DEFAULT_TENANT:
+            self.auth.validate(token, tenant_scope(tenant))
+        self.expire_leases()
+        results: list = [None] * len(items)
+        admitted: list[tuple[int, TaskSubmission, str, str]] = []
+        for i, item in enumerate(items):
+            try:
+                endpoint_id, fingerprint = self._admit_task(
+                    client_id,
+                    item.func_id,
+                    item.endpoint_id,
+                    item.args_payload,
+                    tenant=tenant,
+                    chaos_key=item.chaos_key,
+                    deadline_at=item.deadline_at,
+                )
+            except ReproError as exc:
+                results[i] = exc
+                continue
+            admitted.append((i, item, endpoint_id, fingerprint))
+        if not admitted:
+            return results
+        # One serialized admission charge for the whole batch — this is the
+        # control-plane amortization that lifts sustained tasks/sec.
         if self._service_time > 0.0:
             with self._admission_lock:
                 self.clock.sleep(self._service_time)
-        args_locator = self.store.write(args_payload)
-        task_id = f"task-{self._task_namespace}{next(self._ids):08d}"
-        record = TaskRecord(
-            task_id=task_id,
-            func_id=func_id,
-            endpoint_id=endpoint_id,
-            client_id=client_id,
-            args_locator=args_locator,
-            submitted_at=self.clock.now(),
-            trace_ctx=trace_ctx,
-            chaos_key=chaos_key,
-            prefetch=tuple(prefetch),
-            tenant=tenant,
-            args_nbytes=args_payload.nominal_size,
-            deadline_at=deadline_at,
-            fingerprint=fingerprint,
-        )
-        # WAL fsync point: the admission record (task identity + argument
-        # bytes + locator) is durable before the task becomes visible in a
-        # queue.  A crash in between leaves a journaled-but-never-queued
-        # task, which replay admits into a WAITING queue exactly once.
-        if self.journal is not None:
-            self.journal.append(
-                "submit",
+        records: list[TaskRecord] = []
+        task_docs: list[dict] = []
+        for i, item, endpoint_id, fingerprint in admitted:
+            payload = item.args_payload
+            if payload.nominal_size < self.constants.faas_small_object_threshold:
+                # Zero-copy: small payloads rode the batched submit message,
+                # skipping the redis hop's second (de)serialization.
+                payload = borrow(payload)
+            args_locator = self.store.write(payload)
+            task_id = f"task-{self._task_namespace}{next(self._ids):08d}"
+            record = TaskRecord(
                 task_id=task_id,
-                func_id=func_id,
+                func_id=item.func_id,
                 endpoint_id=endpoint_id,
                 client_id=client_id,
-                locator=args_locator,
-                args=encode_payload(args_payload),
+                args_locator=args_locator,
+                submitted_at=self.clock.now(),
+                trace_ctx=item.trace_ctx,
+                chaos_key=item.chaos_key,
+                prefetch=tuple(item.prefetch),
                 tenant=tenant,
-                chaos_key=chaos_key,
-                submitted_at=record.submitted_at,
-                deadline_at=deadline_at,
+                args_nbytes=payload.nominal_size,
+                deadline_at=item.deadline_at,
                 fingerprint=fingerprint,
             )
+            records.append(record)
+            results[i] = task_id
+            task_docs.append(
+                {
+                    "task_id": task_id,
+                    "func_id": item.func_id,
+                    "endpoint_id": endpoint_id,
+                    "locator": args_locator,
+                    "args": encode_payload(payload),
+                    "chaos_key": item.chaos_key,
+                    "submitted_at": record.submitted_at,
+                    "deadline_at": item.deadline_at,
+                    "fingerprint": fingerprint,
+                }
+            )
+        # Batch WAL fsync point: ONE append makes the whole admission
+        # durable, but each task doc inside it replays individually — the
+        # record stays per-task-replayable (see recover_cloud), so a crash
+        # between this append and the queue fan-out below loses nothing.
+        if self.journal is not None:
+            self.journal.append(
+                "submit_batch",
+                client_id=client_id,
+                tenant=tenant,
+                tasks=task_docs,
+            )
         with self._queue_cond:
-            self._tasks[task_id] = record
-            self._tenant_queue_locked(endpoint_id, tenant).append(task_id)
-            self._publish_depth_locked(endpoint_id)
+            for record in records:
+                self._tasks[record.task_id] = record
+                self._tenant_queue_locked(record.endpoint_id, tenant).append(
+                    record.task_id
+                )
+            for endpoint_id in {r.endpoint_id for r in records}:
+                self._publish_depth_locked(endpoint_id)
             self._queue_cond.notify_all()
-        counter_inc("cloud.submits", tenant=tenant, shard=self._shard_label)
-        # Doorbell *after* the enqueue so a subscriber that fetches on the
-        # notification always finds the task in its queue.
-        self.bus.publish(
-            task_topic(endpoint_id), task_id, chaos_key=chaos_key or task_id
+        counter_inc(
+            "cloud.submits", len(records), tenant=tenant, shard=self._shard_label
         )
+        counter_inc("cloud.batch_submits", tenant=tenant, shard=self._shard_label)
+        # One coalesced doorbell per destination endpoint: the payload is
+        # the comma-joined id list (single-id doorbells have no comma, so
+        # unbatched consumers parse unchanged).
+        by_endpoint: dict[str, list[TaskRecord]] = {}
+        for record in records:
+            by_endpoint.setdefault(record.endpoint_id, []).append(record)
+        for endpoint_id in sorted(by_endpoint):
+            group = by_endpoint[endpoint_id]
+            self.bus.publish(
+                task_topic(endpoint_id),
+                ",".join(r.task_id for r in group),
+                chaos_key=group[0].chaos_key or group[0].task_id,
+            )
         if self._on_enqueue is not None:
             self._on_enqueue()
-        return record.task_id
+        return results
 
     def task(self, task_id: str) -> TaskRecord:
         with self._lock:
@@ -1032,6 +1234,14 @@ class FaasCloud:
         feed is shared across shards, one wait covers all of them.
         """
         return self._completed.next_completed(client_id, timeout)
+
+    def next_completed_batch(
+        self, client_id: str, max_n: int = 32, timeout: float | None = None
+    ) -> list[str]:
+        """Batched form of :meth:`next_completed`: one wait drains up to
+        ``max_n`` completions, so a result storm costs the poller one
+        wakeup instead of one per task."""
+        return self._completed.next_completed_batch(client_id, max_n, timeout)
 
     # -- endpoint side -------------------------------------------------------------
     def fetch_tasks(
@@ -1328,6 +1538,22 @@ class FaasCloud:
                 exempt=not success,
                 at=self.clock.now(),
             )
+        if not self._finalize_result(record, endpoint_id, success, locator):
+            return
+        self.bus.publish(
+            result_topic(record.client_id),
+            task_id,
+            chaos_key=record.chaos_key or task_id,
+        )
+
+    def _finalize_result(
+        self, record: TaskRecord, endpoint_id: str, success: bool, locator: str
+    ) -> bool:
+        """Apply a journaled result: drop requeued copies, make the terminal
+        transition exactly once, and feed health/poison/usage accounting.
+        Returns False when a competing copy won the re-check (duplicate
+        dropped); the caller publishes the result doorbell on True."""
+        task_id = record.task_id
         # A requeued copy of this task may still sit in a queue (report
         # racing a reclaim): drop it so the work is not executed again.
         with self._queue_cond:
@@ -1348,7 +1574,7 @@ class FaasCloud:
             # Re-check: another copy of the task may have completed while
             # this thread was paying the store write.
             if not self._check_reporter(record, endpoint_id):
-                return
+                return False
             record.result_locator = locator
             record.status = TaskStatus.SUCCESS if success else TaskStatus.FAILED
             record.completed_at = self.clock.now()
@@ -1392,11 +1618,75 @@ class FaasCloud:
                         )
         if self.usage is not None:
             self.usage.task_finished(record.tenant)
-        self.bus.publish(
-            result_topic(record.client_id),
-            task_id,
-            chaos_key=record.chaos_key or task_id,
-        )
+        return True
+
+    def report_results(
+        self,
+        token: Token,
+        endpoint_id: str,
+        results: list[tuple[str, bool, Payload]],
+    ) -> list:
+        """Uplink a drained batch of results in one API round trip.
+
+        Pays one auth check and ONE WAL append for the whole batch (each
+        result doc inside it replays individually), coalesces the result
+        doorbells per destination client, and borrows sub-20 kB result
+        payloads onto the reply message so they skip the redis hop.
+        Returns a list aligned with ``results``: ``None`` for accepted or
+        duplicate-dropped reports, the per-task :class:`ReproError` (e.g.
+        :class:`LeaseExpiredError` for a stale lease) otherwise.
+        """
+        self.auth.validate(token, SCOPE_COMPUTE)
+        outcomes: list = [None] * len(results)
+        accepted: list[tuple[int, TaskRecord, bool, str, Payload]] = []
+        result_docs: list[dict] = []
+        for i, (task_id, success, result_payload) in enumerate(results):
+            try:
+                record = self.task(task_id)
+                with self._completed.cond:
+                    if not self._check_reporter(record, endpoint_id):
+                        continue
+            except ReproError as exc:
+                outcomes[i] = exc
+                continue
+            if result_payload.nominal_size < self.constants.faas_small_object_threshold:
+                result_payload = borrow(result_payload)
+            locator = self.store.write(result_payload, chaos_exempt=not success)
+            accepted.append((i, record, success, locator, result_payload))
+            result_docs.append(
+                {
+                    "task_id": task_id,
+                    "success": success,
+                    "locator": locator,
+                    "payload": encode_payload(result_payload),
+                    "exempt": not success,
+                    "at": self.clock.now(),
+                }
+            )
+        if not accepted:
+            return outcomes
+        # Batch result fsync point: one append covers every outcome in the
+        # uplink, and each doc replays individually on recovery.
+        if self.journal is not None:
+            self.journal.append(
+                "result_batch", endpoint_id=endpoint_id, results=result_docs
+            )
+        notify: dict[str, list[TaskRecord]] = {}
+        for i, record, success, locator, _payload in accepted:
+            try:
+                if self._finalize_result(record, endpoint_id, success, locator):
+                    notify.setdefault(record.client_id, []).append(record)
+            except ReproError as exc:
+                outcomes[i] = exc
+        # One coalesced result doorbell per client (comma-joined ids).
+        for client_id in sorted(notify):
+            group = notify[client_id]
+            self.bus.publish(
+                result_topic(client_id),
+                ",".join(r.task_id for r in group),
+                chaos_key=group[0].chaos_key or group[0].task_id,
+            )
+        return outcomes
 
     # -- dead-letter queue ------------------------------------------------------
     def deadletters(self, tenant: str | None = None) -> list:

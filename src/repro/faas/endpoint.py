@@ -19,6 +19,7 @@ import traceback
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.batch.reactor import get_reactor
 from repro.bench.recording import emit
 from repro.bus import BusConsumer
 from repro.chaos.plan import attempt_from_key, chaos_check
@@ -99,6 +100,7 @@ class FaasEndpoint:
         failover_group: str | None = None,
         heartbeats: bool = True,
         use_bus: bool = True,
+        uplink_batching: bool = False,
     ) -> None:
         if poll_interval is not None and poll_interval <= 0:
             raise WorkflowError(
@@ -125,6 +127,14 @@ class FaasEndpoint:
         self._max_tasks = max_tasks_per_poll
         self._clock = clock or get_clock()
         self._heartbeats = heartbeats
+        self._heartbeat_timer = None
+        # Opportunistic uplink batching: when results pile up in the outbox
+        # faster than one API round trip drains them, ship the whole backlog
+        # through ``report_results`` in a single call.  Opt-in because the
+        # batch composition depends on thread timing — rigs that verify
+        # bit-identical chaos ledgers with store-tier-matched faults keep
+        # the per-result path.
+        self._uplink_batching = uplink_batching
         self.endpoint_id = cloud.register_endpoint(
             token, name, pool.site, failover_group=failover_group
         )
@@ -184,7 +194,13 @@ class FaasEndpoint:
             # Establish the lease before the first fetch so a crash at any
             # point of the endpoint's life is observable as a lease lapse.
             self.cloud.heartbeat(self.token, self.endpoint_id)
-            loops.append((self._heartbeat_loop, "heartbeat"))
+            # Renewals ride the shared process reactor: one scheduler thread
+            # multiplexes every endpoint's heartbeat deadline instead of
+            # each agent parking a thread in a sleep loop.
+            self._heartbeat_timer = get_reactor().call_every(
+                self.cloud.constants.endpoint_heartbeat_period,
+                self._heartbeat_tick,
+            )
         for target, label in loops:
             thread = SiteThread(
                 self.site, target=target, name=f"faas-ep-{self.name}-{label}"
@@ -199,6 +215,9 @@ class FaasEndpoint:
         if not self._running:
             return
         self._running = False
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+            self._heartbeat_timer = None
         self._paused.clear()
         wedged = []
         # Order matters for a graceful drain: silence the poll/heartbeat
@@ -303,15 +322,16 @@ class FaasEndpoint:
         return fn
 
     # -- loops ----------------------------------------------------------------------
-    def _heartbeat_loop(self) -> None:
-        period = self.cloud.constants.endpoint_heartbeat_period
-        while self._running:
-            if self._crashed.is_set():
-                return
-            if not self._paused.is_set():
-                self._pay_api_call()
-                self.cloud.heartbeat(self.token, self.endpoint_id)
-            self._clock.sleep(period)
+    def _heartbeat_tick(self):
+        """One lease renewal, fired by the process reactor.  Returning
+        ``False`` cancels the periodic timer (endpoint stopped or crashed —
+        a crash must look exactly like a dead process: no more beats)."""
+        if not self._running or self._crashed.is_set():
+            return False
+        if not self._paused.is_set():
+            self._pay_api_call()
+            self.cloud.heartbeat(self.token, self.endpoint_id)
+        return True
 
     def _poll_loop(self) -> None:
         while self._running:
@@ -361,18 +381,38 @@ class FaasEndpoint:
             if not envelopes:
                 return []  # idle: no cloud poll at all — the bus is quiet
             # A replayed doorbell for work this agent already pulled (via an
-            # earlier fetch or a fallback poll) is acked without a fetch.
+            # earlier fetch or a fallback poll) is acked without a fetch.  A
+            # coalesced (batch) doorbell carries comma-joined ids and is
+            # stale only when *every* member was already pulled.
             with self._fetched_lock:
-                stale = [e for e in envelopes if e.payload in self._fetched_tasks]
+                stale = [
+                    e
+                    for e in envelopes
+                    if all(
+                        task_id in self._fetched_tasks
+                        for task_id in e.payload.split(",")
+                    )
+                ]
             for envelope in stale:
                 counter_inc("endpoint.doorbells_stale", endpoint=self.name)
                 consumer.done(envelope)
             if len(stale) == len(envelopes):
                 return []
+            # One receive round can announce more work than one fetch window
+            # (`_max_tasks`) holds — several coalesced doorbells, or a burst
+            # of singles.  Acking after a single fetch would strand the tail
+            # with no wakeup left, so keep pulling until every announced
+            # member is in hand.  An empty fetch also ends the loop: the
+            # queue is drained, meaning any uncovered member was picked up
+            # by another agent and is no longer this doorbell's problem.
+            live = [e for e in envelopes if e not in stale]
             dispatches = self._fetch(timeout=0.0, kind="doorbell")
-            for envelope in envelopes:
-                if envelope not in stale:
-                    consumer.done(envelope)
+            pulled = dispatches
+            while pulled and not self._doorbells_covered(live):
+                pulled = self._fetch(timeout=0.0, kind="doorbell")
+                dispatches.extend(pulled)
+            for envelope in live:
+                consumer.done(envelope)
             return dispatches
         in_fallback = consumer is not None and self._fallback
         dispatches = self._fetch(
@@ -391,6 +431,16 @@ class FaasEndpoint:
             consumer.resubscribe()
             self._fallback = False
         return dispatches
+
+    def _doorbells_covered(self, envelopes) -> bool:
+        """True when every task id the given doorbells announce has been
+        pulled by this agent."""
+        with self._fetched_lock:
+            return all(
+                task_id in self._fetched_tasks
+                for envelope in envelopes
+                for task_id in envelope.payload.split(",")
+            )
 
     def _fetch(self, timeout: float, *, kind: str = "poll") -> list[TaskDispatch]:
         # One-way request; the fetch long-polls server-side.
@@ -571,30 +621,77 @@ class FaasEndpoint:
             item = self._outbox.get()
             if item is None:
                 return
-            task_id, success, payload, trace_ctx = item
-            # The task is leaving this agent: its id no longer needs to
-            # shadow replayed doorbells, and keeping it would grow the
+            items = [item]
+            stopping = False
+            if self._uplink_batching:
+                # Drain whatever else piled up during the last round trip —
+                # the whole backlog ships in one ``report_results`` call.
+                while len(items) < self._max_tasks:
+                    try:
+                        extra = self._outbox.get_nowait()
+                    except queue.Empty:
+                        break
+                    if extra is None:
+                        stopping = True
+                        break
+                    items.append(extra)
+            # The tasks are leaving this agent: their ids no longer need to
+            # shadow replayed doorbells, and keeping them would grow the
             # stale-set without bound over the endpoint's life.
             with self._fetched_lock:
-                self._fetched_tasks.discard(task_id)
+                for task_id, _success, _payload, _ctx in items:
+                    self._fetched_tasks.discard(task_id)
             if self._crashed.is_set():
                 # The dead process takes its unsent results with it; the
-                # cloud re-dispatches the task once the lease lapses.
-                counter_inc("endpoint.results_lost", endpoint=self.name)
+                # cloud re-dispatches the tasks once the lease lapses.
+                counter_inc(
+                    "endpoint.results_lost", len(items), endpoint=self.name
+                )
+                if stopping:
+                    return
                 continue
             # Results wait here while paused (store-and-forward on our side).
             while self._paused.is_set():
                 self._clock.sleep(self._poll_interval)
-            with trace_span("result.uplink", parent=trace_ctx, endpoint=self.name):
-                self._pay_api_call()
-                try:
-                    self.cloud.report_result(
-                        self.token, self.endpoint_id, task_id, success, payload
-                    )
-                except LeaseExpiredError:
-                    # Our lease lapsed (long pause / stall) and the task was
-                    # handed to a peer; the peer's result is the real one.
-                    counter_inc("endpoint.stale_results", endpoint=self.name)
+            if len(items) == 1:
+                task_id, success, payload, trace_ctx = items[0]
+                with trace_span(
+                    "result.uplink", parent=trace_ctx, endpoint=self.name
+                ):
+                    self._pay_api_call()
+                    try:
+                        self.cloud.report_result(
+                            self.token, self.endpoint_id, task_id, success, payload
+                        )
+                    except LeaseExpiredError:
+                        # Our lease lapsed (long pause / stall) and the task
+                        # was handed to a peer; the peer's result is the real
+                        # one.
+                        counter_inc("endpoint.stale_results", endpoint=self.name)
+            else:
+                self._uplink_batch(items)
+            if stopping:
+                return
+
+    def _uplink_batch(
+        self, items: list[tuple[str, bool, Payload, TraceContext | None]]
+    ) -> None:
+        """Report a drained backlog in one API round trip."""
+        counter_inc("endpoint.uplink_batches", endpoint=self.name)
+        with trace_span("result.uplink", parent=items[0][3], endpoint=self.name):
+            self._pay_api_call()
+            outcomes = self.cloud.report_results(
+                self.token,
+                self.endpoint_id,
+                [(task_id, success, payload) for task_id, success, payload, _ in items],
+            )
+        for outcome in outcomes:
+            if isinstance(outcome, LeaseExpiredError):
+                counter_inc("endpoint.stale_results", endpoint=self.name)
+            elif isinstance(outcome, Exception):
+                # Anything beyond a stale lease is a protocol violation and
+                # must be as loud as the singular path.
+                raise outcome
 
     def __enter__(self) -> "FaasEndpoint":
         return self.start()

@@ -36,6 +36,7 @@ __all__ = [
     "Payload",
     "serialize",
     "deserialize",
+    "borrow",
     "nominal_size",
     "serialize_cost",
     "deserialize_cost",
@@ -90,13 +91,28 @@ class Blob:
 
 @dataclass(frozen=True)
 class Payload:
-    """Pickled bytes plus the nominal wire size they represent."""
+    """Pickled bytes plus the nominal wire size they represent.
+
+    A *borrowed* payload rides the submit/result message inline instead of
+    taking the second serialize/deserialize hop through the payload store
+    (the paper's 20 kB redis/s3 split marks where that stops paying off).
+    The bytes are the same object — borrow-don't-copy — so the cost model
+    charges nothing for the hop that no longer happens.
+    """
 
     data: bytes
     nominal_size: int
+    borrowed: bool = False
 
     def __len__(self) -> int:
         return self.nominal_size
+
+
+def borrow(payload: Payload) -> Payload:
+    """Mark ``payload`` as riding the carrying message inline (zero-copy)."""
+    if payload.borrowed:
+        return payload
+    return Payload(data=payload.data, nominal_size=payload.nominal_size, borrowed=True)
 
 
 def serialize(obj: object) -> Payload:
@@ -152,11 +168,19 @@ def nominal_size(obj: object) -> int:
     return serialize(obj).nominal_size
 
 
-def serialize_cost(size: int) -> float:
-    """Nominal CPU seconds to serialize ``size`` bytes."""
+def serialize_cost(size: int, *, borrowed: bool = False) -> float:
+    """Nominal CPU seconds to serialize ``size`` bytes.
+
+    ``borrowed=True`` models the zero-copy fast path: the bytes already
+    exist and ride the carrying message, so the hop costs nothing.
+    """
+    if borrowed:
+        return 0.0
     return SERIALIZE_BASE_S + size / SERIALIZE_BANDWIDTH
 
 
-def deserialize_cost(size: int) -> float:
+def deserialize_cost(size: int, *, borrowed: bool = False) -> float:
     """Nominal CPU seconds to deserialize ``size`` bytes (same model)."""
+    if borrowed:
+        return 0.0
     return SERIALIZE_BASE_S + size / SERIALIZE_BANDWIDTH

@@ -28,6 +28,7 @@ resolves to its owner by parsing alone.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import threading
 import uuid
@@ -36,12 +37,13 @@ from typing import TYPE_CHECKING
 from repro.bus import NotificationBus
 from repro.chaos.plan import chaos_check
 from repro.chaos.policy import RetryPolicy
-from repro.exceptions import ShardUnavailableError, WorkflowError
+from repro.exceptions import ReproError, ShardUnavailableError, WorkflowError
 from repro.faas.auth import SCOPE_COMPUTE, AuthServer, Token
 from repro.faas.cloud import (
     TaskDispatch,
     TaskRecord,
     TaskStatus,
+    TaskSubmission,
     _CompletedFeed,
     task_topic,
 )
@@ -526,6 +528,78 @@ class CloudRouter:
             self.registry.release_submit(tenant, args_payload.nominal_size)
             raise
 
+    def submit_batch(
+        self,
+        token: Token,
+        client_id: str,
+        items: list[TaskSubmission],
+        *,
+        tenant: str = DEFAULT_TENANT,
+    ) -> list:
+        """Route a coalesced batch: one auth, one quota reservation and one
+        shard call per shard group (functions hash to shards, so a mixed
+        batch scatters into per-shard sub-batches).  Returns task ids or
+        per-task errors aligned with ``items``, like
+        :meth:`FaasCloud.submit_batch`.
+        """
+        self.auth.validate(token, SCOPE_COMPUTE)
+        validate_tenant_name(tenant)
+        if tenant != DEFAULT_TENANT:
+            self.auth.validate(token, tenant_scope(tenant))
+        self._recover_outages()
+        results: list = [None] * len(items)
+        groups: dict[str, list[int]] = {}
+        for i, item in enumerate(items):
+            shard_id = self._shard_for_partition(tenant, item.func_id)
+            groups.setdefault(shard_id, []).append(i)
+        for shard_id in sorted(groups):
+            indexes = groups[shard_id]
+            group_items = [items[i] for i in indexes]
+            total_bytes = sum(it.args_payload.nominal_size for it in group_items)
+            try:
+                self._check_available(shard_id)
+                # One reservation covers the whole sub-batch (one rate
+                # token; all members' in-flight slots, atomically).
+                self.registry.admit_batch(tenant, len(indexes), total_bytes)
+            except ReproError as exc:
+                for i in indexes:
+                    results[i] = exc
+                continue
+            try:
+                shard_results = self.shard(shard_id).submit_batch(
+                    token, client_id, group_items, tenant=tenant
+                )
+            except BaseException:
+                self.registry.release_batch(tenant, len(indexes), total_bytes)
+                raise
+            rejected = rejected_bytes = 0
+            for i, res in zip(indexes, shard_results):
+                results[i] = res
+                if isinstance(res, Exception):
+                    rejected += 1
+                    rejected_bytes += items[i].args_payload.nominal_size
+            if rejected:
+                self.registry.release_batch(tenant, rejected, rejected_bytes)
+            # The mid-batch crash window: the shard has fsync'd ONE WAL
+            # record for the whole batch and populated its queues, but no
+            # caller has seen a task id yet.  Key the fault on a digest of
+            # the batch's attempt-stripped member keys so identical runs
+            # crash on the identical batch.
+            member_keys = sorted(
+                (it.chaos_key or f"{client_id}|{it.func_id}").split("#a", 1)[0]
+                for it in group_items
+            )
+            digest = hashlib.sha256("|".join(member_keys).encode()).hexdigest()[:16]
+            spec = chaos_check(
+                "cloud.batch.flush", digest, shard=shard_id, tenant=tenant
+            )
+            if spec is not None:
+                counter_inc("cloud.batch_crashes", shard=shard_id)
+                # The rebuilt shard replays the batch record per task —
+                # the ids already in ``results`` stay valid.
+                self.crash_shard(shard_id)
+        return results
+
     def task(self, task_id: str) -> TaskRecord:
         return self._shard_for_task(task_id).task(task_id)
 
@@ -558,6 +632,12 @@ class CloudRouter:
     def next_completed(self, client_id: str, timeout: float | None) -> str | None:
         """One wait covers completions from every shard (shared feed)."""
         return self._completed.next_completed(client_id, timeout)
+
+    def next_completed_batch(
+        self, client_id: str, max_n: int = 32, timeout: float | None = None
+    ) -> list[str]:
+        """Batched drain of the shared completed feed (one wait, many ids)."""
+        return self._completed.next_completed_batch(client_id, max_n, timeout)
 
     # -- endpoint side --------------------------------------------------------
     def fetch_tasks(
@@ -624,6 +704,29 @@ class CloudRouter:
         self._shard_for_task(task_id).report_result(
             token, endpoint_id, task_id, success, result_payload
         )
+
+    def report_results(
+        self,
+        token: Token,
+        endpoint_id: str,
+        results: list[tuple[str, bool, Payload]],
+    ) -> list:
+        """Batched uplink: scatter the drained results to their owning
+        shards (one shard call per group), merging the per-task outcomes
+        back into a list aligned with ``results``."""
+        outcomes: list = [None] * len(results)
+        groups: dict[str, list[int]] = {}
+        for i, (task_id, _success, _payload) in enumerate(results):
+            shard = self._shard_for_task(task_id)
+            groups.setdefault(shard.shard_id, []).append(i)
+        for shard_id in sorted(groups):
+            indexes = groups[shard_id]
+            shard_outcomes = self.shard(shard_id).report_results(
+                token, endpoint_id, [results[i] for i in indexes]
+            )
+            for i, outcome in zip(indexes, shard_outcomes):
+                outcomes[i] = outcome
+        return outcomes
 
     def cancel_task(self, token: Token, task_id: str) -> bool:
         """Cancel a still-queued task on its owning shard (hedge losers)."""

@@ -283,13 +283,67 @@ class TenantRegistry:
 
     def release_submit(self, name: str, nbytes: int) -> None:
         """Undo a reservation whose submit was rejected downstream."""
+        self.release_batch(name, 1, nbytes)
+
+    def admit_batch(self, name: str, n_tasks: int, total_bytes: int) -> None:
+        """Admission control for one *batched* submit: the batch is a single
+        API call, so it draws a single rate-bucket token, but it reserves
+        every member's in-flight slot and queued bytes atomically — the
+        whole batch is admitted or none of it is."""
+        tenant = self.get(name)
+        if tenant.bucket is not None:
+            wait = tenant.bucket.acquire()
+            if wait > 0.0:
+                with self._lock:
+                    tenant.usage.throttled += 1
+                counter_inc("cloud.throttled", tenant=name, reason="rate")
+                raise TenantQuotaExceededError(
+                    f"tenant {name!r} exceeded its submit rate "
+                    f"({tenant.bucket.rate:.1f}/s); retry in {wait:.3f}s",
+                    retry_after=wait,
+                )
+        with self._lock:
+            usage, quota = tenant.usage, tenant.quota
+            if (
+                quota.max_in_flight is not None
+                and usage.in_flight + n_tasks > quota.max_in_flight
+            ):
+                usage.throttled += 1
+                counter_inc("cloud.throttled", tenant=name, reason="in_flight")
+                raise TenantQuotaExceededError(
+                    f"tenant {name!r} has {usage.in_flight} tasks in flight; a "
+                    f"batch of {n_tasks} would exceed the quota "
+                    f"({quota.max_in_flight}); retry as they complete",
+                    retry_after=0.0,
+                )
+            if (
+                quota.max_queued_bytes is not None
+                and usage.queued_bytes + total_bytes > quota.max_queued_bytes
+            ):
+                usage.throttled += 1
+                counter_inc("cloud.throttled", tenant=name, reason="queued_bytes")
+                raise TenantQuotaExceededError(
+                    f"tenant {name!r} would have "
+                    f"{usage.queued_bytes + total_bytes} queued bytes (quota "
+                    f"{quota.max_queued_bytes}); retry as queued work drains",
+                    retry_after=0.0,
+                )
+            usage.in_flight += n_tasks
+            usage.queued_bytes += total_bytes
+            usage.submits += n_tasks
+            gauge_set("cloud.tenant_in_flight", usage.in_flight, tenant=name)
+
+    def release_batch(self, name: str, n_tasks: int, total_bytes: int) -> None:
+        """Undo (part of) a batch reservation rejected downstream."""
         with self._lock:
             tenant = self._tenants.get(name)
             if tenant is None:
                 return
-            tenant.usage.in_flight = max(0, tenant.usage.in_flight - 1)
-            tenant.usage.queued_bytes = max(0, tenant.usage.queued_bytes - nbytes)
-            tenant.usage.submits = max(0, tenant.usage.submits - 1)
+            tenant.usage.in_flight = max(0, tenant.usage.in_flight - n_tasks)
+            tenant.usage.queued_bytes = max(
+                0, tenant.usage.queued_bytes - total_bytes
+            )
+            tenant.usage.submits = max(0, tenant.usage.submits - n_tasks)
 
     # -- lifecycle notifications (called by shards) ---------------------------
     def task_dispatched(self, name: str, nbytes: int) -> None:

@@ -1,0 +1,100 @@
+"""The adaptive batch accumulator: flush triggers, holds, and no-loss."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.batch import BatchAccumulator, BatchPolicy
+from repro.net.clock import get_clock
+
+
+def test_size_trigger_flushes_inline():
+    acc = BatchAccumulator(BatchPolicy(max_batch=3, flush_deadline=1.0))
+    assert acc.add("k", "a", 10) == (None, acc.policy.min_hold, 0)
+    assert acc.add("k", "b", 10)[0] is None
+    ready, hold, _gen = acc.add("k", "c", 10)
+    assert ready == ["a", "b", "c"]
+    assert hold is None
+    assert acc.pending_count() == 0
+
+
+def test_bytes_trigger_flushes_inline():
+    acc = BatchAccumulator(BatchPolicy(max_batch=100, max_bytes=100))
+    assert acc.add("k", "a", 60)[0] is None
+    ready, _, _ = acc.add("k", "b", 60)
+    assert ready == ["a", "b"]
+
+
+def test_only_first_entry_arms_a_hold():
+    acc = BatchAccumulator(BatchPolicy(max_batch=10))
+    _, hold1, _ = acc.add("k", "a", 1)
+    _, hold2, _ = acc.add("k", "b", 1)
+    assert hold1 is not None
+    assert hold2 is None
+
+
+def test_idle_batcher_collapses_hold_to_min():
+    policy = BatchPolicy(max_batch=32, flush_deadline=0.05, min_hold=0.002)
+    acc = BatchAccumulator(policy)
+    # No arrival history (or sparse arrivals): a lone task is released
+    # after min_hold, never parked for the full deadline.
+    _, hold, _ = acc.add("k", "a", 1)
+    assert hold == policy.min_hold
+
+
+def test_storm_stretches_hold_toward_deadline_but_never_past():
+    policy = BatchPolicy(max_batch=32, flush_deadline=0.05, min_hold=0.002)
+    acc = BatchAccumulator(policy)
+    clock = get_clock()
+    # A tight arrival train: EWMA gap ~1 ms << flush_deadline.
+    for i in range(8):
+        acc.add("k", i, 1)
+        clock.sleep(0.001)
+    acc.take("k")
+    hold = acc.hold_for()
+    assert policy.min_hold < hold <= policy.flush_deadline
+
+
+def test_take_with_stale_generation_is_a_noop():
+    acc = BatchAccumulator(BatchPolicy(max_batch=2))
+    _, _, gen = acc.add("k", "a", 1)
+    ready, _, _ = acc.add("k", "b", 1)  # size flush bumps the generation
+    assert ready == ["a", "b"]
+    acc.add("k", "c", 1)  # a fresh batch under the same key
+    assert acc.take("k", generation=gen) == []  # the timer came too late
+    assert acc.take("k") == ["c"]
+
+
+def test_take_all_drains_every_key():
+    acc = BatchAccumulator(BatchPolicy(max_batch=100))
+    acc.add("k1", "a", 1)
+    acc.add("k2", "b", 1)
+    drained = dict(acc.take_all())
+    assert drained == {"k1": ["a"], "k2": ["b"]}
+    assert acc.pending_count() == 0
+
+
+@given(
+    adds=st.lists(
+        st.tuples(st.sampled_from(["k1", "k2", "k3"]), st.integers(1, 200)),
+        max_size=60,
+    ),
+    max_batch=st.integers(1, 8),
+    max_bytes=st.integers(50, 500),
+)
+def test_no_item_is_lost_or_duplicated(adds, max_batch, max_bytes):
+    """Every added item comes out of exactly one flush — inline, deadline
+    take, or the final drain — no matter how the triggers interleave."""
+    acc = BatchAccumulator(
+        BatchPolicy(max_batch=max_batch, max_bytes=max_bytes, flush_deadline=1.0)
+    )
+    flushed: list[object] = []
+    for index, (key, nbytes) in enumerate(adds):
+        item = (index, key)
+        ready, _hold, _gen = acc.add(key, item, nbytes)
+        if ready is not None:
+            flushed.extend(ready)
+    for _key, items in acc.take_all():
+        flushed.extend(items)
+    assert sorted(flushed) == [(i, k) for i, (k, _) in enumerate(adds)]

@@ -6,6 +6,7 @@ import pytest
 from hypothesis import HealthCheck, settings
 
 from repro.apps.environment import clear_software
+from repro.batch.reactor import reset_reactor
 from repro.bench.recording import set_global_log
 from repro.chaos.plan import set_injector
 from repro.net.clock import reset_clock
@@ -29,6 +30,9 @@ TEST_TIME_SCALE = 0.002
 
 @pytest.fixture(autouse=True)
 def clean_state():
+    # The reactor holds timers scheduled against the previous test's clock
+    # epoch; drop it before the clock resets so none can fire across tests.
+    reset_reactor()
     reset_clock(TEST_TIME_SCALE)
     clear_store_registry()
     clear_software()
